@@ -1,0 +1,110 @@
+// Table 1 + Fig. 7 — SMP vs linear time-series models (AR(8), BM(8), MA(8),
+// ARMA(8,8), LAST from the RPS toolkit), for windows starting at 8:00 on
+// weekdays, lengths 1–10 h.
+//
+// Metric, as in the paper: for each (model, window length) the *maximum*
+// relative error of the predicted TR over the tested machines. Expected
+// shape: the SMP predictor wins across the board, and its advantage grows
+// with the window length because the linear models' multiple-step-ahead
+// forecasts degrade with lookahead (paper §7.2.1).
+#include <iostream>
+#include <memory>
+
+#include "harness.hpp"
+
+using namespace fgcs;
+
+int main() {
+  const int kMachines = 5;
+  const double kTrainingFraction = 0.5;  // paper: equal training/test sizes
+  const std::vector<MachineTrace> fleet = bench::lab_fleet(kMachines);
+  const EstimatorConfig config = bench::bench_estimator_config();
+
+  // Paper Table 1.
+  print_banner(std::cout, "Table 1 — linear time series models (RPS)");
+  Table models_table({"model", "description"});
+  models_table.add_row({"AR(p)", "autoregressive model with p coefficients"});
+  models_table.add_row({"BM(p)", "mean over the previous N values (N <= p)"});
+  models_table.add_row({"MA(p)", "moving average model with p coefficients"});
+  models_table.add_row({"ARMA(p,q)", "autoregressive moving average model"});
+  models_table.add_row({"LAST", "last measured value"});
+  models_table.print(std::cout);
+
+  const std::vector<std::string> specs{"AR(8)", "BM(8)", "MA(8)", "ARMA(8,8)",
+                                       "LAST"};
+
+  print_banner(std::cout,
+               "Fig. 7 — max relative error, windows starting 8:00 weekdays");
+  std::vector<std::string> headers{"window_len_hr", "SMP"};
+  headers.insert(headers.end(), specs.begin(), specs.end());
+  headers.push_back("HIST-FREQ*");  // our extra baseline (paper ref [19] style)
+  Table table(headers);
+
+  for (SimTime len_hr = 1; len_hr <= 10; ++len_hr) {
+    const TimeWindow window{.start_of_day = 8 * kSecondsPerHour,
+                            .length = len_hr * kSecondsPerHour};
+    std::vector<std::string> row{std::to_string(len_hr)};
+
+    double smp_max = 0.0;
+    bool smp_any = false;
+    for (const MachineTrace& trace : fleet) {
+      const auto eval = bench::evaluate_smp_window(
+          trace, kTrainingFraction, DayType::kWeekday, window, config);
+      if (eval) {
+        smp_max = std::max(smp_max, eval->error);
+        smp_any = true;
+      }
+    }
+    row.push_back(smp_any ? Table::pct(smp_max) : "n/a");
+
+    for (const std::string& spec : specs) {
+      double model_max = 0.0;
+      bool any = false;
+      for (const MachineTrace& trace : fleet) {
+        const std::unique_ptr<TimeSeriesModel> model =
+            make_time_series_model(spec);
+        const auto eval = bench::evaluate_ts_window(
+            trace, kTrainingFraction, DayType::kWeekday, window, *model,
+            config.thresholds);
+        if (eval) {
+          model_max = std::max(model_max, eval->error);
+          any = true;
+        }
+      }
+      row.push_back(any ? Table::pct(model_max) : "n/a");
+    }
+
+    // Extra baseline: historical per-day survival frequency over the same
+    // training days the SMP uses (the [19]-style long-term average).
+    {
+      double freq_max = 0.0;
+      bool any = false;
+      const SmpEstimator estimator(config);
+      const StateClassifier classifier(config.thresholds, bench::kPeriod);
+      for (const MachineTrace& trace : fleet) {
+        const auto target = bench::first_test_day(trace, kTrainingFraction,
+                                                  DayType::kWeekday);
+        if (!target) continue;
+        const auto training =
+            estimator.training_days_for(trace, *target, window);
+        const FrequencyBaselineResult freq =
+            predict_tr_frequency(trace, training, window, classifier);
+        const auto test_days = bench::test_days_of_type(
+            trace, kTrainingFraction, DayType::kWeekday);
+        const EmpiricalTr emp =
+            empirical_tr(trace, test_days, window, classifier);
+        if (!freq.tr || !emp.tr || *emp.tr <= 0.0) continue;
+        freq_max = std::max(freq_max, relative_error(*freq.tr, *emp.tr));
+        any = true;
+      }
+      row.push_back(any ? Table::pct(freq_max) : "n/a");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "(paper: SMP beats all five models; the gap widens with the "
+               "window length)\n"
+            << "(*HIST-FREQ is our additional baseline, not part of the "
+               "paper's comparison)\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Fig. 8 — robustness: prediction discrepancy under injected noise.
+//
+// Protocol (paper §7.3): one instance of noise is one artificial
+// unavailability occurrence (hold uniform in [60, 1800] s) inserted around
+// 8:00 into a weekday training log — k instances go into k distinct recent
+// training days. The metric is the relative difference between the TR
+// predicted from the noisy logs and from the originals, for future windows
+// of length T ∈ {1, 2, 3, 5, 10} h starting at 8:00.
+//
+// Expected shape: small windows are far more sensitive (the paper sees >50 %
+// at T = 1 h with 4 instances) while larger windows absorb more history per
+// day and stay calm (<6 % at T ≥ 2–3 h even with 10 instances).
+#include <cmath>
+#include <iostream>
+
+#include "harness.hpp"
+
+using namespace fgcs;
+
+int main() {
+  const int kMachines = 4;
+  const std::vector<MachineTrace> fleet = bench::lab_fleet(kMachines);
+  const EstimatorConfig config = bench::bench_estimator_config();
+  const AvailabilityPredictor predictor(config);
+  const SmpEstimator estimator(config);
+
+  // Noise lands shortly after the window start so the injected occurrence is
+  // a transition *inside* the 8:00 windows (an occurrence straddling 8:00
+  // would make the training day start failed and be discarded instead).
+  NoiseParams noise;
+  noise.around = 8 * kSecondsPerHour + 25 * kSecondsPerMinute;
+  noise.spread = 20 * kSecondsPerMinute;
+
+  const std::vector<int> noise_amounts{1, 2, 4, 6, 8, 10};
+  const std::vector<SimTime> lengths_hr{1, 2, 3, 5, 10};
+
+  print_banner(std::cout,
+               "Fig. 8 — prediction discrepancy vs injected noise (8:00 "
+               "weekday windows)");
+  std::vector<std::string> headers{"noise"};
+  for (const SimTime t : lengths_hr)
+    headers.push_back("T=" + std::to_string(t) + "h");
+  Table table(headers);
+
+  for (const int amount : noise_amounts) {
+    std::vector<std::string> row{std::to_string(amount)};
+    for (const SimTime len_hr : lengths_hr) {
+      const TimeWindow window{.start_of_day = 8 * kSecondsPerHour,
+                              .length = len_hr * kSecondsPerHour};
+      RunningStats discrepancy;
+      for (const MachineTrace& trace : fleet) {
+        const std::int64_t target =
+            trace.days_of_type(DayType::kWeekday, 0, trace.day_count()).back();
+        const std::vector<std::int64_t> training =
+            estimator.training_days_for(trace, target, window);
+        if (training.size() < static_cast<std::size_t>(amount)) continue;
+
+        const double tr_clean =
+            predictor.predict(trace, {.target_day = target, .window = window})
+                .temporal_reliability;
+
+        // k instances into the k most recent training days, one each.
+        Rng rng(bench::kFleetSeed ^ static_cast<std::uint64_t>(amount * 131));
+        MachineTrace noisy = trace;
+        for (int instance = 0; instance < amount; ++instance) {
+          const std::int64_t day = training[training.size() - 1 -
+                                            static_cast<std::size_t>(instance)];
+          noisy = inject_unavailability(noisy, day, 1, noise, rng);
+        }
+        const double tr_noisy =
+            predictor.predict(noisy, {.target_day = target, .window = window})
+                .temporal_reliability;
+        if (tr_clean > 0.0)
+          discrepancy.add(std::abs(tr_noisy - tr_clean) / tr_clean);
+      }
+      row.push_back(discrepancy.empty() ? "n/a"
+                                        : Table::pct(discrepancy.mean()));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "(paper: T=1h is noise-sensitive — >50% already at 4 "
+               "instances; windows >= 2-3h absorb more history per day and "
+               "stay below ~6%)\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// §3.2.1 — the CPU contention study: reduction rate of host CPU usage as a
+// function of the isolated host load L_H, for host-group sizes 1–5 and a
+// CPU-bound guest at priority 0 and 19.
+//
+// This regenerates the empirical basis for the two thresholds:
+//   Th1 — lowest L_H where a default-priority (nice 0) guest causes
+//         noticeable (>5 %) host slowdown (paper testbed: 20 %),
+//   Th2 — lowest L_H where even a reniced (nice 19) guest does
+//         (paper testbed: 60 %),
+// and the saturation of the guest's achievable CPU share with growing host
+// group size.
+#include <iostream>
+#include <optional>
+
+#include "harness.hpp"
+
+using namespace fgcs;
+
+int main() {
+  const std::vector<double> loads{0.10, 0.20, 0.30, 0.40, 0.50,
+                                  0.60, 0.70, 0.80, 0.90, 1.00};
+  const double kSeconds = 300.0;
+
+  for (const int nice : {0, 19}) {
+    print_banner(std::cout, "Sec 3.2.1 — host CPU usage reduction, guest at "
+                            "nice " + std::to_string(nice));
+    std::vector<std::string> headers{"L_H"};
+    for (int size = 1; size <= 5; ++size)
+      headers.push_back("group=" + std::to_string(size));
+    Table table(headers);
+
+    for (const double load : loads) {
+      std::vector<std::string> row{Table::pct(load, 0)};
+      for (int size = 1; size <= 5; ++size) {
+        ContentionStudy study({}, bench::kFleetSeed + size);
+        const ContentionResult r = study.run(load, size, nice, kSeconds);
+        row.push_back(Table::pct(r.reduction_rate, 1));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+
+  print_banner(std::cout, "Derived thresholds (group size 1, slowdown > 5%)");
+  Table thresholds({"threshold", "measured", "paper"});
+  ContentionStudy study_th1({}, bench::kFleetSeed);
+  const std::optional<double> th1 =
+      study_th1.find_threshold(loads, 1, 0, 0.05, kSeconds);
+  ContentionStudy study_th2({}, bench::kFleetSeed);
+  const std::optional<double> th2 =
+      study_th2.find_threshold(loads, 1, 19, 0.05, kSeconds);
+  thresholds.add_row({"Th1 (renice the guest)",
+                      th1 ? Table::pct(*th1, 0) : "none", "20%"});
+  thresholds.add_row({"Th2 (terminate the guest)",
+                      th2 ? Table::pct(*th2, 0) : "none", "60%"});
+  thresholds.print(std::cout);
+
+  print_banner(std::cout, "Guest CPU share vs host group size (L_H = 60%)");
+  Table guest_table({"group_size", "guest_usage(nice 0)"});
+  for (int size = 1; size <= 6; ++size) {
+    ContentionStudy study({}, bench::kFleetSeed + 77 + size);
+    const ContentionResult r = study.run(0.6, size, 0, kSeconds);
+    guest_table.add_row({std::to_string(size), Table::pct(r.guest_usage, 1)});
+  }
+  guest_table.print(std::cout);
+  std::cout << "(paper: the guest's share shrinks with group size and "
+               "saturates around size 5)\n";
+  return 0;
+}

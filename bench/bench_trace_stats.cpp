@@ -1,0 +1,85 @@
+// §6.1 — testbed trace statistics.
+//
+// The paper monitored a Purdue student lab for 3 months (≈1800 machine-days)
+// and reports 405–453 unavailability occurrences per machine over that
+// period, plus a monitoring overhead below 1 % CPU and memory. This bench
+// regenerates the same summary from the synthetic fleet so the substitution
+// is auditable.
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+
+#include "harness.hpp"
+
+using namespace fgcs;
+
+int main() {
+  const int kMachines = 20;
+  const int kDays = 91;
+  // Paper-rate sampling (6 s) would cost 20×91×14400 samples; occurrence
+  // counting only needs the state sequence, for which 60 s sampling is
+  // equivalent up to sub-minute episodes (those are transient by definition).
+  const std::vector<MachineTrace> fleet =
+      bench::lab_fleet(kMachines, kDays, bench::kPeriod);
+
+  EstimatorConfig config = bench::bench_estimator_config();
+  const StateClassifier classifier(config.thresholds, bench::kPeriod);
+
+  print_banner(std::cout, "Sec 6.1 — per-machine unavailability occurrences "
+                          "over 3 months");
+  Table table({"machine", "S3(cpu)", "S4(memory)", "S5(revocation)", "total",
+               "per_day", "uptime", "mean_load"});
+  std::size_t fleet_min = SIZE_MAX, fleet_max = 0, fleet_total = 0;
+  for (const MachineTrace& trace : fleet) {
+    const UnavailabilityStats stats = count_unavailability(trace, classifier);
+    fleet_min = std::min(fleet_min, stats.total());
+    fleet_max = std::max(fleet_max, stats.total());
+    fleet_total += stats.total();
+    table.add_row({trace.machine_id(), std::to_string(stats.cpu_contention),
+                   std::to_string(stats.memory_thrash),
+                   std::to_string(stats.revocation),
+                   std::to_string(stats.total()),
+                   Table::num(static_cast<double>(stats.total()) / kDays, 1),
+                   Table::pct(trace.uptime_fraction(), 2),
+                   Table::pct(trace.mean_load(), 1)});
+  }
+  table.print(std::cout);
+
+  print_banner(std::cout, "Fleet summary");
+  Table summary({"metric", "measured", "paper"});
+  summary.add_row({"machine-days",
+                   std::to_string(static_cast<int>(fleet.size()) * kDays),
+                   "~1800"});
+  summary.add_row({"occurrences/machine (min)", std::to_string(fleet_min),
+                   "405"});
+  summary.add_row({"occurrences/machine (max)", std::to_string(fleet_max),
+                   "453"});
+  summary.add_row(
+      {"occurrences/machine (mean)",
+       Table::num(static_cast<double>(fleet_total) / fleet.size(), 1),
+       "405-453"});
+  // Monitoring overhead model: one top/vmstat invocation (~10 ms) per 6 s.
+  summary.add_row({"monitor overhead (CPU)", Table::pct(0.010 / 6.0, 2),
+                   "< 1%"});
+  summary.print(std::cout);
+
+  // The paper's premise (§4.2, [19]): load patterns repeat across recent
+  // same-type days. Measure it on the synthetic fleet.
+  print_banner(std::cout, "Pattern repeatability (hourly-profile correlation)");
+  Table repeat({"machine", "weekday consec", "weekday week-apart",
+                "weekend consec"});
+  for (std::size_t m = 0; m < 5; ++m) {
+    const MachineTrace& trace = fleet[m];
+    const PatternRepeatability wd =
+        measure_repeatability(trace, DayType::kWeekday);
+    const PatternRepeatability we =
+        measure_repeatability(trace, DayType::kWeekend);
+    repeat.add_row({trace.machine_id(), Table::num(wd.consecutive_day_correlation, 3),
+                    Table::num(wd.week_apart_correlation, 3),
+                    Table::num(we.consecutive_day_correlation, 3)});
+  }
+  repeat.print(std::cout);
+  std::cout << "(positive correlations confirm the same-clock-time training "
+               "rule has signal to exploit)\n";
+  return 0;
+}

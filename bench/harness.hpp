@@ -1,0 +1,63 @@
+// Shared plumbing for the benchmark binaries: fleet construction, the
+// train/test evaluation loop used by Figs. 5–7, and common constants.
+//
+// Accuracy benches run at a 60 s sampling period: the paper's 6 s period puts
+// a 10-hour window at 6000 discretization steps and the O(n²) recursion makes
+// a full 240-window × fleet sweep take hours on one core. The estimator's
+// statistics and the empirical TR are insensitive to this (ablation
+// bench_abl_discretization quantifies it); the Fig. 4 overhead bench keeps
+// the paper's native 6 s period since cost *is* its subject.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fgcs.hpp"
+
+namespace fgcs::bench {
+
+inline constexpr SimTime kPeriod = 60;          // accuracy-bench sampling period
+inline constexpr int kTraceDays = 91;           // ~3 months (13 weeks)
+inline constexpr std::uint64_t kFleetSeed = 20060627;  // HPDC'06 ;-)
+
+/// The default evaluation fleet: student-lab machines, 13 weeks of history.
+std::vector<MachineTrace> lab_fleet(int machines, int days = kTraceDays,
+                                    SimTime period = kPeriod,
+                                    double drift_per_day = 0.0,
+                                    std::uint64_t seed = kFleetSeed);
+
+/// Splits [0, day_count) at `training_fraction` and returns the test days of
+/// the requested type (training days are those before the split).
+std::vector<std::int64_t> test_days_of_type(const MachineTrace& trace,
+                                            double training_fraction,
+                                            DayType type);
+
+/// First test day of the given type (the prediction target), if any.
+std::optional<std::int64_t> first_test_day(const MachineTrace& trace,
+                                           double training_fraction,
+                                           DayType type);
+
+struct WindowEvaluation {
+  double predicted_tr = 0.0;
+  double empirical_tr = 0.0;
+  double error = 0.0;  // |pred − emp| / emp
+};
+
+/// One train/test evaluation of the SMP predictor on `window`:
+/// prediction anchored at the first test day of `type`, empirical TR over all
+/// test days of `type`. Empty when the window has no eligible test days or
+/// the empirical TR is 0 (relative error undefined — paper §7.2 caveat).
+std::optional<WindowEvaluation> evaluate_smp_window(
+    const MachineTrace& trace, double training_fraction, DayType type,
+    const TimeWindow& window, const EstimatorConfig& config);
+
+/// Same evaluation for a linear time-series model (paper §6.2 scheme).
+std::optional<WindowEvaluation> evaluate_ts_window(
+    const MachineTrace& trace, double training_fraction, DayType type,
+    const TimeWindow& window, TimeSeriesModel& model,
+    const Thresholds& thresholds);
+
+/// Default estimator configuration for the benches.
+EstimatorConfig bench_estimator_config();
+
+}  // namespace fgcs::bench

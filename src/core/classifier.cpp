@@ -1,0 +1,67 @@
+#include "core/classifier.hpp"
+
+#include "util/error.hpp"
+
+namespace fgcs {
+
+StateClassifier::StateClassifier(Thresholds thresholds, SimTime sampling_period)
+    : thresholds_(thresholds), sampling_period_(sampling_period) {
+  validate(thresholds_);
+  FGCS_REQUIRE(sampling_period > 0);
+  transient_ticks_ =
+      static_cast<std::size_t>(thresholds_.transient_limit / sampling_period);
+}
+
+State StateClassifier::classify_sample(const ResourceSample& sample) const {
+  if (!sample.up()) return State::kS5;
+  if (sample.free_mem_mb < thresholds_.guest_mem_mb) return State::kS4;
+  const double load = sample.load();
+  if (load > thresholds_.th2) return State::kS3;
+  if (load >= thresholds_.th1) return State::kS2;
+  return State::kS1;
+}
+
+std::vector<State> StateClassifier::classify(
+    std::span<const ResourceSample> samples) const {
+  std::vector<State> states(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    states[i] = classify_sample(samples[i]);
+
+  // Transient rule: relabel S3 runs shorter than the transient limit with the
+  // neighbouring available state. Prefer the state just before the spike
+  // (the guest was suspended and resumes into the same situation); fall back
+  // to the state right after the run for spikes at the start of the series,
+  // and to S2 when no available neighbour exists.
+  std::size_t i = 0;
+  while (i < states.size()) {
+    if (states[i] != State::kS3) {
+      ++i;
+      continue;
+    }
+    std::size_t run_end = i;
+    while (run_end < states.size() && states[run_end] == State::kS3) ++run_end;
+    const std::size_t run_len = run_end - i;
+    if (run_len < transient_ticks_) {
+      State replacement = State::kS2;
+      if (i > 0 && is_available(states[i - 1])) {
+        replacement = states[i - 1];
+      } else if (run_end < states.size() && is_available(states[run_end])) {
+        replacement = states[run_end];
+      }
+      for (std::size_t k = i; k < run_end; ++k) states[k] = replacement;
+    }
+    i = run_end;
+  }
+  return states;
+}
+
+std::vector<State> StateClassifier::classify_window(const MachineTrace& trace,
+                                                    std::int64_t day,
+                                                    const TimeWindow& window) const {
+  FGCS_REQUIRE_MSG(trace.sampling_period() == sampling_period_,
+                   "classifier and trace sampling periods differ");
+  const std::vector<ResourceSample> samples = trace.window_samples(day, window);
+  return classify(samples);
+}
+
+}  // namespace fgcs

@@ -1,0 +1,50 @@
+// Maps monitored resource samples to the five-state availability model.
+//
+// Classification rules (paper §3.3):
+//   * machine down                          → S5
+//   * free memory < guest working set      → S4
+//   * load steadily > Th2                  → S3
+//   * Th1 ≤ load ≤ Th2                     → S2
+//   * load < Th1                           → S1
+// with the transient rule: a maximal run of load > Th2 shorter than the
+// transient limit (1 min) does not leave S1/S2 — it is relabeled with the
+// surrounding available state, because in that situation the guest is merely
+// suspended and later resumed (paper's definition of S1/S2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/states.hpp"
+#include "core/thresholds.hpp"
+#include "trace/machine_trace.hpp"
+#include "trace/sample.hpp"
+
+namespace fgcs {
+
+class StateClassifier {
+ public:
+  /// `sampling_period` is needed to convert the transient limit into ticks.
+  StateClassifier(Thresholds thresholds, SimTime sampling_period);
+
+  const Thresholds& thresholds() const { return thresholds_; }
+  SimTime sampling_period() const { return sampling_period_; }
+
+  /// Raw per-sample category, before the transient rule.
+  State classify_sample(const ResourceSample& sample) const;
+
+  /// Full classification of a sample sequence, applying the transient rule.
+  std::vector<State> classify(std::span<const ResourceSample> samples) const;
+
+  /// Convenience: classify a clock-time window of a machine trace.
+  std::vector<State> classify_window(const MachineTrace& trace,
+                                     std::int64_t day,
+                                     const TimeWindow& window) const;
+
+ private:
+  Thresholds thresholds_;
+  SimTime sampling_period_;
+  std::size_t transient_ticks_;
+};
+
+}  // namespace fgcs

@@ -1,0 +1,69 @@
+#include "core/empirical.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+
+bool survives_window(std::span<const State> states) {
+  if (states.empty() || is_failure(states.front())) return false;
+  for (const State s : states)
+    if (is_failure(s)) return false;
+  return true;
+}
+
+EmpiricalTr empirical_tr(const MachineTrace& trace,
+                         std::span<const std::int64_t> days,
+                         const TimeWindow& window,
+                         const StateClassifier& classifier) {
+  EmpiricalTr result;
+  for (const std::int64_t day : days) {
+    if (!trace.window_in_range(day, window)) continue;
+    const std::vector<State> states =
+        classifier.classify_window(trace, day, window);
+    if (states.empty() || is_failure(states.front())) continue;
+    ++result.eligible_days;
+    if (survives_window(states)) ++result.surviving_days;
+  }
+  if (result.eligible_days > 0)
+    result.tr = static_cast<double>(result.surviving_days) /
+                static_cast<double>(result.eligible_days);
+  return result;
+}
+
+double relative_error(double predicted, double empirical) {
+  FGCS_REQUIRE_MSG(empirical > 0.0,
+                   "relative error undefined for zero empirical TR");
+  return std::abs(predicted - empirical) / empirical;
+}
+
+UnavailabilityStats count_unavailability(const MachineTrace& trace,
+                                         const StateClassifier& classifier) {
+  // Classify the full trace day by day and count maximal same-state failure
+  // runs across day boundaries.
+  UnavailabilityStats stats;
+  State previous = State::kS1;
+  bool have_previous = false;
+  for (std::int64_t day = 0; day < trace.day_count(); ++day) {
+    const TimeWindow whole_day{.start_of_day = 0, .length = kSecondsPerDay};
+    const std::vector<State> states =
+        classifier.classify_window(trace, day, whole_day);
+    for (const State s : states) {
+      const bool new_run = !have_previous || s != previous;
+      if (is_failure(s) && new_run) {
+        switch (s) {
+          case State::kS3: ++stats.cpu_contention; break;
+          case State::kS4: ++stats.memory_thrash; break;
+          case State::kS5: ++stats.revocation; break;
+          default: break;
+        }
+      }
+      previous = s;
+      have_previous = true;
+    }
+  }
+  return stats;
+}
+
+}  // namespace fgcs

@@ -1,0 +1,55 @@
+// Empirical temporal reliability and evaluation metrics (paper §7.2).
+//
+// The evaluation splits a trace into training and test days; the SMP
+// parameters come from the training days and the prediction is compared
+// against the *empirical* TR — the fraction of test days (starting in an
+// available state) on which the machine never entered a failure state within
+// the window. Relative error = |TR_pred − TR_emp| / TR_emp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "core/states.hpp"
+#include "trace/machine_trace.hpp"
+#include "trace/window.hpp"
+
+namespace fgcs {
+
+/// True if the state sequence starts available and never enters a failure
+/// state.
+bool survives_window(std::span<const State> states);
+
+struct EmpiricalTr {
+  std::size_t eligible_days = 0;   // test days starting in S1/S2
+  std::size_t surviving_days = 0;  // of those, days with no failure in-window
+  /// surviving/eligible; empty when there are no eligible days.
+  std::optional<double> tr;
+};
+
+EmpiricalTr empirical_tr(const MachineTrace& trace,
+                         std::span<const std::int64_t> days,
+                         const TimeWindow& window,
+                         const StateClassifier& classifier);
+
+/// |predicted − empirical| / empirical. Requires empirical > 0 (the paper
+/// discards/acknowledges degenerate windows where TR→0).
+double relative_error(double predicted, double empirical);
+
+/// Whole-trace unavailability occurrence statistics (paper §6.1 reports
+/// 405–453 occurrences per machine over 3 months). An occurrence is a
+/// maximal run of one failure state in the day-concatenated classification.
+struct UnavailabilityStats {
+  std::size_t cpu_contention = 0;   // S3 runs (UEC)
+  std::size_t memory_thrash = 0;    // S4 runs (UEC)
+  std::size_t revocation = 0;       // S5 runs (URR)
+  std::size_t total() const { return cpu_contention + memory_thrash + revocation; }
+};
+
+UnavailabilityStats count_unavailability(const MachineTrace& trace,
+                                         const StateClassifier& classifier);
+
+}  // namespace fgcs

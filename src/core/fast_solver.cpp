@@ -1,0 +1,138 @@
+#include "core/fast_solver.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/fft.hpp"
+
+namespace fgcs {
+
+namespace {
+
+constexpr std::size_t kBaseBlock = 512;
+
+/// Divide-and-conquer pass: x[lo..hi) receives all in-range contributions
+/// k[l]·x[m−l] with m−l ∈ [lo, hi). Contributions from indices < lo must
+/// already have been added by enclosing calls.
+void renewal_recurse(std::vector<double>& x, std::span<const double> k,
+                     std::size_t lo, std::size_t hi) {
+  if (hi - lo <= kBaseBlock) {
+    for (std::size_t m = lo; m < hi; ++m) {
+      const std::size_t l_max = std::min(m - lo, k.size() - 1);
+      for (std::size_t l = 1; l <= l_max; ++l) x[m] += k[l] * x[m - l];
+    }
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  renewal_recurse(x, k, lo, mid);
+  // Push the finalized left half onto the right half with one convolution.
+  const std::span<const double> left(x.data() + lo, mid - lo);
+  const std::size_t k_span = std::min(k.size(), hi - lo);
+  const std::vector<double> cross =
+      convolve(left, std::span<const double>(k.data(), k_span));
+  for (std::size_t m = mid; m < hi; ++m) {
+    const std::size_t t = m - lo;
+    if (t < cross.size()) x[m] += cross[t];
+  }
+  renewal_recurse(x, k, mid, hi);
+}
+
+/// Truncating convolution helper: (a ⊛ b)[0..n].
+std::vector<double> convolve_trunc(std::span<const double> a,
+                                   std::span<const double> b, std::size_t n) {
+  std::vector<double> c = convolve(a, b);
+  c.resize(n + 1, 0.0);
+  return c;
+}
+
+/// Weighted pmf a[l] = Q_i(k)·H_{i,k}(l) with a[0] = 0, indices 0..n.
+std::vector<double> weighted_pmf(const SmpModel& model, std::size_t from,
+                                 std::size_t to, std::size_t n) {
+  std::vector<double> a(n + 1, 0.0);
+  const double q = model.q(from, to);
+  if (q == 0.0) return a;
+  const auto pmf = model.h_pmf(from, to);
+  const std::size_t limit = std::min(n, pmf.size());
+  for (std::size_t l = 1; l <= limit; ++l) a[l] = q * pmf[l - 1];
+  return a;
+}
+
+}  // namespace
+
+std::vector<double> solve_renewal(std::span<const double> b,
+                                  std::span<const double> kernel) {
+  FGCS_REQUIRE(!b.empty());
+  FGCS_REQUIRE_MSG(kernel.empty() || kernel[0] == 0.0,
+                   "renewal kernel must vanish at lag 0");
+  std::vector<double> x(b.begin(), b.end());
+  if (kernel.size() <= 1) return x;  // no feedback at all
+  renewal_recurse(x, kernel, 0, x.size());
+  return x;
+}
+
+FastTrSolver::FastTrSolver(const SmpModel& model) : model_(model) {
+  FGCS_REQUIRE_MSG(model.n_states() == kStateCount,
+                   "FastTrSolver requires the 5-state FGCS model");
+  model.validate();
+  for (const State failure : kFailureStates)
+    for (std::size_t to = 0; to < kStateCount; ++to)
+      FGCS_REQUIRE_MSG(model.q(index_of(failure), to) == 0.0,
+                       "failure states must be absorbing");
+}
+
+SparseTrSolver::Series FastTrSolver::solve_series(std::size_t n_steps) const {
+  const std::size_t n = n_steps;
+  const std::size_t s1 = index_of(State::kS1);
+  const std::size_t s2 = index_of(State::kS2);
+  const std::vector<double> a12 = weighted_pmf(model_, s1, s2, n);
+  const std::vector<double> a21 = weighted_pmf(model_, s2, s1, n);
+  std::vector<double> kernel = convolve_trunc(a12, a21, n);
+  // Both factors vanish at lag 0, so lags 0 and 1 of the product are exactly
+  // zero analytically; scrub the FFT round-off to keep strict causality.
+  kernel[0] = 0.0;
+  if (kernel.size() > 1) kernel[1] = 0.0;
+
+  SparseTrSolver::Series series;
+  for (std::size_t jj = 0; jj < kFailureStates.size(); ++jj) {
+    const std::size_t j = index_of(kFailureStates[jj]);
+    const std::vector<double> d1 = weighted_pmf(model_, s1, j, n);
+    const std::vector<double> d2 = weighted_pmf(model_, s2, j, n);
+
+    // Cumulative direct-absorption terms.
+    std::vector<double> d1c(n + 1, 0.0), d2c(n + 1, 0.0);
+    for (std::size_t m = 1; m <= n; ++m) {
+      d1c[m] = d1c[m - 1] + d1[m];
+      d2c[m] = d2c[m - 1] + d2[m];
+    }
+
+    // P1 = (D1c + A12 ⊛ D2c) + K ⊛ P1,  P2 = D2c + A21 ⊛ P1.
+    std::vector<double> b1 = convolve_trunc(a12, d2c, n);
+    for (std::size_t m = 0; m <= n; ++m) b1[m] += d1c[m];
+    std::vector<double> p1 = solve_renewal(b1, kernel);
+
+    std::vector<double> p2 = convolve_trunc(a21, p1, n);
+    for (std::size_t m = 0; m <= n; ++m) p2[m] += d2c[m];
+
+    series[0][jj] = std::move(p1);
+    series[1][jj] = std::move(p2);
+  }
+  return series;
+}
+
+SparseTrSolver::Result FastTrSolver::solve(State init,
+                                           std::size_t n_steps) const {
+  FGCS_REQUIRE_MSG(is_available(init),
+                   "temporal reliability is defined for available initial states");
+  const SparseTrSolver::Series series = solve_series(n_steps);
+  const std::size_t row = index_of(init);
+  SparseTrSolver::Result result;
+  double absorbed = 0.0;
+  for (std::size_t jj = 0; jj < kFailureStates.size(); ++jj) {
+    result.p_absorb[jj] = series[row][jj][n_steps];
+    absorbed += result.p_absorb[jj];
+  }
+  result.temporal_reliability = std::clamp(1.0 - absorbed, 0.0, 1.0);
+  return result;
+}
+
+}  // namespace fgcs

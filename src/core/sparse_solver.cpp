@@ -1,0 +1,90 @@
+#include "core/sparse_solver.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+
+namespace {
+
+constexpr std::size_t kS1 = index_of(State::kS1);
+constexpr std::size_t kS2 = index_of(State::kS2);
+
+/// Weighted pmf a[l] = Q_i(k)·H_{i,k}(l), padded to n entries (index l-1).
+std::vector<double> weighted_pmf(const SmpModel& model, std::size_t from,
+                                 std::size_t to, std::size_t n) {
+  std::vector<double> a(n, 0.0);
+  const double q = model.q(from, to);
+  if (q == 0.0) return a;
+  const auto pmf = model.h_pmf(from, to);
+  const std::size_t limit = std::min(n, pmf.size());
+  for (std::size_t l = 0; l < limit; ++l) a[l] = q * pmf[l];
+  return a;
+}
+
+}  // namespace
+
+SparseTrSolver::SparseTrSolver(const SmpModel& model) : model_(model) {
+  FGCS_REQUIRE_MSG(model.n_states() == kStateCount,
+                   "SparseTrSolver requires the 5-state FGCS model");
+  model.validate();
+  for (const State failure : kFailureStates)
+    for (std::size_t to = 0; to < kStateCount; ++to)
+      FGCS_REQUIRE_MSG(model.q(index_of(failure), to) == 0.0,
+                       "failure states must be absorbing");
+}
+
+SparseTrSolver::Series SparseTrSolver::solve_series(std::size_t n_steps) const {
+  const std::size_t n = n_steps;
+  // Cross transitions between the two transient states.
+  const std::vector<double> a12 = weighted_pmf(model_, kS1, kS2, n);
+  const std::vector<double> a21 = weighted_pmf(model_, kS2, kS1, n);
+
+  Series series;
+  for (std::size_t jj = 0; jj < kFailureStates.size(); ++jj) {
+    const std::size_t j = index_of(kFailureStates[jj]);
+    const std::vector<double> d1 = weighted_pmf(model_, kS1, j, n);
+    const std::vector<double> d2 = weighted_pmf(model_, kS2, j, n);
+
+    std::vector<double>& p1 = series[0][jj];
+    std::vector<double>& p2 = series[1][jj];
+    p1.assign(n + 1, 0.0);
+    p2.assign(n + 1, 0.0);
+
+    double cum_d1 = 0.0;  // Σ_{l≤m} Q_1(j)·H_1,j(l): direct absorption by m
+    double cum_d2 = 0.0;
+    for (std::size_t m = 1; m <= n; ++m) {
+      cum_d1 += d1[m - 1];
+      cum_d2 += d2[m - 1];
+      double conv1 = 0.0;  // Σ_{l<m} a12[l]·P_2,j(m−l)
+      double conv2 = 0.0;
+      for (std::size_t l = 1; l < m; ++l) {
+        conv1 += a12[l - 1] * p2[m - l];
+        conv2 += a21[l - 1] * p1[m - l];
+      }
+      p1[m] = cum_d1 + conv1;
+      p2[m] = cum_d2 + conv2;
+    }
+  }
+  return series;
+}
+
+SparseTrSolver::Result SparseTrSolver::solve(State init,
+                                             std::size_t n_steps) const {
+  FGCS_REQUIRE_MSG(is_available(init),
+                   "temporal reliability is defined for available initial states");
+  const Series series = solve_series(n_steps);
+  const std::size_t row = index_of(init);
+
+  Result result;
+  double absorbed = 0.0;
+  for (std::size_t jj = 0; jj < kFailureStates.size(); ++jj) {
+    result.p_absorb[jj] = series[row][jj][n_steps];
+    absorbed += result.p_absorb[jj];
+  }
+  result.temporal_reliability = std::clamp(1.0 - absorbed, 0.0, 1.0);
+  return result;
+}
+
+}  // namespace fgcs

@@ -1,0 +1,52 @@
+// The five-state resource availability model (paper Fig. 1).
+//
+//   S1  full availability — guest runs at default priority
+//   S2  availability at lowest priority — host load between Th1 and Th2
+//   S3  CPU unavailability (UEC) — host load steadily above Th2
+//   S4  memory thrashing (UEC) — not enough free memory for the guest
+//   S5  machine unavailability (URR) — revocation or system failure
+//
+// S3, S4 and S5 are unrecoverable for a guest job: once entered, the guest
+// has been killed or migrated off, so the prediction problem is the
+// first-passage probability into {S3, S4, S5}.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace fgcs {
+
+enum class State : std::uint8_t {
+  kS1 = 0,  // full availability
+  kS2 = 1,  // availability at lowest guest priority
+  kS3 = 2,  // CPU unavailability (UEC)
+  kS4 = 3,  // memory thrashing (UEC)
+  kS5 = 4,  // machine unavailability (URR)
+};
+
+inline constexpr std::size_t kStateCount = 5;
+
+/// The absorbing failure states, in solver order.
+inline constexpr std::array<State, 3> kFailureStates = {State::kS3, State::kS4,
+                                                        State::kS5};
+
+constexpr std::size_t index_of(State s) { return static_cast<std::size_t>(s); }
+
+constexpr State state_from_index(std::size_t i) { return static_cast<State>(i); }
+
+constexpr bool is_failure(State s) { return index_of(s) >= index_of(State::kS3); }
+
+constexpr bool is_available(State s) { return !is_failure(s); }
+
+constexpr const char* to_string(State s) {
+  switch (s) {
+    case State::kS1: return "S1";
+    case State::kS2: return "S2";
+    case State::kS3: return "S3";
+    case State::kS4: return "S4";
+    case State::kS5: return "S5";
+  }
+  return "?";
+}
+
+}  // namespace fgcs

@@ -1,0 +1,39 @@
+// Threshold configuration mapping observable host resource usage to the
+// five-state model.
+//
+// Th1 and Th2 come from the paper's offline contention study (§3.2): on the
+// Linux testbed a default-priority guest causes noticeable (>5 %) host
+// slowdown once host load exceeds Th1 = 20 %, and even a reniced guest does
+// once host load exceeds Th2 = 60 %. Load excursions above Th2 shorter than
+// one minute are transient (the guest is briefly suspended, not killed) and
+// do not leave S1/S2. `bench_sec32_contention` re-derives both thresholds
+// from the simulated contention study.
+#pragma once
+
+#include "util/error.hpp"
+#include "util/time.hpp"
+
+namespace fgcs {
+
+struct Thresholds {
+  /// Host load above which the guest must run at lowest priority (fraction).
+  double th1 = 0.20;
+  /// Host load above which any guest must be terminated (fraction).
+  double th2 = 0.60;
+  /// Spikes above th2 shorter than this stay in S1/S2 (paper: 1 minute).
+  SimTime transient_limit = 60;
+  /// Assumed guest working-set size: free memory below this is S4 (thrash).
+  int guest_mem_mb = 100;
+  /// Host slowdown considered "noticeable" in the contention study.
+  double noticeable_slowdown = 0.05;
+};
+
+inline void validate(const Thresholds& t) {
+  FGCS_REQUIRE_MSG(t.th1 > 0.0 && t.th1 < t.th2 && t.th2 <= 1.0,
+                   "need 0 < th1 < th2 <= 1");
+  FGCS_REQUIRE(t.transient_limit >= 0);
+  FGCS_REQUIRE(t.guest_mem_mb > 0);
+  FGCS_REQUIRE(t.noticeable_slowdown > 0.0 && t.noticeable_slowdown < 1.0);
+}
+
+}  // namespace fgcs

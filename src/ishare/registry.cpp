@@ -1,0 +1,25 @@
+#include "ishare/registry.hpp"
+
+namespace fgcs {
+
+void Registry::publish(Gateway& gateway) {
+  entries_[gateway.machine_id()] = &gateway;
+}
+
+bool Registry::unpublish(const std::string& machine_id) {
+  return entries_.erase(machine_id) > 0;
+}
+
+Gateway* Registry::lookup(const std::string& machine_id) const {
+  const auto it = entries_.find(machine_id);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+std::vector<Gateway*> Registry::gateways() const {
+  std::vector<Gateway*> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, gateway] : entries_) out.push_back(gateway);
+  return out;
+}
+
+}  // namespace fgcs

@@ -1,0 +1,37 @@
+// Resource publication and discovery.
+//
+// ishare uses a P2P network for publication/discovery (paper §5.1, ref [24]);
+// the framework contract is publish / unpublish / lookup / enumerate, which
+// this in-process registry implements deterministically (DESIGN.md §2).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ishare/gateway.hpp"
+
+namespace fgcs {
+
+class Registry {
+ public:
+  /// Publishes a gateway (non-owning; the gateway must outlive the registry
+  /// entry). Re-publishing the same machine id replaces the entry.
+  void publish(Gateway& gateway);
+
+  /// Removes the entry; returns false if the id was not published.
+  bool unpublish(const std::string& machine_id);
+
+  /// nullptr when not found.
+  Gateway* lookup(const std::string& machine_id) const;
+
+  /// All published gateways, ordered by machine id.
+  std::vector<Gateway*> gateways() const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, Gateway*> entries_;
+};
+
+}  // namespace fgcs

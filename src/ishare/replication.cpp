@@ -1,0 +1,60 @@
+#include "ishare/replication.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+
+ReplicatingScheduler::ReplicatingScheduler(const Registry& registry,
+                                           int replicas,
+                                           SchedulerConfig config)
+    : registry_(registry), replicas_(replicas), config_(config) {
+  FGCS_REQUIRE(replicas >= 1);
+}
+
+ReplicatedOutcome ReplicatingScheduler::run_job(const GuestJobSpec& job,
+                                                SimTime submit_time,
+                                                SimTime give_up_at) const {
+  FGCS_REQUIRE(job.cpu_seconds > 0);
+  FGCS_REQUIRE(give_up_at > submit_time);
+
+  ReplicatedOutcome outcome;
+  outcome.submit_time = submit_time;
+  outcome.finish_time = give_up_at;
+
+  // Rank machines by TR over the expected execution window.
+  const SimTime expected_wall = std::max<SimTime>(
+      static_cast<SimTime>(job.cpu_seconds * config_.wall_time_factor),
+      kSecondsPerMinute);
+  std::vector<std::pair<double, Gateway*>> ranked;
+  for (Gateway* gateway : registry_.gateways())
+    ranked.emplace_back(gateway->query_reliability(submit_time, expected_wall),
+                        gateway);
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.first > b.first;
+  });
+
+  const int replica_count =
+      std::min<int>(replicas_, static_cast<int>(ranked.size()));
+  for (int r = 0; r < replica_count; ++r) {
+    Gateway* gateway = ranked[static_cast<std::size_t>(r)].second;
+    const ExecutionResult result =
+        gateway->execute(job, submit_time, give_up_at);
+    ++outcome.replicas_started;
+    if (result.failure) ++outcome.replicas_failed;
+    // A replica that would finish after an earlier winner is cancelled then;
+    // it only burns CPU until the winner's completion time.
+    if (result.completed && result.end_time < outcome.finish_time) {
+      outcome.completed = true;
+      outcome.finish_time = result.end_time;
+      outcome.winning_machine = gateway->machine_id();
+    }
+    outcome.total_cpu_spent += result.progress_seconds;
+  }
+
+  if (!outcome.completed) outcome.finish_time = give_up_at;
+  return outcome;
+}
+
+}  // namespace fgcs

@@ -1,0 +1,50 @@
+// Replicated execution: run the same guest job on the k most reliable
+// machines and take the first completion.
+//
+// The paper's scheduler "decides on which machine(s) the job would be
+// executed" (§5.1) — replication is the natural multi-machine policy and the
+// classic response-time/throughput trade in volunteer computing: extra
+// resource cost buys a shorter, more predictable completion time on flaky
+// fleets. bench_ext_proactive's sibling experiment quantifies it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ishare/registry.hpp"
+#include "ishare/scheduler.hpp"
+
+namespace fgcs {
+
+struct ReplicatedOutcome {
+  bool completed = false;
+  SimTime submit_time = 0;
+  SimTime finish_time = 0;       // first replica completion (or give-up)
+  std::string winning_machine;   // empty if none completed
+  int replicas_started = 0;
+  int replicas_failed = 0;       // replicas lost to failure states
+  /// CPU seconds consumed across all replicas until the first completion —
+  /// the resource cost of the redundancy.
+  double total_cpu_spent = 0.0;
+
+  SimTime response_time() const { return finish_time - submit_time; }
+};
+
+class ReplicatingScheduler {
+ public:
+  ReplicatingScheduler(const Registry& registry, int replicas,
+                       SchedulerConfig config = {});
+
+  /// Starts the job on the `replicas` highest-TR machines at `submit_time`
+  /// and reports the first completion. Each replica runs without restarts;
+  /// redundancy replaces retry.
+  ReplicatedOutcome run_job(const GuestJobSpec& job, SimTime submit_time,
+                            SimTime give_up_at) const;
+
+ private:
+  const Registry& registry_;
+  int replicas_;
+  SchedulerConfig config_;
+};
+
+}  // namespace fgcs

@@ -1,0 +1,56 @@
+#include "ishare/resource_monitor.hpp"
+
+#include "util/error.hpp"
+
+namespace fgcs {
+
+ResourceMonitor::ResourceMonitor(SimulatedMachine& machine,
+                                 double cost_per_sample_seconds)
+    : machine_(machine), cost_per_sample_seconds_(cost_per_sample_seconds) {
+  FGCS_REQUIRE(cost_per_sample_seconds >= 0);
+}
+
+void ResourceMonitor::on_tick(SimTime now) {
+  const SimTime period = machine_.sampling_period();
+  FGCS_REQUIRE_MSG(now % period == 0 && now > 0,
+                   "ticks must land on sampling-period boundaries");
+
+  const ResourceSample sample = machine_.step(now);
+  if (!sample.up()) return;  // machine (and monitor) down: nothing is logged
+
+  // Heartbeat-gap detection: every missing beat between t_monitor and now was
+  // an outage; backfill it as down samples. A fresh monitor treats time 0 as
+  // its first heartbeat.
+  const SimTime last_beat = t_monitor_ < 0 ? 0 : t_monitor_;
+  for (SimTime missed = last_beat + period; missed < now; missed += period) {
+    ResourceSample down;
+    down.host_load_pct = 0;
+    down.free_mem_mb = pack_mem_mb(static_cast<double>(machine_.total_mem_mb()));
+    down.set_up(false);
+    log_.push_back(down);
+  }
+
+  log_.push_back(sample);
+  t_monitor_ = now;
+  ++samples_taken_;
+}
+
+double ResourceMonitor::overhead_fraction() const {
+  return cost_per_sample_seconds_ /
+         static_cast<double>(machine_.sampling_period());
+}
+
+MachineTrace ResourceMonitor::to_trace() const {
+  const SimTime period = machine_.sampling_period();
+  MachineTrace trace(machine_.machine_id(), Calendar(0), period,
+                     machine_.total_mem_mb());
+  const std::size_t per_day = trace.samples_per_day();
+  const std::size_t full_days = log_.size() / per_day;
+  for (std::size_t d = 0; d < full_days; ++d)
+    trace.append_day(std::vector<ResourceSample>(
+        log_.begin() + static_cast<std::ptrdiff_t>(d * per_day),
+        log_.begin() + static_cast<std::ptrdiff_t>((d + 1) * per_day)));
+  return trace;
+}
+
+}  // namespace fgcs

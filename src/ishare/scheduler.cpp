@@ -1,0 +1,73 @@
+#include "ishare/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+
+JobScheduler::JobScheduler(const Registry& registry, SchedulerConfig config)
+    : registry_(registry), config_(config) {
+  FGCS_REQUIRE(config.max_attempts >= 1);
+  FGCS_REQUIRE(config.retry_delay >= 0);
+  FGCS_REQUIRE(config.wall_time_factor >= 1.0);
+}
+
+Gateway* JobScheduler::select_machine(SimTime now, SimTime duration) const {
+  Gateway* best = nullptr;
+  double best_tr = -1.0;
+  for (Gateway* gateway : registry_.gateways()) {
+    const double tr = gateway->query_reliability(now, duration);
+    if (tr > best_tr) {
+      best_tr = tr;
+      best = gateway;
+    }
+  }
+  return best;
+}
+
+JobOutcome JobScheduler::run_job(const GuestJobSpec& job, SimTime submit_time,
+                                 SimTime give_up_at, CheckpointMode mode,
+                                 const CheckpointConfig& checkpoint) const {
+  FGCS_REQUIRE(job.cpu_seconds > 0);
+  FGCS_REQUIRE(give_up_at > submit_time);
+
+  JobOutcome outcome;
+  outcome.submit_time = submit_time;
+  outcome.finish_time = give_up_at;
+
+  double remaining = job.cpu_seconds;
+  SimTime now = submit_time;
+
+  while (outcome.attempts < config_.max_attempts && now < give_up_at) {
+    const SimTime expected_wall = std::max<SimTime>(
+        static_cast<SimTime>(remaining * config_.wall_time_factor),
+        kSecondsPerMinute);
+    Gateway* gateway = select_machine(now, expected_wall);
+    if (gateway == nullptr) break;
+
+    ++outcome.attempts;
+    outcome.machines_used.push_back(gateway->machine_id());
+
+    GuestJobSpec attempt = job;
+    attempt.cpu_seconds = remaining;
+    const ExecutionResult result =
+        gateway->execute(attempt, now, give_up_at, mode, checkpoint);
+    outcome.checkpoints_taken += result.checkpoints_taken;
+
+    if (result.completed) {
+      outcome.completed = true;
+      outcome.finish_time = result.end_time;
+      return outcome;
+    }
+    if (result.failure) ++outcome.failures;
+    // Resume from the last checkpoint (0 preserved without checkpointing).
+    remaining = std::max(1.0, remaining - result.saved_progress_seconds);
+    now = result.end_time + config_.retry_delay;
+  }
+
+  outcome.finish_time = std::min(now, give_up_at);
+  return outcome;
+}
+
+}  // namespace fgcs

@@ -1,0 +1,59 @@
+// Client-side job scheduler (paper Fig. 2 and §5.1).
+//
+// On submission the scheduler queries every published gateway for its
+// temporal reliability over the job's expected execution window, runs the job
+// on the most reliable machine, and — because FGCS failures are expected —
+// restarts or resumes it (with whatever progress checkpointing preserved)
+// after each failure, re-selecting the machine each time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ishare/gateway.hpp"
+#include "ishare/registry.hpp"
+
+namespace fgcs {
+
+struct SchedulerConfig {
+  int max_attempts = 50;
+  /// Pause between a failure and the resubmission.
+  SimTime retry_delay = 60;
+  /// Wall-time estimate per CPU-second of work, used for the TR query window
+  /// (guests only get idle cycles, so wall time exceeds CPU time).
+  double wall_time_factor = 1.6;
+};
+
+struct JobOutcome {
+  bool completed = false;
+  SimTime submit_time = 0;
+  SimTime finish_time = 0;
+  int attempts = 0;
+  int failures = 0;
+  int checkpoints_taken = 0;
+  std::vector<std::string> machines_used;
+
+  SimTime response_time() const { return finish_time - submit_time; }
+};
+
+class JobScheduler {
+ public:
+  JobScheduler(const Registry& registry, SchedulerConfig config = {});
+
+  /// The gateway with the highest TR for a job of `duration` wall seconds
+  /// submitted at `now`; nullptr when nothing is published.
+  Gateway* select_machine(SimTime now, SimTime duration) const;
+
+  /// Runs `job` to completion (or until `give_up_at` / attempts exhausted),
+  /// restarting after failures per the checkpoint mode.
+  JobOutcome run_job(const GuestJobSpec& job, SimTime submit_time,
+                     SimTime give_up_at,
+                     CheckpointMode mode = CheckpointMode::kNone,
+                     const CheckpointConfig& checkpoint = {}) const;
+
+ private:
+  const Registry& registry_;
+  SchedulerConfig config_;
+};
+
+}  // namespace fgcs

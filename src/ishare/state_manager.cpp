@@ -1,0 +1,30 @@
+#include "ishare/state_manager.hpp"
+
+#include "util/error.hpp"
+
+namespace fgcs {
+
+StateManager::StateManager(const MachineTrace& history, EstimatorConfig config)
+    : history_(history), predictor_(config) {}
+
+Prediction StateManager::predict(std::int64_t target_day,
+                                 const TimeWindow& window) const {
+  return predictor_.predict(history_,
+                            PredictionRequest{.target_day = target_day,
+                                              .window = window,
+                                              .initial_state = std::nullopt});
+}
+
+Prediction StateManager::predict_for_job(SimTime now, SimTime duration) const {
+  FGCS_REQUIRE(duration > 0);
+  const SimTime period = history_.sampling_period();
+  // Round the window out to whole sampling ticks.
+  const SimTime start =
+      (Calendar::second_of_day(now) / period) * period;
+  SimTime length = ((duration + period - 1) / period) * period;
+  length = std::min<SimTime>(length, kSecondsPerDay);
+  return predict(Calendar::day_index(now),
+                 TimeWindow{.start_of_day = start, .length = length});
+}
+
+}  // namespace fgcs

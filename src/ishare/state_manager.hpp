@@ -1,0 +1,33 @@
+// State manager daemon (paper Fig. 2): stores the history log and answers
+// temporal-reliability queries on the job-submission critical path.
+#pragma once
+
+#include <cstdint>
+
+#include "core/predictor.hpp"
+#include "trace/machine_trace.hpp"
+#include "trace/window.hpp"
+
+namespace fgcs {
+
+class StateManager {
+ public:
+  /// Non-owning view of the machine's history log; the log must outlive the
+  /// manager and may grow (new days appended by the resource monitor).
+  StateManager(const MachineTrace& history, EstimatorConfig config = {});
+
+  const MachineTrace& history() const { return history_; }
+
+  /// TR for a window starting on `target_day` (paper Eq. 2/3).
+  Prediction predict(std::int64_t target_day, const TimeWindow& window) const;
+
+  /// TR for a job of `duration` seconds submitted at absolute time `now`
+  /// (window = [now, now + duration), rounded out to sampling ticks).
+  Prediction predict_for_job(SimTime now, SimTime duration) const;
+
+ private:
+  const MachineTrace& history_;
+  AvailabilityPredictor predictor_;
+};
+
+}  // namespace fgcs

@@ -1,0 +1,88 @@
+// The paper's §3.2 empirical contention study, as a reusable harness.
+//
+// CPU experiments (§3.2.1): run an aggregated host group (isolated CPU usages
+// summing to a target L_H) alone and together with a CPU-bound guest at a
+// given priority, and measure the reduction rate of total host CPU usage.
+// Sweeping L_H locates the two thresholds Th1/Th2 — the lowest L_H at which a
+// default-priority / reniced guest causes noticeable (>5 %) host slowdown.
+//
+// CPU+memory experiments (§3.2.2): SPEC-like guests (29–193 MB working sets)
+// against Musbus-like interactive host workloads on a 384 MB machine;
+// thrashing occurs iff the total working set exceeds physical memory and is
+// independent of CPU priority.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/cpu_scheduler.hpp"
+
+namespace fgcs {
+
+struct ContentionResult {
+  double target_host_load = 0.0;    // requested Σ isolated duty
+  double isolated_host_load = 0.0;  // measured, host group alone
+  double host_load_with_guest = 0.0;
+  double guest_usage = 0.0;
+  /// (isolated − with_guest) / isolated.
+  double reduction_rate = 0.0;
+};
+
+class ContentionStudy {
+ public:
+  explicit ContentionStudy(SchedParams params = {}, std::uint64_t seed = 42);
+
+  /// One experiment: host group of `group_size` processes whose isolated
+  /// duties sum to `host_load`, plus (optionally) a CPU-bound guest at
+  /// `guest_nice`. `seconds` of simulated time per run.
+  ContentionResult run(double host_load, int group_size,
+                       std::optional<int> guest_nice,
+                       double seconds = 300.0);
+
+  /// Sweeps `loads` (ascending) and returns the lowest L_H whose measured
+  /// reduction rate exceeds `slowdown_threshold`; empty if none does.
+  /// Each load point averages `repeats` independent host groups — single
+  /// runs are noisy enough near the threshold to make the crossing jumpy.
+  std::optional<double> find_threshold(std::span<const double> loads,
+                                       int group_size, int guest_nice,
+                                       double slowdown_threshold,
+                                       double seconds = 300.0,
+                                       int repeats = 3);
+
+ private:
+  std::vector<SchedProcessSpec> make_host_group(double host_load,
+                                                int group_size);
+
+  SchedParams params_;
+  Rng rng_;
+};
+
+// --- memory contention ------------------------------------------------------
+
+struct MemoryContentionSetup {
+  double host_cpu_duty = 0.3;   // Musbus-like interactive load
+  int host_mem_mb = 100;
+  int guest_mem_mb = 64;        // SPEC-like working set
+  int machine_mem_mb = 384;     // the paper's Solaris testbed
+  int kernel_mem_mb = 48;
+};
+
+struct MemoryContentionResult {
+  bool thrashing = false;
+  double overcommit_ratio = 0.0;   // demanded / available physical memory
+  double reduction_nice0 = 0.0;    // host CPU usage reduction, guest at nice 0
+  double reduction_nice19 = 0.0;   // …and at nice 19
+};
+
+/// Runs the §3.2.2 experiment. When the combined working set exceeds physical
+/// memory, paging I/O stalls every process: host CPU usage collapses by a
+/// factor driven by the overcommit ratio, independent of guest priority
+/// (changing CPU priority does not stop page faults). Otherwise the result
+/// reduces to the CPU-only contention numbers.
+MemoryContentionResult run_memory_contention(const MemoryContentionSetup& setup,
+                                             SchedParams params = {},
+                                             std::uint64_t seed = 42);
+
+}  // namespace fgcs

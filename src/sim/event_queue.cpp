@@ -1,0 +1,40 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace fgcs {
+
+void EventQueue::schedule_at(SimTime t, Callback callback) {
+  FGCS_REQUIRE_MSG(t >= now_, "cannot schedule an event in the past");
+  FGCS_REQUIRE_MSG(callback != nullptr, "event callback must be callable");
+  events_.push(Event{t, next_seq_++, std::move(callback)});
+}
+
+void EventQueue::schedule_in(SimTime delay, Callback callback) {
+  FGCS_REQUIRE(delay >= 0);
+  schedule_at(now_ + delay, std::move(callback));
+}
+
+bool EventQueue::step() {
+  if (events_.empty()) return false;
+  // The callback may schedule new events, so detach before invoking.
+  Event event = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  now_ = event.time;
+  event.callback();
+  return true;
+}
+
+void EventQueue::run_until(SimTime t) {
+  FGCS_REQUIRE(t >= now_);
+  while (!events_.empty() && events_.top().time <= t) step();
+  now_ = t;
+}
+
+std::size_t EventQueue::run_all() {
+  std::size_t processed = 0;
+  while (step()) ++processed;
+  return processed;
+}
+
+}  // namespace fgcs

@@ -1,0 +1,59 @@
+// Minimal discrete-event simulation core.
+//
+// Used by the machine-level FGCS simulation (src/ishare) to drive periodic
+// monitor sampling, guest-job lifecycle events, and revocations on one
+// deterministic clock. Events at equal timestamps run in scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/time.hpp"
+
+namespace fgcs {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `callback` at absolute time `t` (must not be in the past).
+  void schedule_at(SimTime t, Callback callback);
+
+  /// Schedules `callback` `delay` seconds from now.
+  void schedule_in(SimTime delay, Callback callback);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t pending() const { return events_.size(); }
+
+  /// Runs the next event; returns false if none are pending.
+  bool step();
+
+  /// Runs all events with time ≤ `t`, then advances the clock to `t`.
+  void run_until(SimTime t);
+
+  /// Runs until the queue drains. Returns the number of events processed.
+  std::size_t run_all();
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // stable tie-break: earlier scheduling runs first
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace fgcs

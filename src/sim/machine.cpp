@@ -1,0 +1,114 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+
+const char* to_string(GuestStatus status) {
+  switch (status) {
+    case GuestStatus::kNone: return "none";
+    case GuestStatus::kRunningDefault: return "running(default)";
+    case GuestStatus::kRunningReniced: return "running(reniced)";
+    case GuestStatus::kSuspended: return "suspended";
+    case GuestStatus::kCompleted: return "completed";
+    case GuestStatus::kKilled: return "killed";
+  }
+  return "?";
+}
+
+SimulatedMachine::SimulatedMachine(std::string machine_id, int total_mem_mb,
+                                   Thresholds thresholds,
+                                   SimTime sampling_period,
+                                   std::unique_ptr<HostSignal> signal)
+    : machine_id_(std::move(machine_id)),
+      total_mem_mb_(total_mem_mb),
+      thresholds_(thresholds),
+      sampling_period_(sampling_period),
+      signal_(std::move(signal)) {
+  validate(thresholds_);
+  FGCS_REQUIRE(total_mem_mb > 0);
+  FGCS_REQUIRE(sampling_period > 0);
+  FGCS_REQUIRE_MSG(signal_ != nullptr, "machine needs a host signal");
+}
+
+void SimulatedMachine::submit_guest(const GuestJobSpec& job) {
+  FGCS_REQUIRE_MSG(!guest_active(), "only one guest runs at a time");
+  FGCS_REQUIRE(job.cpu_seconds > 0);
+  FGCS_REQUIRE(job.mem_mb > 0);
+  guest_job_ = job;
+  guest_status_ = GuestStatus::kRunningDefault;
+  guest_failure_.reset();
+  guest_progress_seconds_ = 0.0;
+  over_th2_since_ = -1;
+}
+
+bool SimulatedMachine::guest_active() const {
+  return guest_status_ == GuestStatus::kRunningDefault ||
+         guest_status_ == GuestStatus::kRunningReniced ||
+         guest_status_ == GuestStatus::kSuspended;
+}
+
+void SimulatedMachine::clear_guest() {
+  FGCS_REQUIRE_MSG(!guest_active(), "cannot clear a live guest");
+  guest_job_.reset();
+  guest_status_ = GuestStatus::kNone;
+  guest_failure_.reset();
+  guest_progress_seconds_ = 0.0;
+  over_th2_since_ = -1;
+}
+
+void SimulatedMachine::kill_guest(State failure) {
+  guest_status_ = GuestStatus::kKilled;
+  guest_failure_ = failure;
+  over_th2_since_ = -1;
+}
+
+ResourceSample SimulatedMachine::step(SimTime now) {
+  const HostSignal::Tick tick = signal_->tick(now);
+
+  ResourceSample sample;
+  sample.host_load_pct = pack_load_pct(tick.host_load);
+  sample.free_mem_mb = pack_mem_mb(std::max(0.0, tick.free_mem_mb));
+  sample.set_up(tick.up);
+
+  if (!guest_active()) return sample;
+
+  // URR: revocation loses the guest outright.
+  if (!tick.up) {
+    kill_guest(State::kS5);
+    return sample;
+  }
+  // UEC by memory: thrashing must be avoided, independent of priority.
+  if (tick.free_mem_mb < static_cast<double>(guest_job_->mem_mb)) {
+    kill_guest(State::kS4);
+    return sample;
+  }
+
+  // UEC by CPU: manage the guest priority per the thresholds.
+  const double load = tick.host_load;
+  if (load > thresholds_.th2) {
+    if (over_th2_since_ < 0) over_th2_since_ = now;
+    guest_status_ = GuestStatus::kSuspended;
+    if (now - over_th2_since_ >= thresholds_.transient_limit) {
+      kill_guest(State::kS3);
+      return sample;
+    }
+    return sample;  // suspended guests make no progress
+  }
+  over_th2_since_ = -1;
+  guest_status_ = load >= thresholds_.th1 ? GuestStatus::kRunningReniced
+                                          : GuestStatus::kRunningDefault;
+
+  // The guest soaks the cycles the hosts leave idle.
+  const double idle = std::max(0.0, 1.0 - load);
+  guest_progress_seconds_ += idle * static_cast<double>(sampling_period_);
+  if (guest_progress_seconds_ >= guest_job_->cpu_seconds) {
+    guest_status_ = GuestStatus::kCompleted;
+    over_th2_since_ = -1;
+  }
+  return sample;
+}
+
+}  // namespace fgcs

@@ -1,0 +1,114 @@
+// Coarse-grained (one monitor tick) FGCS machine simulation.
+//
+// A SimulatedMachine consumes a per-tick host resource signal (load, free
+// memory, liveness — produced by src/workload generators) and manages a guest
+// process through the paper's lifecycle:
+//
+//   load < Th1          → guest runs at default priority        (S1)
+//   Th1 ≤ load ≤ Th2    → guest is reniced to lowest priority   (S2)
+//   load > Th2          → guest is suspended; if the excursion
+//                         outlasts the transient limit, killed  (S3)
+//   free mem < guest WS → guest killed to avoid thrashing       (S4)
+//   machine down        → guest lost                            (S5)
+//
+// The guest accrues CPU progress from the cycles the hosts leave idle; this
+// is what the job-management layer (src/ishare) and the proactive-scheduling
+// experiments build on.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/states.hpp"
+#include "core/thresholds.hpp"
+#include "trace/sample.hpp"
+#include "util/time.hpp"
+
+namespace fgcs {
+
+/// Per-tick host-side resource signal (implemented by workload generators).
+class HostSignal {
+ public:
+  virtual ~HostSignal() = default;
+
+  struct Tick {
+    double host_load = 0.0;       // total host CPU usage, fraction
+    double free_mem_mb = 1024.0;  // free memory before any guest
+    bool up = true;
+  };
+
+  /// Called exactly once per sampling period, with monotonically increasing t.
+  virtual Tick tick(SimTime t) = 0;
+};
+
+enum class GuestStatus : std::uint8_t {
+  kNone,            // no guest submitted
+  kRunningDefault,  // running at default priority (S1)
+  kRunningReniced,  // running at lowest priority (S2)
+  kSuspended,       // transient load spike above Th2
+  kCompleted,       // required CPU work finished
+  kKilled,          // unrecoverable failure (S3/S4/S5)
+};
+
+const char* to_string(GuestStatus status);
+
+struct GuestJobSpec {
+  std::string job_id;
+  /// CPU seconds of work the job needs on an idle machine.
+  double cpu_seconds = 3600.0;
+  /// Working-set size; drives the S4 (thrash) rule.
+  int mem_mb = 100;
+};
+
+class SimulatedMachine {
+ public:
+  SimulatedMachine(std::string machine_id, int total_mem_mb,
+                   Thresholds thresholds, SimTime sampling_period,
+                   std::unique_ptr<HostSignal> signal);
+
+  const std::string& machine_id() const { return machine_id_; }
+  int total_mem_mb() const { return total_mem_mb_; }
+  SimTime sampling_period() const { return sampling_period_; }
+  const Thresholds& thresholds() const { return thresholds_; }
+
+  /// Starts a guest job. Only one guest runs at a time (paper §3.2).
+  void submit_guest(const GuestJobSpec& job);
+
+  /// True if a guest is present and not yet completed/killed.
+  bool guest_active() const;
+
+  GuestStatus guest_status() const { return guest_status_; }
+
+  /// The failure state that killed the guest (set iff status == kKilled).
+  std::optional<State> guest_failure() const { return guest_failure_; }
+
+  /// CPU seconds of guest work done so far.
+  double guest_progress_seconds() const { return guest_progress_seconds_; }
+
+  const std::optional<GuestJobSpec>& guest_job() const { return guest_job_; }
+
+  /// Removes a completed/killed guest so a new one can be submitted.
+  void clear_guest();
+
+  /// Advances one sampling period ending at time `now` and returns the
+  /// sample the resource monitor observes (host-side usage only).
+  ResourceSample step(SimTime now);
+
+ private:
+  void kill_guest(State failure);
+
+  std::string machine_id_;
+  int total_mem_mb_;
+  Thresholds thresholds_;
+  SimTime sampling_period_;
+  std::unique_ptr<HostSignal> signal_;
+
+  std::optional<GuestJobSpec> guest_job_;
+  GuestStatus guest_status_ = GuestStatus::kNone;
+  std::optional<State> guest_failure_;
+  double guest_progress_seconds_ = 0.0;
+  SimTime over_th2_since_ = -1;  // start of the current >Th2 excursion
+};
+
+}  // namespace fgcs

@@ -1,0 +1,68 @@
+#include "timeseries/ar.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/matrix.hpp"
+#include "util/stats.hpp"
+
+namespace fgcs {
+
+ArModel::ArModel(std::size_t order) : order_(order) {
+  FGCS_REQUIRE_MSG(order >= 1, "AR order must be at least 1");
+}
+
+std::string ArModel::name() const {
+  return "AR(" + std::to_string(order_) + ")";
+}
+
+void ArModel::fit(std::span<const double> series) {
+  FGCS_REQUIRE_MSG(series.size() > order_ + 1,
+                   "series too short for the AR order");
+  mean_ = fgcs::mean(series);
+  tail_.assign(series.end() - static_cast<std::ptrdiff_t>(order_), series.end());
+
+  const std::vector<double> gamma = autocovariance(series, order_);
+  degenerate_ = gamma[0] <= 1e-12;
+  if (degenerate_) {
+    coefficients_.assign(order_, 0.0);
+    fitted_ = true;
+    return;
+  }
+  // Yule–Walker: Toeplitz(γ0..γ_{p-1}) · a = (γ1..γp).
+  const std::span<const double> r(gamma.data(), order_);
+  const std::span<const double> rhs(gamma.data() + 1, order_);
+  try {
+    coefficients_ = solve_toeplitz(r, rhs);
+  } catch (const DataError&) {
+    // Near-singular autocovariance (e.g. almost-constant series): fall back
+    // to the mean forecast rather than failing the whole evaluation.
+    coefficients_.assign(order_, 0.0);
+    degenerate_ = true;
+  }
+  fitted_ = true;
+}
+
+std::vector<double> ArModel::forecast(std::size_t horizon) const {
+  FGCS_REQUIRE_MSG(fitted_, "forecast() before fit()");
+  std::vector<double> out;
+  out.reserve(horizon);
+  if (degenerate_) {
+    out.assign(horizon, mean_);
+    return out;
+  }
+  // Centered history, most recent last; grows with each forecast step.
+  std::vector<double> history;
+  history.reserve(order_ + horizon);
+  for (const double x : tail_) history.push_back(x - mean_);
+  for (std::size_t step = 0; step < horizon; ++step) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < order_; ++i)
+      acc += coefficients_[i] * history[history.size() - 1 - i];
+    history.push_back(acc);
+    out.push_back(acc + mean_);
+  }
+  return out;
+}
+
+}  // namespace fgcs

@@ -1,0 +1,40 @@
+// Autoregressive model AR(p), fitted by Yule–Walker equations solved with
+// the Levinson–Durbin recursion (util/matrix.hpp).
+//
+//   x_t − μ = Σ_{i=1..p} a_i (x_{t−i} − μ) + ε_t
+//
+// Multi-step forecasts iterate the recursion, substituting earlier forecasts
+// for unobserved values — the "multiple-step-ahead" scheme whose error growth
+// with lookahead the paper calls out in §7.2.1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "timeseries/model.hpp"
+
+namespace fgcs {
+
+class ArModel : public TimeSeriesModel {
+ public:
+  explicit ArModel(std::size_t order);
+
+  std::string name() const override;
+  void fit(std::span<const double> series) override;
+  std::vector<double> forecast(std::size_t horizon) const override;
+
+  std::size_t order() const { return order_; }
+  /// Fitted coefficients a_1..a_p (empty before fit()).
+  const std::vector<double>& coefficients() const { return coefficients_; }
+  double mean() const { return mean_; }
+
+ private:
+  std::size_t order_;
+  std::vector<double> coefficients_;
+  std::vector<double> tail_;  // last `order_` observations, oldest first
+  double mean_ = 0.0;
+  bool fitted_ = false;
+  bool degenerate_ = false;  // constant input: forecast the constant
+};
+
+}  // namespace fgcs

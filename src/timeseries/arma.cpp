@@ -1,0 +1,133 @@
+#include "timeseries/arma.hpp"
+
+#include <algorithm>
+
+#include "timeseries/ar.hpp"
+#include "util/error.hpp"
+#include "util/matrix.hpp"
+#include "util/stats.hpp"
+
+namespace fgcs {
+
+ArmaModel::ArmaModel(std::size_t ar_order, std::size_t ma_order)
+    : ar_order_(ar_order), ma_order_(ma_order) {
+  FGCS_REQUIRE_MSG(ar_order >= 1 && ma_order >= 1,
+                   "ARMA orders must be at least 1");
+}
+
+std::string ArmaModel::name() const {
+  return "ARMA(" + std::to_string(ar_order_) + "," + std::to_string(ma_order_) + ")";
+}
+
+void ArmaModel::fit(std::span<const double> series) {
+  const std::size_t long_order =
+      std::max<std::size_t>(20, ar_order_ + ma_order_ + 4);
+  FGCS_REQUIRE_MSG(series.size() > long_order + ar_order_ + ma_order_ + 2,
+                   "series too short for Hannan-Rissanen fitting");
+  mean_ = fgcs::mean(series);
+
+  const std::size_t n = series.size();
+  std::vector<double> centered(n);
+  for (std::size_t t = 0; t < n; ++t) centered[t] = series[t] - mean_;
+
+  degenerate_ = fgcs::variance(series) <= 1e-12;
+  if (!degenerate_) {
+    // Stage 1: long AR for residual estimates.
+    ArModel long_ar(long_order);
+    long_ar.fit(series);
+    std::vector<double> residuals(n, 0.0);
+    const auto& phi = long_ar.coefficients();
+    for (std::size_t t = long_order; t < n; ++t) {
+      double acc = centered[t];
+      for (std::size_t i = 1; i <= long_order; ++i)
+        acc -= phi[i - 1] * centered[t - i];
+      residuals[t] = acc;
+    }
+
+    // Stage 2: regress x_t on p lagged values and q lagged residuals.
+    const std::size_t start = long_order + std::max(ar_order_, ma_order_);
+    const std::size_t rows = n - start;
+    const std::size_t cols = ar_order_ + ma_order_;
+    if (rows >= cols + 2) {
+      Matrix design(rows, cols);
+      std::vector<double> target(rows);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const std::size_t t = start + r;
+        target[r] = centered[t];
+        for (std::size_t i = 1; i <= ar_order_; ++i)
+          design(r, i - 1) = centered[t - i];
+        for (std::size_t j = 1; j <= ma_order_; ++j)
+          design(r, ar_order_ + j - 1) = residuals[t - j];
+      }
+      try {
+        const std::vector<double> beta = least_squares(design, target);
+        ar_coefficients_.assign(beta.begin(),
+                                beta.begin() + static_cast<std::ptrdiff_t>(ar_order_));
+        ma_coefficients_.assign(beta.begin() + static_cast<std::ptrdiff_t>(ar_order_),
+                                beta.end());
+      } catch (const DataError&) {
+        degenerate_ = true;
+      }
+    } else {
+      degenerate_ = true;
+    }
+
+    if (!degenerate_) {
+      // Refresh residuals under the fitted ARMA model so the forecast seeds
+      // match the model that will consume them.
+      std::vector<double> eps(n, 0.0);
+      for (std::size_t t = 0; t < n; ++t) {
+        double acc = centered[t];
+        for (std::size_t i = 1; i <= ar_order_ && i <= t; ++i)
+          acc -= ar_coefficients_[i - 1] * centered[t - i];
+        for (std::size_t j = 1; j <= ma_order_ && j <= t; ++j)
+          acc -= ma_coefficients_[j - 1] * eps[t - j];
+        eps[t] = acc;
+      }
+      tail_residuals_.assign(
+          eps.end() - static_cast<std::ptrdiff_t>(std::min(ma_order_, n)),
+          eps.end());
+    }
+  }
+
+  if (degenerate_) {
+    ar_coefficients_.assign(ar_order_, 0.0);
+    ma_coefficients_.assign(ma_order_, 0.0);
+    tail_residuals_.assign(ma_order_, 0.0);
+  }
+  tail_values_.assign(
+      centered.end() - static_cast<std::ptrdiff_t>(std::min(ar_order_, n)),
+      centered.end());
+  fitted_ = true;
+}
+
+std::vector<double> ArmaModel::forecast(std::size_t horizon) const {
+  FGCS_REQUIRE_MSG(fitted_, "forecast() before fit()");
+  std::vector<double> out;
+  out.reserve(horizon);
+  if (degenerate_) {
+    out.assign(horizon, mean_);
+    return out;
+  }
+  std::vector<double> values = tail_values_;       // centered, oldest first
+  std::vector<double> residuals = tail_residuals_; // oldest first
+  for (std::size_t h = 1; h <= horizon; ++h) {
+    double acc = 0.0;
+    for (std::size_t i = 1; i <= ar_order_ && i <= values.size(); ++i)
+      acc += ar_coefficients_[i - 1] * values[values.size() - i];
+    // Future residuals forecast as zero; only training residuals contribute,
+    // and they age out after ma_order_ steps.
+    for (std::size_t j = 1; j <= ma_order_; ++j) {
+      if (j < h) continue;  // ε_{t+h−j} with h−j > 0 is a future residual
+      const std::size_t lag_back = j - h;
+      if (lag_back < residuals.size())
+        acc += ma_coefficients_[j - 1] *
+               residuals[residuals.size() - 1 - lag_back];
+    }
+    values.push_back(acc);
+    out.push_back(acc + mean_);
+  }
+  return out;
+}
+
+}  // namespace fgcs

@@ -1,0 +1,42 @@
+// ARMA(p,q) model fitted with the Hannan–Rissanen two-stage procedure:
+// a long autoregression supplies residual estimates, then the AR and MA
+// coefficients come from one least-squares regression on lagged values and
+// lagged residuals.
+//
+//   x_t − μ = Σ a_i (x_{t−i} − μ) + ε_t + Σ θ_j ε_{t−j}
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "timeseries/model.hpp"
+
+namespace fgcs {
+
+class ArmaModel : public TimeSeriesModel {
+ public:
+  ArmaModel(std::size_t ar_order, std::size_t ma_order);
+
+  std::string name() const override;
+  void fit(std::span<const double> series) override;
+  std::vector<double> forecast(std::size_t horizon) const override;
+
+  std::size_t ar_order() const { return ar_order_; }
+  std::size_t ma_order() const { return ma_order_; }
+  const std::vector<double>& ar_coefficients() const { return ar_coefficients_; }
+  const std::vector<double>& ma_coefficients() const { return ma_coefficients_; }
+  double mean() const { return mean_; }
+
+ private:
+  std::size_t ar_order_;
+  std::size_t ma_order_;
+  std::vector<double> ar_coefficients_;
+  std::vector<double> ma_coefficients_;
+  std::vector<double> tail_values_;     // last p centered observations, oldest first
+  std::vector<double> tail_residuals_;  // last q residual estimates, oldest first
+  double mean_ = 0.0;
+  bool fitted_ = false;
+  bool degenerate_ = false;
+};
+
+}  // namespace fgcs

@@ -1,0 +1,16 @@
+#include "timeseries/frequency_baseline.hpp"
+
+#include "core/empirical.hpp"
+
+namespace fgcs {
+
+FrequencyBaselineResult predict_tr_frequency(
+    const MachineTrace& trace, std::span<const std::int64_t> training_days,
+    const TimeWindow& window, const StateClassifier& classifier) {
+  const EmpiricalTr result =
+      empirical_tr(trace, training_days, window, classifier);
+  return FrequencyBaselineResult{.tr = result.tr,
+                                 .days_used = result.eligible_days};
+}
+
+}  // namespace fgcs

@@ -1,0 +1,28 @@
+// Historical-frequency baseline (not in the paper's comparison, added as an
+// ablation): predict TR as the plain per-day survival frequency of the same
+// clock-time window over the training days. This is the natural descendant
+// of the long-term-averaging predictors the paper cites as related work
+// (ref [19]); it ignores the dynamic structure the SMP models (initial state,
+// holding times), which is exactly what the comparison isolates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "core/classifier.hpp"
+#include "trace/machine_trace.hpp"
+#include "trace/window.hpp"
+
+namespace fgcs {
+
+struct FrequencyBaselineResult {
+  std::optional<double> tr;     // survival frequency; empty without data
+  std::size_t days_used = 0;    // eligible training days
+};
+
+FrequencyBaselineResult predict_tr_frequency(
+    const MachineTrace& trace, std::span<const std::int64_t> training_days,
+    const TimeWindow& window, const StateClassifier& classifier);
+
+}  // namespace fgcs

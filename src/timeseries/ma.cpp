@@ -1,0 +1,97 @@
+#include "timeseries/ma.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace fgcs {
+
+std::vector<double> innovations_ma_coefficients(std::span<const double> gamma,
+                                                std::size_t q) {
+  FGCS_REQUIRE(q >= 1);
+  FGCS_REQUIRE_MSG(gamma.size() >= q + 1, "need autocovariances up to lag q");
+  if (gamma[0] <= 1e-12) return std::vector<double>(q, 0.0);
+
+  // Brockwell & Davis innovations recursion. θ_{m,1..q} converges to the MA
+  // coefficients as m grows, so we iterate through every available lag
+  // (callers pass extra lags beyond q for accuracy); γ(k) beyond the provided
+  // range is treated as 0, which is exact for an MA(q) process.
+  const std::size_t m = gamma.size() - 1;
+  auto gamma_at = [&](std::size_t k) {
+    return k < gamma.size() ? gamma[k] : 0.0;
+  };
+  // theta[n][j] holds θ_{n,j} for j = 1..n; v[n] the innovation variances.
+  std::vector<std::vector<double>> theta(m + 1);
+  std::vector<double> v(m + 1, 0.0);
+  v[0] = gamma[0];
+  for (std::size_t n = 1; n <= m; ++n) {
+    theta[n].assign(n + 1, 0.0);
+    for (std::size_t k = 0; k < n; ++k) {
+      double acc = gamma_at(n - k);
+      for (std::size_t j = 0; j < k; ++j)
+        acc -= theta[k][k - j] * theta[n][n - j] * v[j];
+      theta[n][n - k] = v[k] > 1e-14 ? acc / v[k] : 0.0;
+    }
+    double var = gamma[0];
+    for (std::size_t j = 0; j < n; ++j)
+      var -= theta[n][n - j] * theta[n][n - j] * v[j];
+    v[n] = std::max(var, 1e-14);
+  }
+  std::vector<double> out(q, 0.0);
+  for (std::size_t j = 1; j <= q && j <= m; ++j) out[j - 1] = theta[m][j];
+  return out;
+}
+
+MaModel::MaModel(std::size_t order) : order_(order) {
+  FGCS_REQUIRE_MSG(order >= 1, "MA order must be at least 1");
+}
+
+std::string MaModel::name() const {
+  return "MA(" + std::to_string(order_) + ")";
+}
+
+void MaModel::fit(std::span<const double> series) {
+  FGCS_REQUIRE_MSG(series.size() > order_ + 1,
+                   "series too short for the MA order");
+  mean_ = fgcs::mean(series);
+  // Extra lags sharpen the innovations estimate (θ_{m,·} → θ as m grows).
+  const std::size_t extra_lags =
+      std::min(order_ * 3 + 17, series.size() / 4 + order_);
+  const std::vector<double> gamma = autocovariance(series, extra_lags);
+  coefficients_ = innovations_ma_coefficients(gamma, order_);
+
+  // Filter residuals through the fitted model: ε_t = x_t − μ − Σ θ_j ε_{t−j}.
+  std::vector<double> residuals(series.size(), 0.0);
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    double acc = series[t] - mean_;
+    for (std::size_t j = 1; j <= order_ && j <= t; ++j)
+      acc -= coefficients_[j - 1] * residuals[t - j];
+    residuals[t] = acc;
+  }
+  recent_residuals_.assign(
+      residuals.end() - static_cast<std::ptrdiff_t>(
+                            std::min(order_, residuals.size())),
+      residuals.end());
+  fitted_ = true;
+}
+
+std::vector<double> MaModel::forecast(std::size_t horizon) const {
+  FGCS_REQUIRE_MSG(fitted_, "forecast() before fit()");
+  std::vector<double> out(horizon, mean_);
+  // For h ≤ q the forecast still sees training residuals; beyond q it is μ.
+  const std::size_t r = recent_residuals_.size();
+  for (std::size_t h = 1; h <= std::min(horizon, order_); ++h) {
+    double acc = 0.0;
+    // ε_{t+h−j} is known for j ≥ h (future residuals forecast as 0).
+    for (std::size_t j = h; j <= order_; ++j) {
+      const std::size_t lag_back = j - h;  // 0 = most recent residual
+      if (lag_back < r)
+        acc += coefficients_[j - 1] * recent_residuals_[r - 1 - lag_back];
+    }
+    out[h - 1] = mean_ + acc;
+  }
+  return out;
+}
+
+}  // namespace fgcs

@@ -1,0 +1,44 @@
+// Moving-average model MA(q), fitted with the innovations algorithm
+// (Brockwell & Davis §5.3) on sample autocovariances.
+//
+//   x_t = μ + ε_t + θ_1 ε_{t−1} + … + θ_q ε_{t−q}
+//
+// h-step forecasts use the filtered residuals of the training series for
+// h ≤ q and collapse to the mean beyond the model order — the signature
+// short-memory behaviour visible in Fig. 7 for long windows.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "timeseries/model.hpp"
+
+namespace fgcs {
+
+class MaModel : public TimeSeriesModel {
+ public:
+  explicit MaModel(std::size_t order);
+
+  std::string name() const override;
+  void fit(std::span<const double> series) override;
+  std::vector<double> forecast(std::size_t horizon) const override;
+
+  std::size_t order() const { return order_; }
+  /// Fitted coefficients θ_1..θ_q (empty before fit()).
+  const std::vector<double>& coefficients() const { return coefficients_; }
+  double mean() const { return mean_; }
+
+ private:
+  std::size_t order_;
+  std::vector<double> coefficients_;
+  std::vector<double> recent_residuals_;  // last q residuals, oldest first
+  double mean_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Innovations-algorithm estimate of MA(q) coefficients from autocovariances
+/// γ(0..q). Exposed for direct testing. Returns θ_1..θ_q.
+std::vector<double> innovations_ma_coefficients(std::span<const double> gamma,
+                                                std::size_t q);
+
+}  // namespace fgcs

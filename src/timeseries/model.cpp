@@ -1,0 +1,66 @@
+#include "timeseries/model.hpp"
+
+#include <cctype>
+
+#include "timeseries/ar.hpp"
+#include "timeseries/arma.hpp"
+#include "timeseries/ma.hpp"
+#include "timeseries/simple.hpp"
+#include "util/error.hpp"
+
+namespace fgcs {
+
+namespace {
+
+/// Parses "NAME", "NAME(p)" or "NAME(p,q)" into name + numeric args.
+struct ParsedSpec {
+  std::string head;
+  std::vector<std::size_t> args;
+};
+
+ParsedSpec parse_spec(const std::string& spec) {
+  ParsedSpec out;
+  std::size_t i = 0;
+  while (i < spec.size() && spec[i] != '(') out.head += spec[i++];
+  if (i < spec.size()) {
+    FGCS_REQUIRE_MSG(spec.back() == ')', "malformed model spec: " + spec);
+    ++i;  // past '('
+    std::size_t value = 0;
+    bool have_digit = false;
+    for (; i < spec.size(); ++i) {
+      const char ch = spec[i];
+      if (std::isdigit(static_cast<unsigned char>(ch))) {
+        value = value * 10 + static_cast<std::size_t>(ch - '0');
+        have_digit = true;
+      } else if (ch == ',' || ch == ')') {
+        FGCS_REQUIRE_MSG(have_digit, "malformed model spec: " + spec);
+        out.args.push_back(value);
+        value = 0;
+        have_digit = false;
+      } else if (ch != ' ') {
+        FGCS_REQUIRE_MSG(false, "malformed model spec: " + spec);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<TimeSeriesModel> make_time_series_model(const std::string& spec) {
+  const ParsedSpec parsed = parse_spec(spec);
+  if (parsed.head == "AR" && parsed.args.size() == 1)
+    return std::make_unique<ArModel>(parsed.args[0]);
+  if (parsed.head == "MA" && parsed.args.size() == 1)
+    return std::make_unique<MaModel>(parsed.args[0]);
+  if (parsed.head == "ARMA" && parsed.args.size() == 2)
+    return std::make_unique<ArmaModel>(parsed.args[0], parsed.args[1]);
+  if (parsed.head == "BM" && parsed.args.size() == 1)
+    return std::make_unique<BmModel>(parsed.args[0]);
+  if (parsed.head == "LAST" && parsed.args.empty())
+    return std::make_unique<LastModel>();
+  FGCS_REQUIRE_MSG(false, "unknown time series model spec: " + spec);
+  return nullptr;  // unreachable
+}
+
+}  // namespace fgcs

@@ -1,0 +1,32 @@
+// Linear time-series models (paper Table 1), the reference predictors the
+// SMP method is compared against in Fig. 7. All models fit a scalar series
+// (host load fractions) and produce multi-step-ahead forecasts.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fgcs {
+
+class TimeSeriesModel {
+ public:
+  virtual ~TimeSeriesModel() = default;
+
+  /// Model label as in the paper, e.g. "AR(8)".
+  virtual std::string name() const = 0;
+
+  /// Fits the model to `series`; replaces any previous fit.
+  /// Requires series.size() to exceed the model order.
+  virtual void fit(std::span<const double> series) = 0;
+
+  /// Forecasts the next `horizon` values after the end of the fitted series.
+  virtual std::vector<double> forecast(std::size_t horizon) const = 0;
+};
+
+/// Builds one of the paper's models by name: "AR(p)", "BM(p)", "MA(q)",
+/// "ARMA(p,q)", "LAST". Throws PreconditionError for an unknown spec.
+std::unique_ptr<TimeSeriesModel> make_time_series_model(const std::string& spec);
+
+}  // namespace fgcs

@@ -1,0 +1,44 @@
+#include "timeseries/simple.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace fgcs {
+
+BmModel::BmModel(std::size_t window) : window_(window) {
+  FGCS_REQUIRE_MSG(window >= 1, "BM window must be at least 1");
+}
+
+std::string BmModel::name() const {
+  return "BM(" + std::to_string(window_) + ")";
+}
+
+void BmModel::fit(std::span<const double> series) {
+  FGCS_REQUIRE_MSG(!series.empty(), "cannot fit BM on an empty series");
+  const std::size_t n = std::min(window_, series.size());
+  forecast_value_ =
+      fgcs::mean(series.subspan(series.size() - n, n));
+  fitted_ = true;
+}
+
+std::vector<double> BmModel::forecast(std::size_t horizon) const {
+  FGCS_REQUIRE_MSG(fitted_, "forecast() before fit()");
+  return std::vector<double>(horizon, forecast_value_);
+}
+
+std::string LastModel::name() const { return "LAST"; }
+
+void LastModel::fit(std::span<const double> series) {
+  FGCS_REQUIRE_MSG(!series.empty(), "cannot fit LAST on an empty series");
+  last_value_ = series.back();
+  fitted_ = true;
+}
+
+std::vector<double> LastModel::forecast(std::size_t horizon) const {
+  FGCS_REQUIRE_MSG(fitted_, "forecast() before fit()");
+  return std::vector<double>(horizon, last_value_);
+}
+
+}  // namespace fgcs

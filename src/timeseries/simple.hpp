@@ -1,0 +1,40 @@
+// The two trivial reference models from paper Table 1:
+//   BM(p)  — forecast is the mean over the previous N values (N ≤ p),
+//   LAST   — forecast is the last measured value.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "timeseries/model.hpp"
+
+namespace fgcs {
+
+class BmModel : public TimeSeriesModel {
+ public:
+  explicit BmModel(std::size_t window);
+
+  std::string name() const override;
+  void fit(std::span<const double> series) override;
+  std::vector<double> forecast(std::size_t horizon) const override;
+
+  std::size_t window() const { return window_; }
+
+ private:
+  std::size_t window_;
+  double forecast_value_ = 0.0;
+  bool fitted_ = false;
+};
+
+class LastModel : public TimeSeriesModel {
+ public:
+  std::string name() const override;
+  void fit(std::span<const double> series) override;
+  std::vector<double> forecast(std::size_t horizon) const override;
+
+ private:
+  double last_value_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace fgcs

@@ -1,0 +1,84 @@
+#include "timeseries/tr_predictor.hpp"
+
+#include <algorithm>
+
+#include "core/states.hpp"
+#include "util/error.hpp"
+
+namespace fgcs {
+
+std::vector<double> load_series(std::span<const ResourceSample> samples,
+                                const Thresholds& thresholds) {
+  std::vector<double> out(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const ResourceSample& s = samples[i];
+    const bool failed_resource =
+        !s.up() || s.free_mem_mb < thresholds.guest_mem_mb;
+    out[i] = failed_resource ? 1.0 : s.load();
+  }
+  return out;
+}
+
+TimeWindow preceding_window(const TimeWindow& window, std::int64_t day,
+                            std::int64_t& anchor_day) {
+  validate(window);
+  SimTime start = window.start_of_day - window.length;
+  anchor_day = day;
+  if (start < 0) {
+    start += kSecondsPerDay;
+    anchor_day = day - 1;
+  }
+  return TimeWindow{.start_of_day = start, .length = window.length};
+}
+
+TsTrResult predict_tr_time_series(const MachineTrace& trace,
+                                  std::span<const std::int64_t> test_days,
+                                  const TimeWindow& window,
+                                  TimeSeriesModel& model,
+                                  const StateClassifier& classifier) {
+  validate(window);
+  TsTrResult result;
+  const std::size_t steps = window.steps(trace.sampling_period());
+
+  for (const std::int64_t day : test_days) {
+    if (!trace.window_in_range(day, window)) continue;
+
+    // Same eligibility rule as the empirical TR: the day must start in an
+    // available state.
+    const std::vector<State> observed =
+        classifier.classify_window(trace, day, window);
+    if (observed.empty() || is_failure(observed.front())) continue;
+
+    std::int64_t fit_day = 0;
+    const TimeWindow fit_window = preceding_window(window, day, fit_day);
+    if (!trace.window_in_range(fit_day, fit_window)) continue;
+
+    ++result.eligible_days;
+
+    const std::vector<ResourceSample> fit_samples =
+        trace.window_samples(fit_day, fit_window);
+    model.fit(load_series(fit_samples, classifier.thresholds()));
+    const std::vector<double> forecast = model.forecast(steps);
+
+    // Re-materialize the forecast as samples so the state classifier (with
+    // its transient rule) applies unchanged.
+    std::vector<ResourceSample> predicted(steps);
+    for (std::size_t i = 0; i < steps; ++i) {
+      predicted[i].host_load_pct = pack_load_pct(std::clamp(forecast[i], 0.0, 1.0));
+      predicted[i].free_mem_mb = 65535;
+      predicted[i].set_up(true);
+    }
+    const std::vector<State> states = classifier.classify(predicted);
+    const bool survives =
+        std::none_of(states.begin(), states.end(),
+                     [](State s) { return is_failure(s); });
+    if (survives) ++result.predicted_surviving;
+  }
+
+  if (result.eligible_days > 0)
+    result.tr = static_cast<double>(result.predicted_surviving) /
+                static_cast<double>(result.eligible_days);
+  return result;
+}
+
+}  // namespace fgcs

@@ -1,0 +1,52 @@
+// Temporal-reliability prediction with linear time-series models
+// (paper §6.2): the reference scheme the SMP predictor is compared against.
+//
+// For each test day the model is fitted on the host-load series of the window
+// *immediately preceding* the target window (same length), then forecasts one
+// value per discretization tick across the target window. The forecast is
+// classified into availability states; the day is predicted to survive iff no
+// failure state appears. TR_ts is the surviving fraction over eligible test
+// days — directly comparable to the empirical TR of core/empirical.hpp.
+//
+// Machine downtime and memory thrash are folded into the scalar input series
+// as full load (1.0): a linear model sees them as saturated-CPU periods,
+// which is the only faithful single-series encoding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "timeseries/model.hpp"
+#include "trace/machine_trace.hpp"
+#include "trace/window.hpp"
+
+namespace fgcs {
+
+/// The scalar series a time-series model consumes: host load, with downtime
+/// and thrash encoded as 1.0.
+std::vector<double> load_series(std::span<const ResourceSample> samples,
+                                const Thresholds& thresholds);
+
+/// The window of identical length immediately preceding `window`. Anchored on
+/// `day − 1` when it crosses the previous midnight; `anchor_day` receives the
+/// day the returned window starts on.
+TimeWindow preceding_window(const TimeWindow& window, std::int64_t day,
+                            std::int64_t& anchor_day);
+
+struct TsTrResult {
+  std::size_t eligible_days = 0;       // test days usable for evaluation
+  std::size_t predicted_surviving = 0; // days the model predicts to survive
+  std::optional<double> tr;            // predicted_surviving / eligible_days
+};
+
+/// Runs the §6.2 scheme for `model` over the given test days.
+TsTrResult predict_tr_time_series(const MachineTrace& trace,
+                                  std::span<const std::int64_t> test_days,
+                                  const TimeWindow& window,
+                                  TimeSeriesModel& model,
+                                  const StateClassifier& classifier);
+
+}  // namespace fgcs

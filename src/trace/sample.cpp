@@ -1,0 +1,18 @@
+#include "trace/sample.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fgcs {
+
+std::uint8_t pack_load_pct(double load_fraction) {
+  const double pct = std::round(load_fraction * 100.0);
+  return static_cast<std::uint8_t>(std::clamp(pct, 0.0, 100.0));
+}
+
+std::uint16_t pack_mem_mb(double mem_mb) {
+  const double mb = std::round(mem_mb);
+  return static_cast<std::uint16_t>(std::clamp(mb, 0.0, 65535.0));
+}
+
+}  // namespace fgcs

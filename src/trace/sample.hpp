@@ -1,0 +1,44 @@
+// The unit of observation: one resource-monitor sample.
+//
+// The paper's monitor records, every 6 seconds, the observable parameters a
+// guest-side system can obtain without privileges (paper §3.1): total host
+// CPU usage, free physical memory, and — implicitly, via the heartbeat
+// timestamp — whether the machine is up at all. Samples are stored packed
+// (4 bytes) because traces span months at 14 400 samples per day.
+#pragma once
+
+#include <cstdint>
+
+namespace fgcs {
+
+struct ResourceSample {
+  /// Total CPU usage of all host processes, percent of one CPU, 0..100.
+  std::uint8_t host_load_pct = 0;
+  /// Bit 0: machine reachable (monitor heartbeat fresh). Other bits reserved.
+  std::uint8_t flags = kUpFlag;
+  /// Free physical memory in MiB (saturating at 65535).
+  std::uint16_t free_mem_mb = 0;
+
+  static constexpr std::uint8_t kUpFlag = 0x01;
+
+  bool up() const { return (flags & kUpFlag) != 0; }
+  void set_up(bool value) {
+    flags = static_cast<std::uint8_t>(value ? (flags | kUpFlag)
+                                            : (flags & ~kUpFlag));
+  }
+
+  /// Host load as a fraction in [0, 1].
+  double load() const { return host_load_pct / 100.0; }
+
+  friend bool operator==(const ResourceSample&, const ResourceSample&) = default;
+};
+
+static_assert(sizeof(ResourceSample) == 4, "samples must stay packed");
+
+/// Clamps and rounds a fractional load into the packed percent field.
+std::uint8_t pack_load_pct(double load_fraction);
+
+/// Clamps a memory amount (MiB) into the packed field.
+std::uint16_t pack_mem_mb(double mem_mb);
+
+}  // namespace fgcs

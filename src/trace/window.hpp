@@ -1,0 +1,56 @@
+// Prediction time windows.
+//
+// A window is anchored at a second-of-day and has a length; the paper sweeps
+// start times 0:00–23:00 and lengths 1–10 hours. Windows may cross midnight
+// (start 23:00 + 10 h); the trace accessors handle the wrap by indexing into
+// the following day.
+#pragma once
+
+#include <string>
+
+#include "util/error.hpp"
+#include "util/time.hpp"
+
+namespace fgcs {
+
+struct TimeWindow {
+  /// Window start, seconds after midnight, in [0, 86400).
+  SimTime start_of_day = 0;
+  /// Window length in seconds; must be positive.
+  SimTime length = kSecondsPerHour;
+
+  SimTime end_of_day() const { return start_of_day + length; }
+
+  /// True if the window extends past midnight into the next day.
+  bool wraps_midnight() const { return end_of_day() > kSecondsPerDay; }
+
+  /// Number of discretization steps for a sampling period `d` seconds.
+  /// The length must be an exact multiple of `d`.
+  std::size_t steps(SimTime d) const {
+    FGCS_REQUIRE(d > 0);
+    FGCS_REQUIRE_MSG(length % d == 0,
+                     "window length must be a multiple of the sampling period");
+    return static_cast<std::size_t>(length / d);
+  }
+
+  std::string describe() const {
+    return format_time_of_day(start_of_day) + " +" +
+           std::to_string(length / kSecondsPerHour) + "h" +
+           (length % kSecondsPerHour != 0
+                ? std::to_string((length % kSecondsPerHour) / 60) + "m"
+                : "");
+  }
+
+  friend bool operator==(const TimeWindow&, const TimeWindow&) = default;
+};
+
+/// Validates the window invariants; call at API boundaries.
+inline void validate(const TimeWindow& w) {
+  FGCS_REQUIRE_MSG(w.start_of_day >= 0 && w.start_of_day < kSecondsPerDay,
+                   "window start must lie within a day");
+  FGCS_REQUIRE_MSG(w.length > 0, "window length must be positive");
+  FGCS_REQUIRE_MSG(w.length <= kSecondsPerDay,
+                   "windows longer than 24h are not supported");
+}
+
+}  // namespace fgcs

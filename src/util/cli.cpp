@@ -1,0 +1,112 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/time.hpp"
+
+namespace fgcs {
+
+ArgParser::ArgParser(int argc, const char* const* argv,
+                     std::set<std::string> flag_names) {
+  FGCS_REQUIRE(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    const std::size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      values_[name.substr(0, eq)] = name.substr(eq + 1);
+      continue;
+    }
+    if (flag_names.count(name) > 0) {
+      flags_.insert(name);
+      continue;
+    }
+    FGCS_REQUIRE_MSG(i + 1 < argc, "option --" + name + " needs a value");
+    values_[name] = argv[++i];
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  consumed_.insert(name);
+  return flags_.count(name) > 0 || values_.count(name) > 0;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  consumed_.insert(name);
+  const auto it = values_.find(name);
+  FGCS_REQUIRE_MSG(it != values_.end(), "missing required option --" + name);
+  return it->second;
+}
+
+std::string ArgParser::get_or(const std::string& name,
+                              std::string fallback) const {
+  consumed_.insert(name);
+  const auto it = values_.find(name);
+  return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+namespace {
+std::int64_t to_int(const std::string& name, const std::string& text) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  FGCS_REQUIRE_MSG(end != nullptr && *end == '\0' && !text.empty(),
+                   "option --" + name + " expects an integer, got '" + text + "'");
+  return value;
+}
+
+double to_double(const std::string& name, const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  FGCS_REQUIRE_MSG(end != nullptr && *end == '\0' && !text.empty(),
+                   "option --" + name + " expects a number, got '" + text + "'");
+  return value;
+}
+}  // namespace
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return to_int(name, get(name));
+}
+
+std::int64_t ArgParser::get_int_or(const std::string& name,
+                                   std::int64_t fallback) const {
+  consumed_.insert(name);
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : to_int(name, it->second);
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return to_double(name, get(name));
+}
+
+double ArgParser::get_double_or(const std::string& name, double fallback) const {
+  consumed_.insert(name);
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : to_double(name, it->second);
+}
+
+void ArgParser::check_all_consumed() const {
+  for (const auto& [name, value] : values_)
+    FGCS_REQUIRE_MSG(consumed_.count(name) > 0, "unknown option --" + name);
+  for (const auto& name : flags_)
+    FGCS_REQUIRE_MSG(consumed_.count(name) > 0, "unknown option --" + name);
+}
+
+std::int64_t parse_time_of_day(const std::string& text) {
+  int hours = 0, minutes = 0, seconds = 0;
+  const int fields =
+      std::sscanf(text.c_str(), "%d:%d:%d", &hours, &minutes, &seconds);
+  FGCS_REQUIRE_MSG(fields >= 2, "expected HH:MM or HH:MM:SS, got '" + text + "'");
+  FGCS_REQUIRE_MSG(hours >= 0 && hours < 24 && minutes >= 0 && minutes < 60 &&
+                       seconds >= 0 && seconds < 60,
+                   "time of day out of range: '" + text + "'");
+  return hours * kSecondsPerHour + minutes * kSecondsPerMinute + seconds;
+}
+
+}  // namespace fgcs

@@ -1,0 +1,53 @@
+// Minimal command-line parsing for the tools/ binaries.
+//
+// Supports `--key value`, `--key=value` and boolean `--flag` options plus
+// bare positional arguments. Unknown options are an error (fail fast rather
+// than silently ignoring a typo).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fgcs {
+
+class ArgParser {
+ public:
+  /// `flag_names`: options that take no value (everything else does).
+  ArgParser(int argc, const char* const* argv,
+            std::set<std::string> flag_names = {});
+
+  const std::string& program() const { return program_; }
+
+  bool has(const std::string& name) const;
+
+  /// Value options. The *_or forms supply defaults; the plain forms throw
+  /// PreconditionError when the option is absent.
+  std::string get(const std::string& name) const;
+  std::string get_or(const std::string& name, std::string fallback) const;
+  std::int64_t get_int(const std::string& name) const;
+  std::int64_t get_int_or(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name) const;
+  double get_double_or(const std::string& name, double fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Options present on the command line that were never queried — call at
+  /// the end of argument handling to reject typos.
+  void check_all_consumed() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::set<std::string> flags_;
+  std::vector<std::string> positional_;
+  mutable std::set<std::string> consumed_;
+};
+
+/// Parses "HH:MM" or "HH:MM:SS" into a second-of-day.
+std::int64_t parse_time_of_day(const std::string& text);
+
+}  // namespace fgcs

@@ -1,0 +1,48 @@
+// Error-handling helpers shared by all fgcs libraries.
+//
+// Precondition violations throw fgcs::PreconditionError; they indicate caller
+// bugs, not environmental failures, and are therefore cheap to test for.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fgcs {
+
+/// Thrown when a documented precondition of a public API is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when input data (a trace file, a log) is malformed.
+class DataError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": precondition failed: " + expr +
+                          (msg.empty() ? "" : " — " + msg));
+}
+}  // namespace detail
+
+}  // namespace fgcs
+
+/// FGCS_REQUIRE(cond) / FGCS_REQUIRE_MSG(cond, msg): validate a precondition
+/// of a public entry point. Always on (not tied to NDEBUG) — the checks guard
+/// API misuse, and every call site is far from any hot inner loop.
+#define FGCS_REQUIRE(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::fgcs::detail::throw_precondition(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define FGCS_REQUIRE_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::fgcs::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,85 @@
+#include "util/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+
+void fft_inplace(std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  FGCS_REQUIRE_MSG(n > 0 && (n & (n - 1)) == 0, "FFT size must be a power of 2");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& x : a) x *= scale;
+  }
+}
+
+std::size_t next_pow2(std::size_t n) {
+  FGCS_REQUIRE(n >= 1);
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+namespace {
+constexpr std::size_t kDirectThreshold = 64;
+
+std::vector<double> convolve_direct(std::span<const double> a,
+                                    std::span<const double> b) {
+  std::vector<double> c(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0.0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) c[i + j] += a[i] * b[j];
+  }
+  return c;
+}
+}  // namespace
+
+std::vector<double> convolve(std::span<const double> a,
+                             std::span<const double> b) {
+  FGCS_REQUIRE(!a.empty() && !b.empty());
+  if (a.size() * b.size() <= kDirectThreshold * kDirectThreshold)
+    return convolve_direct(a, b);
+
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t n = next_pow2(out_len);
+  std::vector<std::complex<double>> fa(n), fb(n);
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = a[i];
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = b[i];
+  fft_inplace(fa, false);
+  fft_inplace(fb, false);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  fft_inplace(fa, true);
+
+  std::vector<double> c(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) c[i] = fa[i].real();
+  return c;
+}
+
+}  // namespace fgcs

@@ -1,0 +1,28 @@
+// Radix-2 FFT and FFT-based linear convolution, from scratch.
+//
+// Used by the fast TR solver (core/fast_solver.hpp) to replace the O(n²)
+// convolutions of the Eq. 3 recursion with O(n log n) products. The sizes
+// involved (a 10 h window at 6 s ticks is n = 6000) are far past the point
+// where FFT convolution wins.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace fgcs {
+
+/// In-place iterative Cooley–Tukey FFT. `a.size()` must be a power of two.
+/// `inverse` applies the conjugate transform and the 1/N scaling.
+void fft_inplace(std::vector<std::complex<double>>& a, bool inverse);
+
+/// Smallest power of two ≥ n (n ≥ 1).
+std::size_t next_pow2(std::size_t n);
+
+/// Linear convolution c[k] = Σ_i a[i]·b[k−i], length |a|+|b|−1.
+/// Uses the FFT above for large inputs and the direct O(n·m) sum for small
+/// ones (the crossover is internal).
+std::vector<double> convolve(std::span<const double> a,
+                             std::span<const double> b);
+
+}  // namespace fgcs

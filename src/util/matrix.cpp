@@ -1,0 +1,131 @@
+#include "util/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  FGCS_REQUIRE(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) out(i, j) += aik * rhs(k, j);
+    }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(std::span<const double> v) const {
+  FGCS_REQUIRE(cols_ == v.size());
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out[i] += (*this)(i, j) * v[j];
+  return out;
+}
+
+std::vector<double> lu_solve(Matrix a, std::vector<double> b) {
+  FGCS_REQUIRE(a.rows() == a.cols());
+  FGCS_REQUIRE(a.rows() == b.size());
+  const std::size_t n = a.rows();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    if (std::abs(a(pivot, col)) < 1e-13)
+      throw DataError("lu_solve: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= a(i, j) * x[j];
+    x[i] = acc / a(i, i);
+  }
+  return x;
+}
+
+std::vector<double> solve_toeplitz(std::span<const double> r,
+                                   std::span<const double> rhs) {
+  FGCS_REQUIRE(!r.empty());
+  FGCS_REQUIRE(r.size() == rhs.size());
+  const std::size_t n = r.size();
+  if (std::abs(r[0]) < 1e-13) throw DataError("solve_toeplitz: r[0] is zero");
+
+  // Levinson recursion maintaining the forward predictor `f` and solution `x`.
+  std::vector<double> f{1.0};
+  std::vector<double> x{rhs[0] / r[0]};
+  double error = r[0];
+
+  for (std::size_t m = 1; m < n; ++m) {
+    // Reflection coefficient from the forward predictor.
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) acc += f[i] * r[m - i];
+    const double k = -acc / error;
+    // Update forward predictor: f' = [f,0] + k * reverse([f,0]).
+    std::vector<double> next_f(m + 1, 0.0);
+    for (std::size_t i = 0; i <= m; ++i) {
+      const double fi = i < m ? f[i] : 0.0;
+      const double fr = (m - i) < m ? f[m - i] : 0.0;  // reversed with 0 append
+      next_f[i] = fi + k * fr;
+    }
+    f = std::move(next_f);
+    error *= (1.0 - k * k);
+    if (std::abs(error) < 1e-13)
+      throw DataError("solve_toeplitz: ill-conditioned system");
+    // Update the solution.
+    double eps = -rhs[m];
+    for (std::size_t i = 0; i < m; ++i) eps += x[i] * r[m - i];
+    const double mu = -eps / error;
+    std::vector<double> next_x(m + 1, 0.0);
+    for (std::size_t i = 0; i <= m; ++i) {
+      const double xi = i < m ? x[i] : 0.0;
+      next_x[i] = xi + mu * f[m - i];
+    }
+    x = std::move(next_x);
+  }
+  return x;
+}
+
+std::vector<double> least_squares(const Matrix& a, std::span<const double> b,
+                                  double ridge) {
+  FGCS_REQUIRE(a.rows() == b.size());
+  FGCS_REQUIRE(a.rows() >= a.cols());
+  const Matrix at = a.transposed();
+  Matrix ata = at * a;
+  for (std::size_t i = 0; i < ata.rows(); ++i) ata(i, i) += ridge;
+  std::vector<double> atb = at * b;
+  return lu_solve(std::move(ata), std::move(atb));
+}
+
+}  // namespace fgcs

@@ -1,0 +1,58 @@
+// Small dense linear algebra for the time-series substrate.
+//
+// The linear models (paper Table 1) need three solvers:
+//   * Levinson–Durbin on Toeplitz systems — Yule–Walker AR fitting,
+//   * a generic LU solve with partial pivoting — ARMA regression step,
+//   * least squares via normal equations — Hannan–Rissanen stage 2.
+// Problem sizes are tiny (order p, q ≤ 16), so a straightforward dense
+// implementation is the right tool; no external BLAS dependency.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fgcs {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<const double> data() const { return data_; }
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& rhs) const;
+  std::vector<double> operator*(std::span<const double> v) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by LU decomposition with partial pivoting.
+/// Throws DataError if A is (numerically) singular.
+std::vector<double> lu_solve(Matrix a, std::vector<double> b);
+
+/// Solves the symmetric Toeplitz system T x = rhs where T(i,j) = r[|i-j|],
+/// via Levinson recursion. `r` has n entries (lags 0..n-1), rhs has n.
+/// Throws DataError if the recursion encounters a zero prediction error.
+std::vector<double> solve_toeplitz(std::span<const double> r,
+                                   std::span<const double> rhs);
+
+/// Least-squares solution of min ||A x - b||² via the normal equations,
+/// with a small ridge term for numerical safety on near-collinear designs.
+std::vector<double> least_squares(const Matrix& a, std::span<const double> b,
+                                  double ridge = 1e-9);
+
+}  // namespace fgcs

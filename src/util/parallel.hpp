@@ -1,0 +1,63 @@
+// Shared-memory parallel helpers.
+//
+// Fleet-scale work — generating 20 machines × 91 days of traces, evaluating
+// hundreds of windows per machine — is embarrassingly parallel across
+// machines. parallel_for runs an index range across a bounded thread pool
+// (hardware_concurrency by default) with static chunking; on a single-core
+// host it degrades to the serial loop with no thread spawn.
+//
+// The callable must be safe to run concurrently for distinct indices and
+// must not throw across threads unhandled: exceptions are captured and the
+// first one is rethrown on the caller after all workers join.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+
+/// Invokes `body(i)` for i in [0, count), distributing contiguous chunks
+/// over at most `max_threads` threads (0 = hardware_concurrency).
+template <typename Body>
+void parallel_for(std::size_t count, Body&& body, unsigned max_threads = 0) {
+  if (count == 0) return;
+  unsigned hw = max_threads == 0 ? std::thread::hardware_concurrency()
+                                 : max_threads;
+  if (hw == 0) hw = 1;
+  const std::size_t threads =
+      std::min<std::size_t>(hw, count);
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  const std::size_t chunk = (count + threads - 1) / threads;
+  for (std::size_t t = 0; t < threads; ++t) {
+    const std::size_t lo = t * chunk;
+    const std::size_t hi = std::min(count, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([&, lo, hi] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace fgcs

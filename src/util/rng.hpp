@@ -1,0 +1,143 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in fgcs (trace generation, noise injection,
+// Monte-Carlo validation of the SMP solver) draws from an explicitly seeded
+// Rng so that traces, tests, and benchmark tables reproduce bit-for-bit
+// across runs and machines. The engine is xoshiro256** (public domain,
+// Blackman & Vigna), seeded through SplitMix64.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+
+/// xoshiro256** engine. Satisfies std::uniform_random_bit_generator, so it
+/// can also feed <random> distributions where convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the 64-bit seed into 256 bits of state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Uses rejection to stay unbiased.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    FGCS_REQUIRE(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(operator()());  // full range
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t draw;
+    do {
+      draw = operator()();
+    } while (draw >= limit);
+    return lo + static_cast<std::int64_t>(draw % span);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    if (has_cached_normal_) {
+      has_cached_normal_ = false;
+      return cached_normal_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double scale = std::sqrt(-2.0 * std::log(s) / s);
+    cached_normal_ = v * scale;
+    has_cached_normal_ = true;
+    return u * scale;
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with the given mean (rate = 1/mean).
+  double exponential(double mean) {
+    FGCS_REQUIRE(mean > 0);
+    double u;
+    do {
+      u = uniform();
+    } while (u == 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Poisson draw (Knuth for small means, normal approximation for large).
+  std::int64_t poisson(double mean) {
+    FGCS_REQUIRE(mean >= 0);
+    if (mean == 0) return 0;
+    if (mean > 64) {
+      const double draw = normal(mean, std::sqrt(mean));
+      return draw < 0 ? 0 : static_cast<std::int64_t>(draw + 0.5);
+    }
+    const double limit = std::exp(-mean);
+    std::int64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+
+  /// Derives an independent child stream (for per-machine / per-day streams).
+  Rng fork(std::uint64_t stream_id) {
+    return Rng(operator()() ^ (stream_id * 0xd1342543de82ef95ull + 0x2545f4914f6cdd1dull));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace fgcs

@@ -1,0 +1,143 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * n2 / (n1 + n2);
+  m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  FGCS_REQUIRE_MSG(count_ > 0, "min() of empty accumulator");
+  return min_;
+}
+
+double RunningStats::max() const {
+  FGCS_REQUIRE_MSG(count_ > 0, "max() of empty accumulator");
+  return max_;
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  RunningStats acc;
+  for (double v : values) acc.add(v);
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.median = percentile(values, 0.5);
+  s.p95 = percentile(values, 0.95);
+  return s;
+}
+
+double mean(std::span<const double> values) {
+  RunningStats acc;
+  for (double v : values) acc.add(v);
+  return acc.mean();
+}
+
+double variance(std::span<const double> values) {
+  RunningStats acc;
+  for (double v : values) acc.add(v);
+  return acc.variance();
+}
+
+double percentile(std::span<const double> values, double q) {
+  FGCS_REQUIRE(!values.empty());
+  FGCS_REQUIRE(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+std::vector<double> autocovariance(std::span<const double> series,
+                                   std::size_t max_lag) {
+  FGCS_REQUIRE_MSG(series.size() > max_lag,
+                   "series must be longer than the maximum lag");
+  const std::size_t n = series.size();
+  const double mu = mean(series);
+  std::vector<double> gamma(max_lag + 1, 0.0);
+  for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+    double acc = 0.0;
+    for (std::size_t t = lag; t < n; ++t)
+      acc += (series[t] - mu) * (series[t - lag] - mu);
+    gamma[lag] = acc / static_cast<double>(n);
+  }
+  return gamma;
+}
+
+std::vector<double> autocorrelation(std::span<const double> series,
+                                    std::size_t max_lag) {
+  std::vector<double> gamma = autocovariance(series, max_lag);
+  const double g0 = gamma[0];
+  if (g0 <= 0.0) return std::vector<double>(max_lag + 1, 0.0);
+  for (double& g : gamma) g /= g0;
+  return gamma;
+}
+
+LinearFit fit_line(std::span<const double> x, std::span<const double> y) {
+  FGCS_REQUIRE(x.size() == y.size());
+  FGCS_REQUIRE(x.size() >= 2);
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  LinearFit fit;
+  if (sxx > 0.0) {
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  } else {
+    fit.intercept = my;
+  }
+  return fit;
+}
+
+}  // namespace fgcs

@@ -1,0 +1,69 @@
+// Descriptive statistics used across the estimator, the evaluation harness,
+// and the benchmark tables.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fgcs {
+
+/// Single-pass accumulator (Welford) for mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a sample set, convenient for bench rows.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+};
+
+Summary summarize(std::span<const double> values);
+
+double mean(std::span<const double> values);
+double variance(std::span<const double> values);
+
+/// Linearly interpolated percentile, q in [0, 1]. Sorts a copy.
+double percentile(std::span<const double> values, double q);
+
+/// Sample autocovariance at the given lags (biased, 1/n normalization —
+/// the convention Yule–Walker estimation expects).
+std::vector<double> autocovariance(std::span<const double> series, std::size_t max_lag);
+
+/// Autocorrelation: autocovariance normalized by lag-0.
+std::vector<double> autocorrelation(std::span<const double> series, std::size_t max_lag);
+
+/// Least-squares slope/intercept fit of y against x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit fit_line(std::span<const double> x, std::span<const double> y);
+
+}  // namespace fgcs

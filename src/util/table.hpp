@@ -1,0 +1,44 @@
+// Aligned ASCII tables + CSV export for the benchmark harness.
+//
+// Every bench binary prints the same rows/series the paper's figure or table
+// reports; Table gives them a uniform, diff-friendly rendering and an
+// optional CSV sidecar for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fgcs {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 3);
+  static std::string pct(double fraction, int precision = 2);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a header rule and space-padded columns.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void write_csv(std::ostream& os) const;
+
+  /// Writes the CSV to `path`, creating/truncating the file.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== title ==") used between bench sub-tables.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace fgcs

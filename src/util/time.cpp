@@ -1,0 +1,45 @@
+#include "util/time.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+
+const char* to_string(DayType type) {
+  return type == DayType::kWeekday ? "weekday" : "weekend";
+}
+
+Calendar::Calendar(int epoch_day_of_week) : epoch_day_of_week_(epoch_day_of_week) {
+  FGCS_REQUIRE_MSG(epoch_day_of_week >= 0 && epoch_day_of_week <= 6,
+                   "day of week must be 0 (Mon) .. 6 (Sun)");
+}
+
+int Calendar::day_of_week(std::int64_t day) const {
+  const std::int64_t dow = (day + epoch_day_of_week_) % 7;
+  return static_cast<int>(dow >= 0 ? dow : dow + 7);
+}
+
+DayType Calendar::day_type(std::int64_t day) const {
+  return day_of_week(day) >= 5 ? DayType::kWeekend : DayType::kWeekday;
+}
+
+std::string format_time_of_day(SimTime second_of_day) {
+  FGCS_REQUIRE(second_of_day >= 0 && second_of_day < kSecondsPerDay);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%02lld:%02lld:%02lld",
+                static_cast<long long>(second_of_day / kSecondsPerHour),
+                static_cast<long long>((second_of_day / kSecondsPerMinute) % 60),
+                static_cast<long long>(second_of_day % 60));
+  return buf;
+}
+
+std::string format_sim_time(SimTime t) {
+  std::string out = "d";
+  out += std::to_string(Calendar::day_index(t));
+  out += ' ';
+  out += format_time_of_day(Calendar::second_of_day(t));
+  return out;
+}
+
+}  // namespace fgcs

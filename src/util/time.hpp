@@ -1,0 +1,67 @@
+// Simulation time base and a minimal civil calendar.
+//
+// The whole system runs on one discrete clock: seconds since the start of the
+// monitored period ("epoch"). The paper's estimator needs to know, for any
+// instant, (a) the second-of-day and (b) whether the day is a weekday or a
+// weekend, because Q/H statistics are drawn from the same clock-time window
+// on the most recent days of the same type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fgcs {
+
+/// Seconds since the epoch of the monitored period.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSecondsPerMinute = 60;
+inline constexpr SimTime kSecondsPerHour = 3600;
+inline constexpr SimTime kSecondsPerDay = 86400;
+inline constexpr int kHoursPerDay = 24;
+
+/// Day classification used by the estimator (paper §4.2: statistics come from
+/// "the corresponding time windows of the most recent N weekdays (weekends)").
+enum class DayType : std::uint8_t { kWeekday = 0, kWeekend = 1 };
+
+const char* to_string(DayType type);
+
+/// Maps sim-time to calendar facts. The epoch is anchored on a configurable
+/// weekday index so that synthetic traces can start on any day of the week.
+class Calendar {
+ public:
+  /// `epoch_day_of_week`: 0 = Monday … 6 = Sunday for day index 0.
+  explicit Calendar(int epoch_day_of_week = 0);
+
+  /// Day index (0-based) containing `t`. Negative times belong to day -1, etc.
+  static constexpr std::int64_t day_index(SimTime t) {
+    return t >= 0 ? t / kSecondsPerDay : (t - kSecondsPerDay + 1) / kSecondsPerDay;
+  }
+
+  /// Second within the day, in [0, 86400).
+  static constexpr SimTime second_of_day(SimTime t) {
+    const SimTime r = t % kSecondsPerDay;
+    return r >= 0 ? r : r + kSecondsPerDay;
+  }
+
+  /// 0 = Monday … 6 = Sunday.
+  int day_of_week(std::int64_t day) const;
+
+  DayType day_type(std::int64_t day) const;
+
+  /// DayType of the day containing the instant `t`.
+  DayType day_type_at(SimTime t) const { return day_type(day_index(t)); }
+
+  int epoch_day_of_week() const { return epoch_day_of_week_; }
+
+ private:
+  int epoch_day_of_week_;
+};
+
+/// "HH:MM:SS" rendering of a second-of-day (for bench tables and logs).
+std::string format_time_of_day(SimTime second_of_day);
+
+/// "d3 14:05:00" rendering of an absolute sim time.
+std::string format_sim_time(SimTime t);
+
+}  // namespace fgcs

@@ -1,0 +1,30 @@
+#include "workload/catalog.hpp"
+
+namespace fgcs {
+
+const std::vector<GuestApplication>& spec_guest_catalog() {
+  static const std::vector<GuestApplication> catalog = {
+      {"gzip", 29},   {"crafty", 31},  {"eon", 38},     {"bzip2", 46},
+      {"vortex", 72}, {"twolf", 74},   {"parser", 79},  {"vpr", 95},
+      {"gap", 103},   {"perlbmk", 110}, {"mesa", 124},  {"gcc", 155},
+      {"ammp", 172},  {"mcf", 190},    {"swim", 193},
+  };
+  return catalog;
+}
+
+const std::vector<InteractiveWorkload>& musbus_host_catalog() {
+  static const std::vector<InteractiveWorkload> catalog = {
+      {"edit-small", 0.08, 53, 25.0},
+      {"utils-small", 0.14, 61, 30.0},
+      {"edit-medium", 0.21, 78, 35.0},
+      {"compile-small", 0.29, 96, 45.0},
+      {"utils-medium", 0.36, 118, 40.0},
+      {"edit-large", 0.44, 141, 35.0},
+      {"compile-medium", 0.52, 167, 50.0},
+      {"compile-large", 0.61, 192, 55.0},
+      {"compile-xlarge", 0.67, 213, 60.0},
+  };
+  return catalog;
+}
+
+}  // namespace fgcs

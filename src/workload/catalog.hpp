@@ -1,0 +1,36 @@
+// Workload catalogs for the §3.2.2 CPU+memory contention study.
+//
+// The paper used SPEC CPU2000 applications as guests (CPU-bound, working sets
+// 29–193 MB) and the Musbus interactive Unix benchmark to synthesize host
+// workloads (simulated editing, command-line utilities, compiler invocations;
+// 8–67 % CPU, 53–213 MB memory). Neither suite is redistributable, so these
+// catalogs carry the published resource envelopes under the original names.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fgcs {
+
+/// A CPU-bound guest application (SPEC CPU2000-like).
+struct GuestApplication {
+  std::string name;
+  int working_set_mb = 64;
+};
+
+/// The guest catalog: working sets spanning the paper's 29–193 MB range.
+const std::vector<GuestApplication>& spec_guest_catalog();
+
+/// A Musbus-like interactive host workload.
+struct InteractiveWorkload {
+  std::string name;
+  double cpu_duty = 0.3;   // 8–67 % in the paper
+  int mem_mb = 100;        // 53–213 MB in the paper
+  double burst_ms = 40.0;  // editing/compiling burst granularity
+};
+
+/// The host catalog, ordered by increasing resource usage (larger files being
+/// edited/compiled, per the paper's methodology).
+const std::vector<InteractiveWorkload>& musbus_host_catalog();
+
+}  // namespace fgcs

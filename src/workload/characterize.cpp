@@ -1,0 +1,115 @@
+#include "workload/characterize.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace fgcs {
+
+namespace {
+
+/// Hourly mean-load vector for one day (all samples; downtime counts as 0
+/// load, which is what a pattern comparison should see).
+std::array<double, kHoursPerDay> day_hourly_load(const MachineTrace& trace,
+                                                 std::int64_t day) {
+  std::array<double, kHoursPerDay> out{};
+  const std::size_t per_hour = trace.samples_per_day() / kHoursPerDay;
+  for (int hour = 0; hour < kHoursPerDay; ++hour) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < per_hour; ++i)
+      acc += trace.at(day, hour * per_hour + i).load();
+    out[hour] = acc / static_cast<double>(per_hour);
+  }
+  return out;
+}
+
+}  // namespace
+
+HourlyProfile hourly_profile(const MachineTrace& trace, DayType type,
+                             const StateClassifier& classifier) {
+  HourlyProfile profile;
+  const std::vector<std::int64_t> days =
+      trace.days_of_type(type, 0, trace.day_count());
+  profile.days = days.size();
+  if (days.empty()) return profile;
+
+  std::array<double, kHoursPerDay> load_acc{};
+  std::array<std::size_t, kHoursPerDay> load_n{};
+  std::array<std::size_t, kHoursPerDay> avail_acc{};
+  std::array<std::size_t, kHoursPerDay> avail_n{};
+
+  const std::size_t per_hour = trace.samples_per_day() / kHoursPerDay;
+  for (const std::int64_t day : days) {
+    const TimeWindow whole{.start_of_day = 0, .length = kSecondsPerDay};
+    const std::vector<State> states = classifier.classify_window(trace, day, whole);
+    for (int hour = 0; hour < kHoursPerDay; ++hour) {
+      for (std::size_t i = 0; i < per_hour; ++i) {
+        const std::size_t index = hour * per_hour + i;
+        const ResourceSample& s = trace.at(day, index);
+        if (s.up()) {
+          load_acc[hour] += s.load();
+          ++load_n[hour];
+        }
+        ++avail_n[hour];
+        if (is_available(states[index])) ++avail_acc[hour];
+      }
+    }
+  }
+  for (int hour = 0; hour < kHoursPerDay; ++hour) {
+    profile.mean_load[hour] =
+        load_n[hour] == 0 ? 0.0
+                          : load_acc[hour] / static_cast<double>(load_n[hour]);
+    profile.availability[hour] =
+        avail_n[hour] == 0
+            ? 1.0
+            : static_cast<double>(avail_acc[hour]) /
+                  static_cast<double>(avail_n[hour]);
+  }
+  return profile;
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  FGCS_REQUIRE(a.size() == b.size());
+  FGCS_REQUIRE(a.size() >= 2);
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double saa = 0.0, sbb = 0.0, sab = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    saa += (a[i] - ma) * (a[i] - ma);
+    sbb += (b[i] - mb) * (b[i] - mb);
+    sab += (a[i] - ma) * (b[i] - mb);
+  }
+  if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+PatternRepeatability measure_repeatability(const MachineTrace& trace,
+                                           DayType type) {
+  PatternRepeatability result;
+  const std::vector<std::int64_t> days =
+      trace.days_of_type(type, 0, trace.day_count());
+  if (days.size() < 2) return result;
+
+  std::vector<std::array<double, kHoursPerDay>> profiles;
+  profiles.reserve(days.size());
+  for (const std::int64_t day : days)
+    profiles.push_back(day_hourly_load(trace, day));
+
+  RunningStats consecutive, week_apart;
+  for (std::size_t i = 0; i + 1 < profiles.size(); ++i) {
+    consecutive.add(pearson(profiles[i], profiles[i + 1]));
+    ++result.day_pairs;
+  }
+  // "A week apart" in same-type-day index space: 5 weekdays or 2 weekend days.
+  const std::size_t week = type == DayType::kWeekday ? 5 : 2;
+  for (std::size_t i = 0; i + week < profiles.size(); ++i)
+    week_apart.add(pearson(profiles[i], profiles[i + week]));
+
+  result.consecutive_day_correlation = consecutive.mean();
+  result.week_apart_correlation = week_apart.empty() ? 0.0 : week_apart.mean();
+  return result;
+}
+
+}  // namespace fgcs

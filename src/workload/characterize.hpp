@@ -1,0 +1,54 @@
+// Workload characterization.
+//
+// The paper's method rests on one empirical claim (§4.2, citing [19]): host
+// load patterns within a clock-time window are comparable across recent
+// same-type days. These statistics make the claim measurable — on the
+// synthetic traces (validating the substitution) and on any real log a user
+// brings:
+//
+//  * hourly load profile        — mean load per hour-of-day per day type;
+//  * day-to-day pattern
+//    correlation               — Pearson correlation of consecutive
+//                                 same-type days' hourly profiles (the
+//                                 repeatability the estimator exploits);
+//  * availability-by-hour      — fraction of samples in an available state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/classifier.hpp"
+#include "trace/machine_trace.hpp"
+#include "util/time.hpp"
+
+namespace fgcs {
+
+struct HourlyProfile {
+  /// Mean host load per hour of day (up samples only).
+  std::array<double, kHoursPerDay> mean_load{};
+  /// Fraction of samples classified available per hour of day.
+  std::array<double, kHoursPerDay> availability{};
+  std::size_t days = 0;
+};
+
+/// Aggregates over all days of `type`.
+HourlyProfile hourly_profile(const MachineTrace& trace, DayType type,
+                             const StateClassifier& classifier);
+
+/// Pearson correlation between two same-length series; 0 if degenerate.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+struct PatternRepeatability {
+  /// Mean Pearson correlation between the hourly load profiles of
+  /// consecutive same-type days.
+  double consecutive_day_correlation = 0.0;
+  /// Mean correlation between days `lag` same-type days apart — decay over
+  /// the lag shows how quickly patterns go stale (the Fig. 6 mechanism).
+  double week_apart_correlation = 0.0;
+  std::size_t day_pairs = 0;
+};
+
+PatternRepeatability measure_repeatability(const MachineTrace& trace,
+                                           DayType type);
+
+}  // namespace fgcs

@@ -1,0 +1,42 @@
+#include "workload/noise.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+
+MachineTrace inject_unavailability(const MachineTrace& trace, std::int64_t day,
+                                   int count, const NoiseParams& params,
+                                   Rng& rng) {
+  FGCS_REQUIRE(day >= 0 && day < trace.day_count());
+  FGCS_REQUIRE(count >= 0);
+  FGCS_REQUIRE(params.min_hold > 0 && params.min_hold <= params.max_hold);
+
+  MachineTrace out(trace.machine_id(), trace.calendar(),
+                   trace.sampling_period(), trace.total_mem_mb());
+  const TimeWindow whole_day{.start_of_day = 0, .length = kSecondsPerDay};
+  const SimTime period = trace.sampling_period();
+
+  for (std::int64_t d = 0; d + 1 <= trace.day_count(); ++d) {
+    std::vector<ResourceSample> samples = trace.window_samples(d, whole_day);
+    if (d == day) {
+      for (int occurrence = 0; occurrence < count; ++occurrence) {
+        const SimTime start =
+            params.around + rng.uniform_int(-params.spread, params.spread);
+        const SimTime hold = rng.uniform_int(params.min_hold, params.max_hold);
+        const auto first = std::clamp<std::int64_t>(
+            start / period, 0, static_cast<std::int64_t>(samples.size()) - 1);
+        const auto last = std::clamp<std::int64_t>(
+            (start + hold) / period, 0,
+            static_cast<std::int64_t>(samples.size()) - 1);
+        for (std::int64_t i = first; i <= last; ++i)
+          samples[static_cast<std::size_t>(i)].host_load_pct = 100;
+      }
+    }
+    out.append_day(std::move(samples));
+  }
+  return out;
+}
+
+}  // namespace fgcs

@@ -1,0 +1,34 @@
+// Noise injection for the robustness experiment (paper §7.3, Fig. 8).
+//
+// One "instance of noise" is one artificial unavailability occurrence
+// inserted into a training-day log around a given time of day (the paper
+// uses 8:00, when real unavailability is rare), with a holding time drawn
+// uniformly from [60, 1800] seconds.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/machine_trace.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace fgcs {
+
+struct NoiseParams {
+  /// Centre of the injection region (paper: 8:00 am).
+  SimTime around = 8 * kSecondsPerHour;
+  /// Injected occurrences land uniformly within ± this radius of `around`.
+  SimTime spread = kSecondsPerHour / 2;
+  SimTime min_hold = 60;
+  SimTime max_hold = 1800;
+};
+
+/// Returns a copy of `trace` with `count` unavailability occurrences
+/// (saturated-CPU runs, i.e. S3-style failures) inserted into day `day`.
+/// Occurrences are separated by at least one available sample so each counts
+/// as a distinct occurrence.
+MachineTrace inject_unavailability(const MachineTrace& trace, std::int64_t day,
+                                   int count, const NoiseParams& params,
+                                   Rng& rng);
+
+}  // namespace fgcs

@@ -1,0 +1,48 @@
+#include "workload/profile.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+
+double DiurnalProfile::activity(DayType type, double hour) const {
+  FGCS_REQUIRE(hour >= 0.0 && hour < 24.0 + 1e-9);
+  const auto& levels = type == DayType::kWeekday ? weekday : weekend;
+  const double shifted = hour - 0.5;  // samples are hour midpoints
+  const double base = std::floor(shifted);
+  const double frac = shifted - base;
+  const int h0 = (static_cast<int>(base) + kHoursPerDay) % kHoursPerDay;
+  const int h1 = (h0 + 1) % kHoursPerDay;
+  return levels[h0] * (1.0 - frac) + levels[h1] * frac;
+}
+
+DiurnalProfile DiurnalProfile::student_lab() {
+  DiurnalProfile p;
+  // Hour-midpoint activity levels for a university lab: quiet overnight, a
+  // morning ramp, busy afternoon, evening peak (assignments), late fall-off.
+  p.weekday = {0.10, 0.06, 0.04, 0.03, 0.03, 0.04,   // 00–05
+               0.06, 0.12, 0.25, 0.45, 0.60, 0.70,   // 06–11
+               0.72, 0.75, 0.80, 0.85, 0.85, 0.80,   // 12–17
+               0.78, 0.82, 0.85, 0.70, 0.45, 0.22};  // 18–23
+  p.weekend = {0.08, 0.05, 0.04, 0.03, 0.02, 0.02,
+               0.03, 0.05, 0.08, 0.15, 0.25, 0.35,
+               0.42, 0.48, 0.50, 0.50, 0.48, 0.45,
+               0.42, 0.40, 0.38, 0.30, 0.20, 0.12};
+  return p;
+}
+
+DiurnalProfile DiurnalProfile::enterprise_desktop() {
+  DiurnalProfile p;
+  p.weekday = {0.02, 0.02, 0.02, 0.02, 0.02, 0.03,
+               0.06, 0.20, 0.55, 0.85, 0.90, 0.88,
+               0.70, 0.85, 0.90, 0.90, 0.85, 0.60,
+               0.30, 0.12, 0.06, 0.04, 0.03, 0.02};
+  p.weekend = {0.02, 0.02, 0.01, 0.01, 0.01, 0.01,
+               0.02, 0.03, 0.05, 0.08, 0.10, 0.10,
+               0.10, 0.10, 0.10, 0.08, 0.08, 0.06,
+               0.05, 0.04, 0.03, 0.03, 0.02, 0.02};
+  return p;
+}
+
+}  // namespace fgcs

@@ -1,0 +1,38 @@
+// Diurnal activity profiles.
+//
+// The paper's testbed is a Purdue student computer lab: activity ramps up
+// mid-morning, peaks in the afternoon/evening, and falls off at night, with
+// lighter weekends. The profile gives the *relative* activity level per hour;
+// the workload generator scales all stochastic rates (sessions, load spikes,
+// reboots, memory surges) by it, which is what makes same-clock-time windows
+// on recent same-type days statistically comparable — the property the SMP
+// estimator relies on (paper §4.2).
+#pragma once
+
+#include <array>
+
+#include "util/time.hpp"
+
+namespace fgcs {
+
+struct DiurnalProfile {
+  std::array<double, kHoursPerDay> weekday{};
+  std::array<double, kHoursPerDay> weekend{};
+
+  /// Activity at a fractional hour (piecewise-linear, wrapping at midnight).
+  double activity(DayType type, double hour) const;
+
+  /// Activity at an absolute second of day.
+  double activity_at(DayType type, SimTime second_of_day) const {
+    return activity(type, static_cast<double>(second_of_day) / kSecondsPerHour);
+  }
+
+  /// Student computer lab (the paper's testbed).
+  static DiurnalProfile student_lab();
+
+  /// Enterprise desktops: sharp 9-to-5 weekday pattern, near-idle weekends
+  /// (the paper's §8 proposed future testbed; extension bench A4).
+  static DiurnalProfile enterprise_desktop();
+};
+
+}  // namespace fgcs

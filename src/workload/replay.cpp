@@ -1,0 +1,12 @@
+#include "workload/replay.hpp"
+
+namespace fgcs {
+
+std::unique_ptr<SimulatedMachine> make_replay_machine(
+    const MachineTrace& trace, const Thresholds& thresholds) {
+  return std::make_unique<SimulatedMachine>(
+      trace.machine_id(), trace.total_mem_mb(), thresholds,
+      trace.sampling_period(), std::make_unique<TraceReplaySignal>(trace));
+}
+
+}  // namespace fgcs

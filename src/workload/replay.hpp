@@ -1,0 +1,38 @@
+// HostSignal adapters: feed a SimulatedMachine either from a recorded /
+// generated MachineTrace (deterministic replay) or straight from a
+// TraceGenerator stream.
+#pragma once
+
+#include <memory>
+
+#include "sim/machine.hpp"
+#include "trace/machine_trace.hpp"
+
+namespace fgcs {
+
+/// Replays an existing trace as the host-side signal. The trace outlives the
+/// signal (non-owning); ticks beyond the recorded range throw.
+///
+/// Convention: a tick at time t reports the sampling period *ending* at t
+/// (machines are stepped at t = period, 2·period, …), so a full day of ticks
+/// ending at t = 86400 maps exactly onto one recorded day.
+class TraceReplaySignal final : public HostSignal {
+ public:
+  explicit TraceReplaySignal(const MachineTrace& trace) : trace_(trace) {}
+
+  Tick tick(SimTime t) override {
+    const ResourceSample& s = trace_.at_time(t > 0 ? t - 1 : 0);
+    return Tick{.host_load = s.load(),
+                .free_mem_mb = static_cast<double>(s.free_mem_mb),
+                .up = s.up()};
+  }
+
+ private:
+  const MachineTrace& trace_;
+};
+
+/// Convenience: a machine whose host activity replays `trace`.
+std::unique_ptr<SimulatedMachine> make_replay_machine(
+    const MachineTrace& trace, const Thresholds& thresholds);
+
+}  // namespace fgcs

@@ -1,0 +1,285 @@
+#include "workload/trace_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace fgcs {
+
+TraceGenerator::TraceGenerator(WorkloadParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  FGCS_REQUIRE(params.sampling_period > 0 &&
+               kSecondsPerDay % params.sampling_period == 0);
+  FGCS_REQUIRE(params.mem_total_mb > params.mem_base_used_mb);
+  FGCS_REQUIRE(params.spike_transient_frac >= 0 &&
+               params.spike_transient_frac <= 1);
+}
+
+MachinePersona MachinePersona::sample(const WorkloadParams& params, Rng& rng) {
+  MachinePersona persona;
+  auto draw_anchors = [&](DayType type, int lo, int hi) {
+    std::vector<EpisodeAnchor> anchors;
+    const std::int64_t count = rng.uniform_int(lo, hi);
+    for (std::int64_t a = 0; a < count; ++a) {
+      EpisodeAnchor anchor;
+      // Habitual times land where the lab is active.
+      double hour = rng.uniform(0.0, 24.0);
+      for (int attempt = 0; attempt < 24; ++attempt) {
+        hour = rng.uniform(0.0, 24.0);
+        if (rng.uniform() < params.profile.activity(type, hour)) break;
+      }
+      anchor.hour = hour;
+      anchor.strength =
+          rng.uniform(params.anchor_strength_lo, params.anchor_strength_hi);
+      anchor.jitter_minutes = rng.uniform(params.anchor_jitter_minutes_lo,
+                                          params.anchor_jitter_minutes_hi);
+      anchors.push_back(anchor);
+    }
+    return anchors;
+  };
+  persona.weekday_anchors = draw_anchors(
+      DayType::kWeekday, params.anchor_count_min, params.anchor_count_max);
+  persona.weekend_anchors =
+      draw_anchors(DayType::kWeekend, params.weekend_anchor_count_min,
+                   params.weekend_anchor_count_max);
+  return persona;
+}
+
+namespace {
+
+/// Adds `value` to the ticks overlapped by [start_s, end_s), weighted by the
+/// overlap fraction — the monitor reports the *average* usage over each
+/// sampling period, so a burst shorter than a period contributes
+/// proportionally (this is what keeps sub-minute spikes transient even in
+/// coarsely sampled logs).
+void add_interval(std::vector<double>& series, double start_s, double end_s,
+                  double value, SimTime period) {
+  const auto n = static_cast<std::ptrdiff_t>(series.size());
+  const double p = static_cast<double>(period);
+  auto a = static_cast<std::ptrdiff_t>(std::floor(start_s / p));
+  auto b = static_cast<std::ptrdiff_t>(std::ceil(end_s / p));
+  a = std::clamp<std::ptrdiff_t>(a, 0, n);
+  b = std::clamp<std::ptrdiff_t>(b, 0, n);
+  for (std::ptrdiff_t i = a; i < b; ++i) {
+    const double tick_start = static_cast<double>(i) * p;
+    const double overlap = std::min(end_s, tick_start + p) -
+                           std::max(start_s, tick_start);
+    if (overlap > 0) series[i] += value * overlap / p;
+  }
+}
+
+}  // namespace
+
+std::vector<ResourceSample> TraceGenerator::generate_day(
+    DayType type, std::int64_t day_index, const MachinePersona& persona,
+    Rng& day_rng) const {
+  const SimTime period = params_.sampling_period;
+  const std::size_t ticks = static_cast<std::size_t>(kSecondsPerDay / period);
+
+  // Day-level multiplier: lognormal variation plus the semester drift.
+  const double drift =
+      std::max(0.05, 1.0 + params_.drift_per_day *
+                               (static_cast<double>(day_index) - 45.0));
+  const double day_level =
+      std::exp(day_rng.normal(0.0, params_.day_level_sigma)) * drift;
+
+  std::vector<double> load(ticks, params_.base_load);
+  std::vector<double> session_mem(ticks, 0.0);
+  std::vector<double> surge_mem(ticks, 0.0);
+  std::vector<bool> down(ticks, false);
+
+  // --- interactive sessions -------------------------------------------------
+  for (int hour = 0; hour < kHoursPerDay; ++hour) {
+    const double act =
+        params_.profile.activity(type, hour + 0.5) * day_level;
+    const std::int64_t arrivals =
+        day_rng.poisson(params_.session_rate_per_hour * act);
+    for (std::int64_t s = 0; s < arrivals; ++s) {
+      const double start = (hour + day_rng.uniform()) * kSecondsPerHour;
+      const double duration =
+          day_rng.exponential(params_.session_mean_minutes * 60.0);
+      const double intensity = day_rng.uniform(params_.session_intensity_lo,
+                                               params_.session_intensity_hi);
+      add_interval(load, start, start + duration, intensity, period);
+      add_interval(session_mem, start, start + duration,
+                   params_.mem_per_session_mb, period);
+    }
+  }
+
+  // --- high-load episodes -----------------------------------------------
+  for (int hour = 0; hour < kHoursPerDay; ++hour) {
+    const double act =
+        params_.profile.activity(type, hour + 0.5) * day_level;
+    const std::int64_t spikes =
+        day_rng.poisson(params_.spike_rate_per_hour * act);
+    for (std::int64_t s = 0; s < spikes; ++s) {
+      const double start = (hour + day_rng.uniform()) * kSecondsPerHour;
+      const bool transient = day_rng.chance(params_.spike_transient_frac);
+      const double duration =
+          transient
+              ? day_rng.uniform(params_.spike_short_min_s, params_.spike_short_max_s)
+              : day_rng.uniform(params_.spike_long_min_s, params_.spike_long_max_s);
+      const double intensity = day_rng.uniform(params_.spike_intensity_lo,
+                                               params_.spike_intensity_hi);
+      add_interval(load, start, start + duration, intensity, period);
+    }
+  }
+
+  // --- trouble episodes ---------------------------------------------------
+  auto mark_down = [&](double start_s, double duration_s) {
+    const auto a = static_cast<std::ptrdiff_t>(std::max(0.0, start_s) / period);
+    const auto b = static_cast<std::ptrdiff_t>(
+        std::min(start_s + duration_s, static_cast<double>(kSecondsPerDay - 1)) /
+        period);
+    for (std::ptrdiff_t i = a; i <= std::min<std::ptrdiff_t>(b, ticks - 1); ++i)
+      down[static_cast<std::size_t>(i)] = true;
+  };
+  auto activity_hour = [&](DayType t) {
+    // Place events ∝ activity by rejection sampling on the hour.
+    double hour = day_rng.uniform(0.0, 24.0);
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      hour = day_rng.uniform(0.0, 24.0);
+      if (day_rng.uniform() < params_.profile.activity(t, hour)) break;
+    }
+    return hour;
+  };
+  {
+    // Anchored episodes (habitual) plus an irregular background.
+    std::vector<double> starts;
+    const auto& anchors = type == DayType::kWeekday ? persona.weekday_anchors
+                                                    : persona.weekend_anchors;
+    for (const EpisodeAnchor& anchor : anchors) {
+      if (!day_rng.chance(std::min(1.0, anchor.strength * day_level))) continue;
+      const double jitter_h =
+          day_rng.normal(0.0, anchor.jitter_minutes / 60.0);
+      double hour = anchor.hour + jitter_h;
+      while (hour < 0.0) hour += 24.0;
+      while (hour >= 24.0) hour -= 24.0;
+      starts.push_back(hour * kSecondsPerHour);
+    }
+    const std::int64_t background =
+        day_rng.poisson(params_.episode_background_rate_per_day * day_level);
+    for (std::int64_t e = 0; e < background; ++e)
+      starts.push_back(activity_hour(type) * kSecondsPerHour);
+
+    for (const double ep_start : starts) {
+      const double ep_len =
+          day_rng.uniform(params_.episode_min_s, params_.episode_max_s);
+      const std::int64_t failures = day_rng.uniform_int(
+          params_.episode_failures_min, params_.episode_failures_max);
+      for (std::int64_t f = 0; f < failures; ++f) {
+        const double start = ep_start + day_rng.uniform(0.0, ep_len);
+        const double duration =
+            day_rng.uniform(params_.spike_long_min_s, params_.spike_long_max_s);
+        const double intensity = day_rng.uniform(params_.spike_intensity_lo,
+                                                 params_.spike_intensity_hi);
+        add_interval(load, start, start + duration, intensity, period);
+      }
+      if (day_rng.chance(params_.episode_reboot_prob)) {
+        const double start = ep_start + day_rng.uniform(0.0, ep_len);
+        mark_down(start, day_rng.uniform(params_.reboot_down_min_s,
+                                         params_.reboot_down_max_s));
+      }
+      if (day_rng.chance(params_.episode_surge_prob)) {
+        const double start = ep_start + day_rng.uniform(0.0, ep_len);
+        const double duration =
+            day_rng.uniform(params_.mem_surge_min_s, params_.mem_surge_max_s);
+        add_interval(surge_mem, start, start + duration,
+                     params_.mem_surge_extra_mb, period);
+      }
+    }
+  }
+
+  // --- memory surges ----------------------------------------------------
+  {
+    // Expected surges per day, split over hours ∝ activity.
+    for (int hour = 0; hour < kHoursPerDay; ++hour) {
+      const double act =
+          params_.profile.activity(type, hour + 0.5) * day_level;
+      const std::int64_t surges = day_rng.poisson(
+          params_.mem_surge_rate_per_day * act / 10.0);  // Σact ≈ 10 for the lab
+      for (std::int64_t s = 0; s < surges; ++s) {
+        const double start = (hour + day_rng.uniform()) * kSecondsPerHour;
+        const double duration =
+            day_rng.uniform(params_.mem_surge_min_s, params_.mem_surge_max_s);
+        add_interval(surge_mem, start, start + duration,
+                     params_.mem_surge_extra_mb, period);
+      }
+    }
+  }
+
+  // --- isolated revocations -----------------------------------------------
+  {
+    const std::int64_t reboots =
+        day_rng.poisson(params_.reboot_rate_per_day * day_level);
+    for (std::int64_t r = 0; r < reboots; ++r) {
+      const double start = activity_hour(type) * kSecondsPerHour;
+      mark_down(start, day_rng.uniform(params_.reboot_down_min_s,
+                                       params_.reboot_down_max_s));
+    }
+  }
+
+  // --- assemble with AR(1) noise ----------------------------------------
+  std::vector<ResourceSample> samples(ticks);
+  double noise = 0.0;
+  for (std::size_t i = 0; i < ticks; ++i) {
+    noise = params_.ar_noise_coeff * noise +
+            day_rng.normal(0.0, params_.ar_noise_sigma);
+    const double total_load = std::clamp(load[i] + noise, 0.0, 1.0);
+    const double used_mem =
+        params_.mem_base_used_mb + session_mem[i] + surge_mem[i];
+    const double free_mem =
+        std::max(4.0, params_.mem_total_mb - used_mem);
+
+    samples[i].host_load_pct = pack_load_pct(total_load);
+    samples[i].free_mem_mb = pack_mem_mb(free_mem);
+    samples[i].set_up(!down[i]);
+  }
+  return samples;
+}
+
+MachineTrace TraceGenerator::generate(const std::string& machine_id, int days,
+                                      int epoch_day_of_week) {
+  FGCS_REQUIRE(days > 0);
+  const Calendar calendar(epoch_day_of_week);
+  MachineTrace trace(machine_id, calendar, params_.sampling_period,
+                     static_cast<int>(params_.mem_total_mb));
+
+  // Machine-specific stream so fleets are independent but reproducible.
+  Rng machine_rng = rng_;
+  for (const char ch : machine_id)
+    machine_rng = machine_rng.fork(static_cast<std::uint64_t>(ch) + 0x100);
+
+  const MachinePersona persona = MachinePersona::sample(params_, machine_rng);
+  for (int day = 0; day < days; ++day) {
+    Rng day_rng = machine_rng.fork(static_cast<std::uint64_t>(day) + 1);
+    trace.append_day(
+        generate_day(calendar.day_type(day), day, persona, day_rng));
+  }
+  return trace;
+}
+
+std::vector<MachineTrace> generate_fleet(const WorkloadParams& params,
+                                         std::uint64_t seed, int count,
+                                         int days, const std::string& prefix,
+                                         int epoch_day_of_week) {
+  FGCS_REQUIRE(count > 0);
+  // Machines are generated in parallel; each has an independent seed stream,
+  // so the result is identical to the serial order regardless of scheduling.
+  std::vector<std::optional<MachineTrace>> slots(static_cast<std::size_t>(count));
+  parallel_for(slots.size(), [&](std::size_t m) {
+    TraceGenerator generator(params, seed + static_cast<std::uint64_t>(m) * 977);
+    std::string id =
+        prefix + (m < 10 ? "0" : "") + std::to_string(m);
+    slots[m].emplace(generator.generate(id, days, epoch_day_of_week));
+  });
+  std::vector<MachineTrace> fleet;
+  fleet.reserve(slots.size());
+  for (auto& slot : slots) fleet.push_back(std::move(*slot));
+  return fleet;
+}
+
+}  // namespace fgcs

@@ -1,0 +1,150 @@
+// Synthetic host-usage trace generation — the substitute for the paper's
+// 3-month Purdue lab traces (see DESIGN.md §2).
+//
+// Per day, the generator superimposes:
+//   * interactive sessions  — Poisson arrivals (rate ∝ diurnal activity),
+//     exponential durations, each adding a constant CPU intensity and a
+//     memory footprint;
+//   * high-load episodes    — compile jobs / remote X starts: short spikes,
+//     a configurable fraction below the 1-minute transient limit (these do
+//     not count as failures) and the rest long enough to be S3 occurrences;
+//   * AR(1) measurement noise;
+//   * memory surges         — large allocations that push free memory below
+//     a guest working set (S4 occurrences);
+//   * revocations           — console users rebooting the machine (S5),
+//     placed ∝ activity, with a downtime duration.
+//
+// Day-to-day realism: a lognormal day-level multiplier, plus an optional
+// linear semester drift (activity grows toward finals), which is what makes
+// very large training sets stale (the paper's Fig. 6 sweet spot).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/machine_trace.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+#include "workload/profile.hpp"
+
+namespace fgcs {
+
+struct WorkloadParams {
+  DiurnalProfile profile = DiurnalProfile::student_lab();
+
+  // CPU load composition.
+  double base_load = 0.03;             // system daemons
+  double session_rate_per_hour = 3.0;  // at activity 1.0
+  double session_mean_minutes = 22.0;
+  double session_intensity_lo = 0.03;
+  double session_intensity_hi = 0.12;
+  double ar_noise_sigma = 0.010;       // AR(1) measurement noise
+  double ar_noise_coeff = 0.9;
+
+  // Isolated load spikes (remote X starts, system jobs). Most are transient
+  // (shorter than the 1-minute limit — the guest is merely suspended); the
+  // rest are isolated S3 occurrences.
+  double spike_rate_per_hour = 0.30;   // at activity 1.0
+  double spike_transient_frac = 0.80;  // shorter than the 1-min limit
+  double spike_short_min_s = 12.0;
+  double spike_short_max_s = 54.0;
+  double spike_long_min_s = 90.0;
+  double spike_long_max_s = 500.0;
+  double spike_intensity_lo = 0.55;
+  double spike_intensity_hi = 0.95;
+
+  // Trouble episodes: real unavailability clusters — a user compiling in a
+  // loop, a lab session hammering the machine — several S3 occurrences close
+  // together, sometimes with a reboot or a memory surge. Clustering is what
+  // lets a machine log ~5 occurrences/day (paper §6.1) while most multi-hour
+  // windows stay failure-free.
+  //
+  // Episodes mostly recur at machine-specific *anchor* times (the same user,
+  // the same class schedule): this is the paper's central premise that "the
+  // daily patterns of host workloads are comparable to those in the most
+  // recent days", and it is what makes same-clock-time training windows
+  // informative. A small background rate adds irregular episodes on top.
+  double episode_background_rate_per_day = 0.18;  // ∝ activity & day level
+  int anchor_count_min = 3;            // habitual weekday trouble times
+  int anchor_count_max = 3;
+  int weekend_anchor_count_min = 1;
+  int weekend_anchor_count_max = 2;
+  double anchor_strength_lo = 0.25;    // per-day firing probability
+  double anchor_strength_hi = 0.38;
+  double anchor_jitter_minutes_lo = 10.0;
+  double anchor_jitter_minutes_hi = 45.0;
+  double episode_min_s = 1200.0;
+  double episode_max_s = 4200.0;
+  int episode_failures_min = 3;        // long spikes per episode
+  int episode_failures_max = 7;
+  double episode_reboot_prob = 0.15;
+  double episode_surge_prob = 0.12;
+
+  // Memory.
+  double mem_total_mb = 512.0;
+  double mem_base_used_mb = 150.0;
+  double mem_per_session_mb = 26.0;
+  double mem_surge_rate_per_day = 0.25; // isolated surges (more in episodes)
+  double mem_surge_extra_mb = 320.0;
+  double mem_surge_min_s = 120.0;
+  double mem_surge_max_s = 1500.0;
+
+  // Revocations (reboots by console users).
+  double reboot_rate_per_day = 0.30; // isolated reboots (more in episodes)
+  double reboot_down_min_s = 150.0;
+  double reboot_down_max_s = 900.0;
+
+  // Day-to-day variation.
+  double day_level_sigma = 0.13;  // lognormal multiplier on all rates
+  double drift_per_day = 0.0;     // relative activity drift (Fig. 6 staleness)
+
+  SimTime sampling_period = 6;  // paper: one sample every 6 s
+};
+
+/// A machine's habitual trouble time (see WorkloadParams episode comment).
+struct EpisodeAnchor {
+  double hour = 12.0;          // centre of the habitual episode
+  double strength = 0.5;       // probability it fires on a given day
+  double jitter_minutes = 30;  // day-to-day placement jitter (std dev)
+};
+
+/// Per-machine stable character, sampled once per machine: the anchors that
+/// make its unavailability pattern repeat across same-type days.
+struct MachinePersona {
+  std::vector<EpisodeAnchor> weekday_anchors;
+  std::vector<EpisodeAnchor> weekend_anchors;
+
+  static MachinePersona sample(const WorkloadParams& params, Rng& rng);
+};
+
+class TraceGenerator {
+ public:
+  TraceGenerator(WorkloadParams params, std::uint64_t seed);
+
+  const WorkloadParams& params() const { return params_; }
+
+  /// Generates `days` days for one machine. `epoch_day_of_week` anchors the
+  /// calendar (0 = Monday). Deterministic in (seed, machine_id, days).
+  MachineTrace generate(const std::string& machine_id, int days,
+                        int epoch_day_of_week = 0);
+
+  /// One day of samples — exposed for tests and incremental simulation.
+  std::vector<ResourceSample> generate_day(DayType type, std::int64_t day_index,
+                                           const MachinePersona& persona,
+                                           Rng& day_rng) const;
+
+ private:
+  WorkloadParams params_;
+  Rng rng_;
+};
+
+/// Fleet convenience: `count` machines with ids "<prefix>NN" and independent
+/// seeds derived from `seed`.
+std::vector<MachineTrace> generate_fleet(const WorkloadParams& params,
+                                         std::uint64_t seed, int count,
+                                         int days,
+                                         const std::string& prefix = "host",
+                                         int epoch_day_of_week = 0);
+
+}  // namespace fgcs

@@ -1,0 +1,136 @@
+#include "core/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace fgcs {
+namespace {
+
+using test::sample;
+
+StateClassifier make_classifier(SimTime period = 6) {
+  return StateClassifier(test::test_thresholds(), period);
+}
+
+TEST(ClassifierTest, RawBoundaries) {
+  const StateClassifier c = make_classifier();
+  EXPECT_EQ(c.classify_sample(sample(0)), State::kS1);
+  EXPECT_EQ(c.classify_sample(sample(19)), State::kS1);
+  EXPECT_EQ(c.classify_sample(sample(20)), State::kS2);  // Th1 inclusive → S2
+  EXPECT_EQ(c.classify_sample(sample(60)), State::kS2);  // Th2 inclusive → S2
+  EXPECT_EQ(c.classify_sample(sample(61)), State::kS3);
+  EXPECT_EQ(c.classify_sample(sample(100)), State::kS3);
+}
+
+TEST(ClassifierTest, MemoryAndRevocationPrecedence) {
+  const StateClassifier c = make_classifier();
+  // Below the guest working set → S4 even at low CPU load.
+  EXPECT_EQ(c.classify_sample(sample(5, 99, true)), State::kS4);
+  EXPECT_EQ(c.classify_sample(sample(5, 100, true)), State::kS1);
+  // Machine down dominates everything.
+  EXPECT_EQ(c.classify_sample(sample(5, 50, false)), State::kS5);
+  EXPECT_EQ(c.classify_sample(sample(90, 400, false)), State::kS5);
+}
+
+TEST(ClassifierTest, TransientSpikeRelabeledToPrecedingState) {
+  const StateClassifier c = make_classifier(6);  // limit = 10 ticks
+  // 5-tick spike (< 10 ticks) inside an S1 run.
+  std::vector<ResourceSample> samples(20, sample(10));
+  for (int i = 8; i < 13; ++i) samples[i] = sample(90);
+  const std::vector<State> states = c.classify(samples);
+  for (const State s : states) EXPECT_EQ(s, State::kS1);
+}
+
+TEST(ClassifierTest, TransientSpikeInsideS2KeepsS2) {
+  const StateClassifier c = make_classifier(6);
+  std::vector<ResourceSample> samples(20, sample(40));
+  for (int i = 8; i < 13; ++i) samples[i] = sample(95);
+  const std::vector<State> states = c.classify(samples);
+  for (const State s : states) EXPECT_EQ(s, State::kS2);
+}
+
+TEST(ClassifierTest, SteadyHighLoadBecomesS3) {
+  const StateClassifier c = make_classifier(6);
+  std::vector<ResourceSample> samples(30, sample(10));
+  for (int i = 10; i < 21; ++i) samples[i] = sample(90);  // 11 ticks ≥ limit
+  const std::vector<State> states = c.classify(samples);
+  EXPECT_EQ(states[9], State::kS1);
+  for (int i = 10; i < 21; ++i) EXPECT_EQ(states[i], State::kS3) << i;
+  EXPECT_EQ(states[21], State::kS1);
+}
+
+TEST(ClassifierTest, SpikeExactlyAtLimitIsNotTransient) {
+  const StateClassifier c = make_classifier(6);  // limit = 10 ticks
+  std::vector<ResourceSample> samples(30, sample(10));
+  for (int i = 5; i < 15; ++i) samples[i] = sample(80);  // exactly 10 ticks
+  const std::vector<State> states = c.classify(samples);
+  EXPECT_EQ(states[5], State::kS3);
+  EXPECT_EQ(states[14], State::kS3);
+}
+
+TEST(ClassifierTest, SpikeAtSequenceStartUsesFollowingState) {
+  const StateClassifier c = make_classifier(6);
+  std::vector<ResourceSample> samples(15, sample(30));  // S2 region
+  for (int i = 0; i < 4; ++i) samples[i] = sample(90);
+  const std::vector<State> states = c.classify(samples);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(states[i], State::kS2) << i;
+}
+
+TEST(ClassifierTest, SpikeSurroundedByFailuresFallsBackToS2) {
+  const StateClassifier c = make_classifier(6);
+  std::vector<ResourceSample> samples;
+  samples.push_back(sample(10, 400, false));  // S5
+  samples.push_back(sample(90));              // short S3 spike
+  samples.push_back(sample(10, 400, false));  // S5
+  const std::vector<State> states = c.classify(samples);
+  EXPECT_EQ(states[0], State::kS5);
+  EXPECT_EQ(states[1], State::kS2);
+  EXPECT_EQ(states[2], State::kS5);
+}
+
+TEST(ClassifierTest, ZeroTransientLimitDisablesRelabeling) {
+  Thresholds t = test::test_thresholds();
+  t.transient_limit = 0;
+  const StateClassifier c(t, 6);
+  std::vector<ResourceSample> samples(5, sample(10));
+  samples[2] = sample(90);
+  const std::vector<State> states = c.classify(samples);
+  EXPECT_EQ(states[2], State::kS3);
+}
+
+TEST(ClassifierTest, EmptyInputGivesEmptyOutput) {
+  const StateClassifier c = make_classifier();
+  EXPECT_TRUE(c.classify({}).empty());
+}
+
+TEST(ClassifierTest, ClassifyWindowChecksPeriodMatch) {
+  const StateClassifier c = make_classifier(6);
+  const MachineTrace trace = test::constant_trace(1, 10, /*period=*/60);
+  const TimeWindow w{.start_of_day = 0, .length = kSecondsPerHour};
+  EXPECT_THROW(c.classify_window(trace, 0, w), PreconditionError);
+}
+
+TEST(ClassifierTest, ClassifyWindowEndToEnd) {
+  const StateClassifier c = make_classifier(60);
+  const MachineTrace trace = test::constant_trace(1, 30, /*period=*/60);
+  const TimeWindow w{.start_of_day = 0, .length = kSecondsPerHour};
+  const std::vector<State> states = c.classify_window(trace, 0, w);
+  ASSERT_EQ(states.size(), 60u);
+  for (const State s : states) EXPECT_EQ(s, State::kS2);
+}
+
+TEST(StatesTest, FailurePredicates) {
+  EXPECT_TRUE(is_available(State::kS1));
+  EXPECT_TRUE(is_available(State::kS2));
+  EXPECT_TRUE(is_failure(State::kS3));
+  EXPECT_TRUE(is_failure(State::kS4));
+  EXPECT_TRUE(is_failure(State::kS5));
+  EXPECT_STREQ(to_string(State::kS4), "S4");
+}
+
+}  // namespace
+}  // namespace fgcs

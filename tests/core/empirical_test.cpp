@@ -1,0 +1,113 @@
+#include "core/empirical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace fgcs {
+namespace {
+
+using test::constant_day;
+using test::sample;
+
+TEST(SurvivesWindowTest, BasicCases) {
+  EXPECT_FALSE(survives_window({}));
+  const std::vector<State> ok{State::kS1, State::kS2, State::kS1};
+  EXPECT_TRUE(survives_window(ok));
+  const std::vector<State> fails_mid{State::kS1, State::kS3, State::kS1};
+  EXPECT_FALSE(survives_window(fails_mid));
+  const std::vector<State> starts_failed{State::kS5, State::kS1};
+  EXPECT_FALSE(survives_window(starts_failed));
+  const std::vector<State> fails_last{State::kS1, State::kS4};
+  EXPECT_FALSE(survives_window(fails_last));
+}
+
+TEST(EmpiricalTrTest, CountsEligibleAndSurvivors) {
+  MachineTrace trace("m", Calendar(0), 60, 512);
+  // Day 0: survives. Day 1: fails mid-window. Day 2: starts down (ineligible).
+  trace.append_day(constant_day(60, 10));
+  {
+    auto day = constant_day(60, 10);
+    for (std::size_t i = 20; i < 60; ++i) day[i] = sample(95);
+    trace.append_day(std::move(day));
+  }
+  {
+    auto day = constant_day(60, 10);
+    day[0] = sample(10, 400, false);
+    trace.append_day(std::move(day));
+  }
+  const StateClassifier classifier(test::test_thresholds(), 60);
+  const TimeWindow w{.start_of_day = 0, .length = 2 * kSecondsPerHour};
+  const std::vector<std::int64_t> days{0, 1, 2};
+  const EmpiricalTr result = empirical_tr(trace, days, w, classifier);
+  EXPECT_EQ(result.eligible_days, 2u);
+  EXPECT_EQ(result.surviving_days, 1u);
+  ASSERT_TRUE(result.tr.has_value());
+  EXPECT_DOUBLE_EQ(*result.tr, 0.5);
+}
+
+TEST(EmpiricalTrTest, NoEligibleDaysGivesEmptyTr) {
+  MachineTrace trace("m", Calendar(0), 60, 512);
+  auto day = constant_day(60, 10);
+  for (auto& s : day) s.set_up(false);
+  trace.append_day(std::move(day));
+  const StateClassifier classifier(test::test_thresholds(), 60);
+  const TimeWindow w{.start_of_day = 0, .length = kSecondsPerHour};
+  const std::vector<std::int64_t> days{0};
+  EXPECT_FALSE(empirical_tr(trace, days, w, classifier).tr.has_value());
+}
+
+TEST(EmpiricalTrTest, OutOfRangeDaysAreSkipped) {
+  const MachineTrace trace = test::constant_trace(2, 10, 60);
+  const StateClassifier classifier(test::test_thresholds(), 60);
+  const TimeWindow w{.start_of_day = 0, .length = kSecondsPerHour};
+  const std::vector<std::int64_t> days{0, 1, 2, 7};
+  const EmpiricalTr result = empirical_tr(trace, days, w, classifier);
+  EXPECT_EQ(result.eligible_days, 2u);
+}
+
+TEST(RelativeErrorTest, Definition) {
+  EXPECT_DOUBLE_EQ(relative_error(0.8, 1.0), 0.2);
+  EXPECT_DOUBLE_EQ(relative_error(1.0, 0.8), 0.25);
+  EXPECT_DOUBLE_EQ(relative_error(0.5, 0.5), 0.0);
+  EXPECT_THROW(relative_error(0.5, 0.0), PreconditionError);
+}
+
+TEST(UnavailabilityStatsTest, CountsMaximalRunsPerFailureType) {
+  MachineTrace trace("m", Calendar(0), 60, 512);
+  auto day = constant_day(60, 10);
+  // Two separate S3 episodes, one S4, one S5.
+  for (std::size_t i = 100; i < 105; ++i) day[i] = sample(95);
+  for (std::size_t i = 200; i < 204; ++i) day[i] = sample(95);
+  for (std::size_t i = 300; i < 310; ++i) day[i] = sample(10, 20, true);
+  for (std::size_t i = 400; i < 420; ++i) day[i] = sample(0, 400, false);
+  trace.append_day(std::move(day));
+
+  Thresholds t = test::test_thresholds();
+  t.transient_limit = 0;  // count every overload episode
+  const StateClassifier classifier(t, 60);
+  const UnavailabilityStats stats = count_unavailability(trace, classifier);
+  EXPECT_EQ(stats.cpu_contention, 2u);
+  EXPECT_EQ(stats.memory_thrash, 1u);
+  EXPECT_EQ(stats.revocation, 1u);
+  EXPECT_EQ(stats.total(), 4u);
+}
+
+TEST(UnavailabilityStatsTest, RunsSpanningMidnightCountOnce) {
+  MachineTrace trace("m", Calendar(0), 60, 512);
+  auto day0 = constant_day(60, 10);
+  for (std::size_t i = 1380; i < 1440; ++i) day0[i] = sample(0, 400, false);
+  auto day1 = constant_day(60, 10);
+  for (std::size_t i = 0; i < 30; ++i) day1[i] = sample(0, 400, false);
+  trace.append_day(std::move(day0));
+  trace.append_day(std::move(day1));
+
+  const StateClassifier classifier(test::test_thresholds(), 60);
+  const UnavailabilityStats stats = count_unavailability(trace, classifier);
+  EXPECT_EQ(stats.revocation, 1u);
+  EXPECT_EQ(stats.total(), 1u);
+}
+
+}  // namespace
+}  // namespace fgcs

@@ -1,0 +1,106 @@
+#include "core/fast_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace fgcs {
+namespace {
+
+TEST(RenewalSolverTest, NoKernelIsIdentity) {
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  const std::vector<double> x = solve_renewal(b, {});
+  EXPECT_EQ(x, b);
+}
+
+TEST(RenewalSolverTest, GeometricGrowthFromUnitDelayKernel) {
+  // x = b + k ⊛ x with k = [0, 1]: x[m] = b[m] + x[m−1] → prefix sums of b…
+  // no: x[m] = b[m] + x[m-1] gives cumulative sums only when the kernel stops
+  // there. With b = [1,0,0,0]: x = [1,1,1,1].
+  const std::vector<double> b{1.0, 0.0, 0.0, 0.0};
+  const std::vector<double> k{0.0, 1.0};
+  const std::vector<double> x = solve_renewal(b, k);
+  for (const double v : x) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(RenewalSolverTest, FibonacciKernel) {
+  // k = [0, 1, 1], b = impulse: x satisfies x[m] = x[m−1] + x[m−2].
+  std::vector<double> b(10, 0.0);
+  b[0] = 1.0;
+  const std::vector<double> k{0.0, 1.0, 1.0};
+  const std::vector<double> x = solve_renewal(b, k);
+  const std::vector<double> fib{1, 1, 2, 3, 5, 8, 13, 21, 34, 55};
+  for (std::size_t i = 0; i < fib.size(); ++i)
+    EXPECT_NEAR(x[i], fib[i], 1e-9) << i;
+}
+
+TEST(RenewalSolverTest, MatchesDirectSolveOnRandomInput) {
+  Rng rng(5);
+  const std::size_t n = 700;  // crosses several D&C levels
+  std::vector<double> b(n), k(n, 0.0);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  for (std::size_t l = 1; l < n; ++l) k[l] = rng.uniform(-0.02, 0.02);
+
+  const std::vector<double> fast = solve_renewal(b, k);
+  // Direct triangular solve.
+  std::vector<double> direct = b;
+  for (std::size_t m = 0; m < n; ++m)
+    for (std::size_t l = 1; l <= m; ++l) direct[m] += k[l] * direct[m - l];
+  for (std::size_t m = 0; m < n; ++m)
+    EXPECT_NEAR(fast[m], direct[m], 1e-9) << m;
+}
+
+TEST(RenewalSolverTest, RejectsNonCausalKernel) {
+  const std::vector<double> b{1.0};
+  const std::vector<double> k{0.5};
+  EXPECT_THROW(solve_renewal(b, k), PreconditionError);
+}
+
+TEST(FastTrSolverTest, RequiresFgcsLayout) {
+  SmpModel model(3, 4);
+  EXPECT_THROW(FastTrSolver{model}, PreconditionError);
+}
+
+class FastVsSparseTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FastVsSparseTest, IdenticalSeries) {
+  Rng rng(static_cast<std::uint64_t>(700 + GetParam()));
+  const SmpModel model = test::random_fgcs_model(
+      12, rng, /*allow_defective=*/GetParam() % 2 == 0);
+  const std::size_t n = 16 + static_cast<std::size_t>(GetParam()) * 23;
+
+  const SparseTrSolver sparse(model);
+  const FastTrSolver fast(model);
+  const auto s_series = sparse.solve_series(n);
+  const auto f_series = fast.solve_series(n);
+  for (std::size_t row = 0; row < 2; ++row)
+    for (std::size_t jj = 0; jj < 3; ++jj)
+      for (std::size_t m = 0; m <= n; ++m)
+        ASSERT_NEAR(f_series[row][jj][m], s_series[row][jj][m], 1e-10)
+            << "row=" << row << " j=" << jj << " m=" << m;
+
+  for (const State init : {State::kS1, State::kS2}) {
+    const auto a = sparse.solve(init, n);
+    const auto b = fast.solve(init, n);
+    EXPECT_NEAR(a.temporal_reliability, b.temporal_reliability, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FastVsSparseTest, ::testing::Range(0, 12));
+
+TEST(FastTrSolverTest, LargeWindowAgreesWithSparse) {
+  // One realistic-size check (1 h at 6 s = 600 ticks).
+  Rng rng(99);
+  const SmpModel model = test::random_fgcs_model(40, rng);
+  const SparseTrSolver sparse(model);
+  const FastTrSolver fast(model);
+  const double a = sparse.solve(State::kS1, 600).temporal_reliability;
+  const double b = fast.solve(State::kS1, 600).temporal_reliability;
+  EXPECT_NEAR(a, b, 1e-9);
+}
+
+}  // namespace
+}  // namespace fgcs

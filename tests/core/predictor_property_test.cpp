@@ -1,0 +1,119 @@
+// Property sweeps over randomly generated traces: invariants the predictor
+// must satisfy regardless of workload.
+#include <gtest/gtest.h>
+
+#include "core/predictor.hpp"
+#include "test_support.hpp"
+#include "workload/trace_generator.hpp"
+
+namespace fgcs {
+namespace {
+
+WorkloadParams fast_params() {
+  WorkloadParams params;
+  params.sampling_period = 60;
+  return params;
+}
+
+class PredictorPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  MachineTrace make_trace() {
+    TraceGenerator generator(fast_params(),
+                             3000 + static_cast<std::uint64_t>(GetParam()));
+    return generator.generate("prop", 21);
+  }
+};
+
+TEST_P(PredictorPropertyTest, TrAlwaysInUnitInterval) {
+  const MachineTrace trace = make_trace();
+  const AvailabilityPredictor predictor;
+  for (const SimTime start_hr : {0, 7, 13, 22}) {
+    for (const SimTime len_hr : {1, 5, 10}) {
+      const Prediction p = predictor.predict(
+          trace, {.target_day = 20,
+                  .window = {.start_of_day = start_hr * kSecondsPerHour,
+                             .length = len_hr * kSecondsPerHour}});
+      EXPECT_GE(p.temporal_reliability, 0.0);
+      EXPECT_LE(p.temporal_reliability, 1.0);
+      double absorbed = 0.0;
+      for (const double a : p.p_absorb) {
+        EXPECT_GE(a, -1e-12);
+        absorbed += a;
+      }
+      EXPECT_NEAR(p.temporal_reliability + absorbed, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST_P(PredictorPropertyTest, TrFromSameModelDecreasesWithSteps) {
+  // For a FIXED estimated model, absorption can only grow with the horizon.
+  const MachineTrace trace = make_trace();
+  const SmpEstimator estimator;
+  const TimeWindow window{.start_of_day = 10 * kSecondsPerHour,
+                          .length = 8 * kSecondsPerHour};
+  const SmpModel model = estimator.estimate(trace, 20, window);
+  const SparseTrSolver solver(model);
+  double previous = 1.0;
+  for (std::size_t steps = 10; steps <= 480; steps += 47) {
+    const double tr = solver.solve(State::kS1, steps).temporal_reliability;
+    EXPECT_LE(tr, previous + 1e-12) << steps;
+    previous = tr;
+  }
+}
+
+TEST_P(PredictorPropertyTest, SlicePreservesPredictions) {
+  // Predicting on a slice that still contains all the training days must give
+  // the same answer as predicting on the full trace.
+  const MachineTrace trace = make_trace();
+  EstimatorConfig config;
+  config.training_days = 5;
+  const AvailabilityPredictor predictor(config);
+  const TimeWindow window{.start_of_day = 9 * kSecondsPerHour,
+                          .length = 2 * kSecondsPerHour};
+
+  // Day 18 is a Friday (Monday epoch); its 5 most recent weekdays are
+  // 11, 14, 15, 16, 17 — all inside the slice [7, 21).
+  const double full =
+      predictor.predict(trace, {.target_day = 18, .window = window})
+          .temporal_reliability;
+  const MachineTrace sliced = trace.slice(7, 21);
+  const double partial =
+      predictor.predict(sliced, {.target_day = 11, .window = window})
+          .temporal_reliability;
+  EXPECT_NEAR(full, partial, 1e-12);
+}
+
+TEST_P(PredictorPropertyTest, MoreHistoryNeverThrows) {
+  const MachineTrace trace = make_trace();
+  for (const std::size_t n : {1u, 3u, 30u, 0u}) {
+    EstimatorConfig config;
+    config.training_days = n;
+    const AvailabilityPredictor predictor(config);
+    EXPECT_NO_THROW(predictor.predict(
+        trace, {.target_day = 20,
+                .window = {.start_of_day = 0, .length = kSecondsPerHour}}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PredictorPropertyTest, ::testing::Range(0, 6));
+
+TEST(TraceSliceTest, PreservesDayTypesAndContent) {
+  TraceGenerator generator(fast_params(), 41);
+  const MachineTrace trace = generator.generate("s", 14);
+  const MachineTrace weekend_start = trace.slice(5, 14);  // day 5 = Saturday
+  ASSERT_EQ(weekend_start.day_count(), 9);
+  EXPECT_EQ(weekend_start.day_type(0), DayType::kWeekend);
+  EXPECT_EQ(weekend_start.day_type(2), DayType::kWeekday);
+  for (std::size_t i = 0; i < trace.samples_per_day(); i += 97)
+    ASSERT_EQ(weekend_start.at(0, i), trace.at(5, i));
+}
+
+TEST(TraceSliceTest, ValidatesBounds) {
+  const MachineTrace trace = test::constant_trace(5, 10, 3600);
+  EXPECT_THROW(trace.slice(-1, 3), PreconditionError);
+  EXPECT_THROW(trace.slice(2, 2), PreconditionError);
+  EXPECT_THROW(trace.slice(0, 6), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fgcs

@@ -1,0 +1,126 @@
+#include "core/sparse_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace fgcs {
+namespace {
+
+TEST(SparseSolverTest, RejectsWrongStateCount) {
+  SmpModel model(3, 4);
+  EXPECT_THROW(SparseTrSolver{model}, PreconditionError);
+}
+
+TEST(SparseSolverTest, RejectsNonAbsorbingFailureStates) {
+  SmpModel model(kStateCount, 4);
+  model.set_q(2, 0, 1.0);  // S3 → S1: failures must be absorbing
+  model.set_h_pmf(2, 0, {1.0});
+  EXPECT_THROW(SparseTrSolver{model}, PreconditionError);
+}
+
+TEST(SparseSolverTest, RejectsFailureInitialState) {
+  Rng rng(1);
+  const SmpModel model = test::random_fgcs_model(4, rng);
+  const SparseTrSolver solver(model);
+  EXPECT_THROW(solver.solve(State::kS3, 4), PreconditionError);
+}
+
+TEST(SparseSolverTest, EmptyModelPredictsCertainSurvival) {
+  // A machine with no observed transitions: defective rows everywhere.
+  SmpModel model(kStateCount, 8);
+  const SparseTrSolver solver(model);
+  const auto result = solver.solve(State::kS1, 8);
+  EXPECT_DOUBLE_EQ(result.temporal_reliability, 1.0);
+}
+
+TEST(SparseSolverTest, DirectAbsorptionMatchesHandComputation) {
+  // S1 → S3 with Q = 0.4 and hold exactly 2 ticks; rest censored.
+  SmpModel model(kStateCount, 8);
+  model.set_q(0, 2, 0.4);
+  model.set_h_pmf(0, 2, {0.0, 1.0});
+  const SparseTrSolver solver(model);
+  EXPECT_DOUBLE_EQ(solver.solve(State::kS1, 1).temporal_reliability, 1.0);
+  const auto r2 = solver.solve(State::kS1, 2);
+  EXPECT_NEAR(r2.temporal_reliability, 0.6, 1e-12);
+  EXPECT_NEAR(r2.p_absorb[0], 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(r2.p_absorb[1], 0.0);
+  EXPECT_DOUBLE_EQ(r2.p_absorb[2], 0.0);
+}
+
+TEST(SparseSolverTest, TwoHopThroughS2) {
+  // S1 → S2 (hold 1, prob 1), S2 → S5 (hold 1, prob 1): absorbed at tick 2.
+  SmpModel model(kStateCount, 8);
+  model.set_q(0, 1, 1.0);
+  model.set_h_pmf(0, 1, {1.0});
+  model.set_q(1, 4, 1.0);
+  model.set_h_pmf(1, 4, {1.0});
+  const SparseTrSolver solver(model);
+  EXPECT_DOUBLE_EQ(solver.solve(State::kS1, 1).temporal_reliability, 1.0);
+  const auto r = solver.solve(State::kS1, 2);
+  EXPECT_NEAR(r.p_absorb[2], 1.0, 1e-12);  // S5
+  EXPECT_NEAR(r.temporal_reliability, 0.0, 1e-12);
+  // Starting in S2 it only takes one tick.
+  EXPECT_NEAR(solver.solve(State::kS2, 1).p_absorb[2], 1.0, 1e-12);
+}
+
+class SparseVsDenseTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseVsDenseTest, SparseEqualsGenericSolver) {
+  Rng rng(static_cast<std::uint64_t>(500 + GetParam()));
+  const SmpModel model =
+      test::random_fgcs_model(10, rng, /*allow_defective=*/GetParam() % 3 == 0);
+  const std::size_t n = 2 + static_cast<std::size_t>(GetParam());
+
+  const SparseTrSolver sparse(model);
+  const DenseSmpSolver dense(model);
+
+  for (const State init : {State::kS1, State::kS2}) {
+    const auto result = sparse.solve(init, n);
+    const std::vector<double> fp = dense.first_passage(index_of(init), n);
+    EXPECT_NEAR(result.p_absorb[0], fp[2], 1e-10);
+    EXPECT_NEAR(result.p_absorb[1], fp[3], 1e-10);
+    EXPECT_NEAR(result.p_absorb[2], fp[4], 1e-10);
+    EXPECT_NEAR(result.temporal_reliability, 1.0 - (fp[2] + fp[3] + fp[4]),
+                1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SparseVsDenseTest, ::testing::Range(0, 20));
+
+class TrMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrMonotonicityTest, TrDecreasesWithWindowLength) {
+  Rng rng(static_cast<std::uint64_t>(900 + GetParam()));
+  const SmpModel model = test::random_fgcs_model(6, rng);
+  const SparseTrSolver solver(model);
+  double previous = 1.0;
+  for (std::size_t n = 1; n <= 30; ++n) {
+    const double tr = solver.solve(State::kS1, n).temporal_reliability;
+    EXPECT_LE(tr, previous + 1e-12) << "n=" << n;
+    EXPECT_GE(tr, 0.0);
+    EXPECT_LE(tr, 1.0);
+    previous = tr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TrMonotonicityTest, ::testing::Range(0, 10));
+
+TEST(SparseSolverTest, SeriesStartsAtZero) {
+  Rng rng(77);
+  const SmpModel model = test::random_fgcs_model(5, rng);
+  const SparseTrSolver solver(model);
+  const auto series = solver.solve_series(6);
+  for (const auto& by_target : series)
+    for (const auto& p : by_target) {
+      ASSERT_EQ(p.size(), 7u);
+      EXPECT_DOUBLE_EQ(p[0], 0.0);
+      // Absorption probabilities are nondecreasing in m.
+      for (std::size_t m = 1; m < p.size(); ++m)
+        EXPECT_GE(p[m] + 1e-12, p[m - 1]);
+    }
+}
+
+}  // namespace
+}  // namespace fgcs

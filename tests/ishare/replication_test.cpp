@@ -1,0 +1,109 @@
+#include "ishare/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace fgcs {
+namespace {
+
+using test::constant_day;
+using test::sample;
+
+MachineTrace idle_trace(const std::string& id, int days, int load_pct = 5) {
+  MachineTrace trace(id, Calendar(0), 60, 512);
+  for (int d = 0; d < days; ++d) trace.append_day(constant_day(60, load_pct));
+  return trace;
+}
+
+TEST(ReplicationTest, SingleReplicaCompletesLikePlainExecution) {
+  const MachineTrace trace = idle_trace("only", 6);
+  Gateway gateway(trace, test::test_thresholds());
+  Registry registry;
+  registry.publish(gateway);
+  const ReplicatingScheduler scheduler(registry, 1);
+
+  const GuestJobSpec job{.job_id = "j", .cpu_seconds = 1800, .mem_mb = 64};
+  const SimTime submit = 5 * kSecondsPerDay + 9 * kSecondsPerHour;
+  const ReplicatedOutcome outcome =
+      scheduler.run_job(job, submit, submit + kSecondsPerDay);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.replicas_started, 1);
+  EXPECT_EQ(outcome.winning_machine, "only");
+}
+
+TEST(ReplicationTest, FirstCompletionWins) {
+  // A fast (idle) machine and a slow (busy but available) one.
+  const MachineTrace fast = idle_trace("fast", 6, 5);
+  const MachineTrace slow = idle_trace("slow", 6, 55);  // S2: less idle
+  Gateway g_fast(fast, test::test_thresholds());
+  Gateway g_slow(slow, test::test_thresholds());
+  Registry registry;
+  registry.publish(g_fast);
+  registry.publish(g_slow);
+  const ReplicatingScheduler scheduler(registry, 2);
+
+  const GuestJobSpec job{.job_id = "j", .cpu_seconds = 3600, .mem_mb = 64};
+  const SimTime submit = 5 * kSecondsPerDay + 9 * kSecondsPerHour;
+  const ReplicatedOutcome outcome =
+      scheduler.run_job(job, submit, submit + kSecondsPerDay);
+  ASSERT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.winning_machine, "fast");
+  EXPECT_EQ(outcome.replicas_started, 2);
+  // The redundancy costs extra CPU beyond the job itself.
+  EXPECT_GT(outcome.total_cpu_spent, job.cpu_seconds);
+}
+
+TEST(ReplicationTest, SurvivesSingleMachineFailure) {
+  // One machine dies mid-morning every day; the other is clean.
+  MachineTrace flaky("flaky", Calendar(0), 60, 512);
+  for (int d = 0; d < 6; ++d) {
+    auto day = constant_day(60, 5);
+    for (std::size_t i = 10 * 60; i < 12 * 60; ++i) day[i] = sample(95);
+    flaky.append_day(std::move(day));
+  }
+  const MachineTrace clean = idle_trace("clean", 6);
+  Gateway g_flaky(flaky, test::test_thresholds());
+  Gateway g_clean(clean, test::test_thresholds());
+  Registry registry;
+  registry.publish(g_flaky);
+  registry.publish(g_clean);
+  const ReplicatingScheduler scheduler(registry, 2);
+
+  const GuestJobSpec job{.job_id = "j", .cpu_seconds = 4 * 3600, .mem_mb = 64};
+  const SimTime submit = 5 * kSecondsPerDay + 9 * kSecondsPerHour;
+  const ReplicatedOutcome outcome =
+      scheduler.run_job(job, submit, submit + kSecondsPerDay);
+  ASSERT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.winning_machine, "clean");
+  EXPECT_EQ(outcome.replicas_failed, 1);  // the flaky one was lost
+}
+
+TEST(ReplicationTest, MoreReplicasThanMachinesIsClamped) {
+  const MachineTrace trace = idle_trace("m", 4);
+  Gateway gateway(trace, test::test_thresholds());
+  Registry registry;
+  registry.publish(gateway);
+  const ReplicatingScheduler scheduler(registry, 5);
+  const GuestJobSpec job{.job_id = "j", .cpu_seconds = 600, .mem_mb = 64};
+  const SimTime submit = 3 * kSecondsPerDay;
+  const ReplicatedOutcome outcome =
+      scheduler.run_job(job, submit, submit + kSecondsPerDay);
+  EXPECT_EQ(outcome.replicas_started, 1);
+}
+
+TEST(ReplicationTest, ValidatesArguments) {
+  Registry registry;
+  EXPECT_THROW(ReplicatingScheduler(registry, 0), PreconditionError);
+  const ReplicatingScheduler scheduler(registry, 1);
+  const GuestJobSpec job{.job_id = "j", .cpu_seconds = 600, .mem_mb = 64};
+  EXPECT_THROW(scheduler.run_job(job, 100, 100), PreconditionError);
+  // Empty registry: no replicas, not completed.
+  const ReplicatedOutcome outcome = scheduler.run_job(job, 0, 1000);
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_EQ(outcome.replicas_started, 0);
+}
+
+}  // namespace
+}  // namespace fgcs

@@ -1,0 +1,134 @@
+#include "ishare/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace fgcs {
+namespace {
+
+using test::constant_day;
+using test::sample;
+
+/// Machine whose weekday mornings always overload 10:00–12:00.
+MachineTrace unreliable_trace(const std::string& id, int days) {
+  MachineTrace trace(id, Calendar(0), 60, 512);
+  for (int d = 0; d < days; ++d) {
+    auto day = constant_day(60, 10);
+    for (std::size_t i = 10 * 60; i < 12 * 60; ++i) day[i] = sample(95);
+    trace.append_day(std::move(day));
+  }
+  return trace;
+}
+
+MachineTrace reliable_trace(const std::string& id, int days) {
+  MachineTrace trace(id, Calendar(0), 60, 512);
+  for (int d = 0; d < days; ++d) trace.append_day(constant_day(60, 10));
+  return trace;
+}
+
+TEST(JobSchedulerTest, SelectsTheMoreReliableMachine) {
+  const MachineTrace good = reliable_trace("good", 8);
+  const MachineTrace bad = unreliable_trace("bad", 8);
+  Gateway g_good(good, test::test_thresholds());
+  Gateway g_bad(bad, test::test_thresholds());
+  Registry registry;
+  registry.publish(g_bad);
+  registry.publish(g_good);
+
+  const JobScheduler scheduler(registry);
+  const SimTime now = 7 * kSecondsPerDay + 9 * kSecondsPerHour;
+  Gateway* choice = scheduler.select_machine(now, 4 * kSecondsPerHour);
+  ASSERT_NE(choice, nullptr);
+  EXPECT_EQ(choice->machine_id(), "good");
+}
+
+TEST(JobSchedulerTest, EmptyRegistryGivesNoMachine) {
+  Registry registry;
+  const JobScheduler scheduler(registry);
+  EXPECT_EQ(scheduler.select_machine(0, 3600), nullptr);
+  const GuestJobSpec job{.job_id = "j", .cpu_seconds = 100, .mem_mb = 50};
+  const JobOutcome outcome = scheduler.run_job(job, 60, 86400);
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_EQ(outcome.attempts, 0);
+}
+
+TEST(JobSchedulerTest, CompletesJobOnReliableMachine) {
+  const MachineTrace good = reliable_trace("good", 8);
+  Gateway gateway(good, test::test_thresholds());
+  Registry registry;
+  registry.publish(gateway);
+  const JobScheduler scheduler(registry);
+
+  const GuestJobSpec job{.job_id = "j", .cpu_seconds = 3600, .mem_mb = 100};
+  const SimTime submit = 6 * kSecondsPerDay + 9 * kSecondsPerHour;
+  const JobOutcome outcome =
+      scheduler.run_job(job, submit, submit + kSecondsPerDay);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.attempts, 1);
+  EXPECT_EQ(outcome.failures, 0);
+  EXPECT_EQ(outcome.machines_used, std::vector<std::string>{"good"});
+  EXPECT_GT(outcome.response_time(), 3600);
+  EXPECT_LT(outcome.response_time(), 2 * 3600);
+}
+
+TEST(JobSchedulerTest, RestartsAfterFailureAndEventuallyCompletes) {
+  // Only an unreliable machine is available: a 3-CPU-hour job submitted at
+  // 9:00 dies at 10:01 and must be restarted (from scratch) after the
+  // overload clears; it completes in the afternoon.
+  const MachineTrace bad = unreliable_trace("bad", 8);
+  Gateway gateway(bad, test::test_thresholds());
+  Registry registry;
+  registry.publish(gateway);
+  SchedulerConfig config;
+  config.retry_delay = 600;
+  const JobScheduler scheduler(registry, config);
+
+  const GuestJobSpec job{.job_id = "j", .cpu_seconds = 3 * 3600, .mem_mb = 100};
+  const SimTime submit = 7 * kSecondsPerDay + 9 * kSecondsPerHour;
+  const JobOutcome outcome =
+      scheduler.run_job(job, submit, submit + kSecondsPerDay);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_GT(outcome.failures, 0);
+  EXPECT_GT(outcome.attempts, 1);
+}
+
+TEST(JobSchedulerTest, CheckpointingReducesResponseTimeOnFlakyMachine) {
+  const MachineTrace bad = unreliable_trace("bad", 8);
+  Gateway gateway(bad, test::test_thresholds());
+  Registry registry;
+  registry.publish(gateway);
+  SchedulerConfig config;
+  config.retry_delay = 300;  // keep the retry count well under max_attempts
+  const JobScheduler scheduler(registry, config);
+
+  // 6-CPU-hour job straddling the daily overload.
+  const GuestJobSpec job{.job_id = "j", .cpu_seconds = 6 * 3600, .mem_mb = 100};
+  const SimTime submit = 7 * kSecondsPerDay + 6 * kSecondsPerHour;
+  CheckpointConfig checkpoint;
+  checkpoint.fixed_interval = 1800;
+  checkpoint.cost_seconds = 30;
+
+  const JobOutcome without = scheduler.run_job(
+      job, submit, submit + kSecondsPerDay, CheckpointMode::kNone);
+  const JobOutcome with = scheduler.run_job(
+      job, submit, submit + kSecondsPerDay, CheckpointMode::kFixed, checkpoint);
+
+  ASSERT_TRUE(without.completed);
+  ASSERT_TRUE(with.completed);
+  EXPECT_GT(with.checkpoints_taken, 0);
+  EXPECT_LT(with.response_time(), without.response_time());
+}
+
+TEST(JobSchedulerTest, ValidatesConfigAndArguments) {
+  Registry registry;
+  EXPECT_THROW(JobScheduler(registry, SchedulerConfig{.max_attempts = 0}),
+               PreconditionError);
+  const JobScheduler scheduler(registry);
+  const GuestJobSpec job{.job_id = "j", .cpu_seconds = 10, .mem_mb = 10};
+  EXPECT_THROW(scheduler.run_job(job, 100, 100), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fgcs

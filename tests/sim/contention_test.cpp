@@ -1,0 +1,120 @@
+#include "sim/contention.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+namespace {
+
+TEST(ContentionStudyTest, NoGuestMeansNoReduction) {
+  ContentionStudy study({}, 1);
+  const ContentionResult r = study.run(0.4, 2, std::nullopt, 120.0);
+  EXPECT_DOUBLE_EQ(r.reduction_rate, 0.0);
+  EXPECT_NEAR(r.isolated_host_load, 0.4, 0.05);
+}
+
+TEST(ContentionStudyTest, IsolatedLoadTracksTarget) {
+  // At low target loads the measured group usage matches the demand; near
+  // saturation, intra-group queueing stretches the duty cycles and the
+  // achieved usage sags below the target — real time-sharing behaviour.
+  ContentionStudy study({}, 2);
+  for (const double load : {0.2, 0.4}) {
+    const ContentionResult r = study.run(load, 3, std::nullopt, 200.0);
+    EXPECT_NEAR(r.isolated_host_load, load, 0.06) << load;
+  }
+  const ContentionResult high = study.run(0.8, 3, std::nullopt, 200.0);
+  EXPECT_GT(high.isolated_host_load, 0.60);
+  EXPECT_LT(high.isolated_host_load, 0.85);
+}
+
+TEST(ContentionStudyTest, DefaultPriorityGuestWorseThanReniced) {
+  ContentionStudy study({}, 3);
+  const ContentionResult nice0 = study.run(0.5, 1, 0, 300.0);
+  ContentionStudy study2({}, 3);
+  const ContentionResult nice19 = study2.run(0.5, 1, 19, 300.0);
+  EXPECT_GT(nice0.reduction_rate, nice19.reduction_rate);
+}
+
+TEST(ContentionStudyTest, GuestSoaksIdleCycles) {
+  ContentionStudy study({}, 4);
+  const ContentionResult r = study.run(0.3, 1, 19, 300.0);
+  // Hosts leave ~70% idle; a CPU-bound guest should claim most of it.
+  EXPECT_GT(r.guest_usage, 0.5);
+}
+
+TEST(ContentionStudyTest, ThresholdsExistAndAreOrdered) {
+  // Th1: lowest load where a nice-0 guest causes >5% slowdown.
+  // Th2: same for a reniced guest. The paper's testbed gave 20% / 60%.
+  const std::vector<double> loads{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+  ContentionStudy study({}, 5);
+  const auto th1 = study.find_threshold(loads, 1, 0, 0.05, 200.0);
+  ContentionStudy study2({}, 5);
+  const auto th2 = study2.find_threshold(loads, 1, 19, 0.05, 200.0);
+  ASSERT_TRUE(th1.has_value());
+  ASSERT_TRUE(th2.has_value());
+  EXPECT_LT(*th1, *th2);
+  EXPECT_LE(*th1, 0.35);   // Th1 is a low-load threshold
+  EXPECT_GE(*th2, 0.40);   // Th2 only trips under heavy host load
+}
+
+TEST(ContentionStudyTest, FindThresholdRequiresSortedLoads) {
+  ContentionStudy study({}, 6);
+  const std::vector<double> unsorted{0.5, 0.2};
+  EXPECT_THROW(study.find_threshold(unsorted, 1, 0, 0.05), PreconditionError);
+}
+
+TEST(ContentionStudyTest, RunValidatesArguments) {
+  ContentionStudy study({}, 7);
+  EXPECT_THROW(study.run(0.0, 1, 0), PreconditionError);
+  EXPECT_THROW(study.run(1.5, 1, 0), PreconditionError);
+  EXPECT_THROW(study.run(0.5, 0, 0), PreconditionError);
+}
+
+TEST(MemoryContentionTest, ThrashingIffOvercommitted) {
+  MemoryContentionSetup fits;
+  fits.host_mem_mb = 100;
+  fits.guest_mem_mb = 100;  // 200 < 336 available
+  const MemoryContentionResult ok = run_memory_contention(fits, {}, 11);
+  EXPECT_FALSE(ok.thrashing);
+
+  MemoryContentionSetup over = fits;
+  over.guest_mem_mb = 300;  // 400 > 336 available
+  const MemoryContentionResult bad = run_memory_contention(over, {}, 11);
+  EXPECT_TRUE(bad.thrashing);
+  EXPECT_GT(bad.overcommit_ratio, 1.0);
+}
+
+TEST(MemoryContentionTest, ThrashReductionIsPriorityIndependent) {
+  MemoryContentionSetup setup;
+  setup.host_cpu_duty = 0.3;
+  setup.host_mem_mb = 213;
+  setup.guest_mem_mb = 193;  // 406 > 336: thrash
+  const MemoryContentionResult r = run_memory_contention(setup, {}, 13);
+  ASSERT_TRUE(r.thrashing);
+  // Renicing does not rescue a thrashing machine (paper §3.2.2 obs. 1).
+  EXPECT_NEAR(r.reduction_nice0, r.reduction_nice19, 0.08);
+  EXPECT_GT(r.reduction_nice19, 0.30);
+}
+
+TEST(MemoryContentionTest, SufficientMemoryReducesToCpuContention) {
+  MemoryContentionSetup setup;
+  setup.host_cpu_duty = 0.1;  // interactive host: nice-0 guest is harmless
+  setup.host_mem_mb = 53;
+  setup.guest_mem_mb = 29;
+  const MemoryContentionResult r = run_memory_contention(setup, {}, 17);
+  EXPECT_FALSE(r.thrashing);
+  EXPECT_LT(r.reduction_nice19, 0.05);
+}
+
+TEST(MemoryContentionTest, ValidatesMachineMemory) {
+  MemoryContentionSetup bad;
+  bad.machine_mem_mb = 32;
+  bad.kernel_mem_mb = 48;
+  EXPECT_THROW(run_memory_contention(bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fgcs

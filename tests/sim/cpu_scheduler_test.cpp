@@ -1,0 +1,167 @@
+#include "sim/cpu_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+namespace {
+
+SchedProcessSpec host(double duty, const std::string& name = "host",
+                      int nice = 0) {
+  SchedProcessSpec spec;
+  spec.name = name;
+  spec.duty = duty;
+  spec.burst_ms = 50.0;
+  spec.nice = nice;
+  return spec;
+}
+
+SchedProcessSpec cpu_bound_guest(int nice) {
+  SchedProcessSpec spec;
+  spec.name = "guest";
+  spec.duty = 1.0;
+  spec.nice = nice;
+  return spec;
+}
+
+TEST(CpuSchedulerTest, SingleHostAchievesItsDuty) {
+  for (const double duty : {0.1, 0.3, 0.6, 0.9}) {
+    CpuSchedulerSim sim({}, 7);
+    const std::size_t idx = sim.add_process(host(duty));
+    sim.run(300.0);
+    EXPECT_NEAR(sim.usages()[idx].usage, duty, 0.03) << "duty=" << duty;
+  }
+}
+
+TEST(CpuSchedulerTest, CpuBoundAloneUsesWholeCpu) {
+  CpuSchedulerSim sim({}, 3);
+  const std::size_t idx = sim.add_process(cpu_bound_guest(0));
+  sim.run(60.0);
+  EXPECT_NEAR(sim.usages()[idx].usage, 1.0, 1e-9);
+}
+
+TEST(CpuSchedulerTest, TwoCpuBoundEqualPrioritySplitEvenly) {
+  CpuSchedulerSim sim({}, 5);
+  const std::size_t a = sim.add_process(cpu_bound_guest(0));
+  SchedProcessSpec second = cpu_bound_guest(0);
+  second.name = "guest2";
+  const std::size_t b = sim.add_process(second);
+  sim.run(120.0);
+  EXPECT_NEAR(sim.usages()[a].usage, 0.5, 0.02);
+  EXPECT_NEAR(sim.usages()[b].usage, 0.5, 0.02);
+}
+
+TEST(CpuSchedulerTest, TotalUsageNeverExceedsOneCpu) {
+  CpuSchedulerSim sim({}, 11);
+  std::vector<std::size_t> all;
+  all.push_back(sim.add_process(host(0.4, "h0")));
+  all.push_back(sim.add_process(host(0.5, "h1")));
+  all.push_back(sim.add_process(cpu_bound_guest(19)));
+  sim.run(200.0);
+  EXPECT_LE(sim.total_usage(all), 1.0 + 1e-9);
+}
+
+TEST(CpuSchedulerTest, Nice19GuestYieldsToHosts) {
+  // Hosts totalling 50% demand: a nice-19 guest should only get the slack.
+  CpuSchedulerSim sim({}, 13);
+  sim.add_process(host(0.25, "h0"));
+  sim.add_process(host(0.25, "h1"));
+  const std::size_t g = sim.add_process(cpu_bound_guest(19));
+  sim.run(300.0);
+  const double guest_usage = sim.usages()[g].usage;
+  EXPECT_GT(guest_usage, 0.30);
+  EXPECT_LT(guest_usage, 0.60);
+}
+
+TEST(CpuSchedulerTest, InteractiveHostUnaffectedByDefaultPriorityGuest) {
+  // duty 0.1 → sleep fraction 0.9 ≥ 0.8: the host preempts a nice-0 guest
+  // immediately, so its achieved usage barely moves.
+  CpuSchedulerSim alone({}, 17);
+  const std::size_t a = alone.add_process(host(0.10));
+  alone.run(300.0);
+
+  CpuSchedulerSim contended({}, 17);
+  const std::size_t b = contended.add_process(host(0.10));
+  contended.add_process(cpu_bound_guest(0));
+  contended.run(300.0);
+
+  const double reduction =
+      (alone.usages()[a].usage - contended.usages()[b].usage) /
+      alone.usages()[a].usage;
+  EXPECT_LT(reduction, 0.05);
+}
+
+TEST(CpuSchedulerTest, BusyHostSlowedByDefaultPriorityGuest) {
+  // duty 0.4 → not interactive: it must round-robin with a nice-0 guest and
+  // loses noticeably more than 5% of its CPU usage.
+  CpuSchedulerSim alone({}, 19);
+  const std::size_t a = alone.add_process(host(0.40));
+  alone.run(300.0);
+
+  CpuSchedulerSim contended({}, 19);
+  const std::size_t b = contended.add_process(host(0.40));
+  contended.add_process(cpu_bound_guest(0));
+  contended.run(300.0);
+
+  const double reduction =
+      (alone.usages()[a].usage - contended.usages()[b].usage) /
+      alone.usages()[a].usage;
+  EXPECT_GT(reduction, 0.05);
+}
+
+TEST(CpuSchedulerTest, RenicedGuestHurtsLessThanDefaultPriority) {
+  const double duty = 0.5;
+  CpuSchedulerSim alone({}, 23);
+  const std::size_t a = alone.add_process(host(duty));
+  alone.run(300.0);
+  const double isolated = alone.usages()[a].usage;
+
+  double with_guest[2];
+  int slot = 0;
+  for (const int nice : {0, 19}) {
+    CpuSchedulerSim sim({}, 23);
+    const std::size_t h = sim.add_process(host(duty));
+    sim.add_process(cpu_bound_guest(nice));
+    sim.run(300.0);
+    with_guest[slot++] = sim.usages()[h].usage;
+  }
+  const double reduction_nice0 = (isolated - with_guest[0]) / isolated;
+  const double reduction_nice19 = (isolated - with_guest[1]) / isolated;
+  EXPECT_GT(reduction_nice0, reduction_nice19);
+}
+
+TEST(CpuSchedulerTest, TimesliceScalesWithNice) {
+  const SchedParams params;
+  EXPECT_DOUBLE_EQ(params.timeslice_ms(0), 100.0);
+  EXPECT_DOUBLE_EQ(params.timeslice_ms(19), 10.0);
+  EXPECT_GT(params.timeslice_ms(10), params.timeslice_ms(19));
+}
+
+TEST(CpuSchedulerTest, ValidatesInputs) {
+  CpuSchedulerSim sim({}, 1);
+  SchedProcessSpec bad = host(0.0);
+  EXPECT_THROW(sim.add_process(bad), PreconditionError);
+  bad = host(0.5);
+  bad.nice = -1;
+  EXPECT_THROW(sim.add_process(bad), PreconditionError);
+  bad = host(0.5);
+  bad.nice = 20;
+  EXPECT_THROW(sim.add_process(bad), PreconditionError);
+  EXPECT_THROW(sim.run(10.0), PreconditionError);  // no processes
+  EXPECT_THROW(sim.usages(), PreconditionError);   // never ran
+}
+
+TEST(CpuSchedulerTest, DeterministicForSameSeed) {
+  auto measure = [](std::uint64_t seed) {
+    CpuSchedulerSim sim({}, seed);
+    const std::size_t h = sim.add_process(host(0.3));
+    sim.add_process(cpu_bound_guest(0));
+    sim.run(120.0);
+    return sim.usages()[h].usage;
+  };
+  EXPECT_DOUBLE_EQ(measure(99), measure(99));
+}
+
+}  // namespace
+}  // namespace fgcs

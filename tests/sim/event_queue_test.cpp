@@ -1,0 +1,74 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+namespace {
+
+TEST(EventQueueTest, ProcessesInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(30, [&] { order.push_back(3); });
+  queue.schedule_at(10, [&] { order.push_back(1); });
+  queue.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(queue.run_all(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 30);
+}
+
+TEST(EventQueueTest, EqualTimesRunInSchedulingOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    queue.schedule_at(42, [&order, i] { order.push_back(i); });
+  queue.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CallbacksCanScheduleMoreEvents) {
+  EventQueue queue;
+  std::vector<SimTime> fired;
+  std::function<void()> reschedule = [&] {
+    fired.push_back(queue.now());
+    if (queue.now() < 50) queue.schedule_in(10, reschedule);
+  };
+  queue.schedule_at(10, reschedule);
+  queue.run_all();
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20, 30, 40, 50}));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue queue;
+  std::vector<SimTime> fired;
+  for (SimTime t : {5, 10, 15, 20})
+    queue.schedule_at(t, [&fired, &queue] { fired.push_back(queue.now()); });
+  queue.run_until(10);
+  EXPECT_EQ(fired, (std::vector<SimTime>{5, 10}));
+  EXPECT_EQ(queue.now(), 10);
+  EXPECT_EQ(queue.pending(), 2u);
+  queue.run_until(100);
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_EQ(queue.now(), 100);
+}
+
+TEST(EventQueueTest, RejectsPastEventsAndNullCallbacks) {
+  EventQueue queue;
+  queue.schedule_at(10, [] {});
+  queue.run_all();
+  EXPECT_THROW(queue.schedule_at(5, [] {}), PreconditionError);
+  EXPECT_THROW(queue.schedule_in(-1, [] {}), PreconditionError);
+  EXPECT_THROW(queue.schedule_at(20, nullptr), PreconditionError);
+}
+
+TEST(EventQueueTest, StepReturnsFalseWhenEmpty) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.step());
+  EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace
+}  // namespace fgcs

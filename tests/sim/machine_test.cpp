@@ -1,0 +1,160 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace fgcs {
+namespace {
+
+/// Scripted host signal: plays back a fixed tick list, repeating the last.
+class ScriptedSignal final : public HostSignal {
+ public:
+  explicit ScriptedSignal(std::vector<Tick> ticks) : ticks_(std::move(ticks)) {}
+
+  Tick tick(SimTime) override {
+    const Tick t = ticks_[std::min(index_, ticks_.size() - 1)];
+    ++index_;
+    return t;
+  }
+
+ private:
+  std::vector<Tick> ticks_;
+  std::size_t index_ = 0;
+};
+
+constexpr HostSignal::Tick idle{.host_load = 0.05, .free_mem_mb = 400, .up = true};
+constexpr HostSignal::Tick busy{.host_load = 0.45, .free_mem_mb = 400, .up = true};
+constexpr HostSignal::Tick overload{.host_load = 0.95, .free_mem_mb = 400, .up = true};
+constexpr HostSignal::Tick low_mem{.host_load = 0.05, .free_mem_mb = 50, .up = true};
+constexpr HostSignal::Tick down{.host_load = 0.0, .free_mem_mb = 400, .up = false};
+
+SimulatedMachine make_machine(std::vector<HostSignal::Tick> script,
+                              SimTime period = 6) {
+  return SimulatedMachine("m", 512, test::test_thresholds(), period,
+                          std::make_unique<ScriptedSignal>(std::move(script)));
+}
+
+GuestJobSpec small_job(double cpu_seconds = 60.0) {
+  return GuestJobSpec{.job_id = "job", .cpu_seconds = cpu_seconds, .mem_mb = 100};
+}
+
+TEST(MachineTest, GuestRunsAtDefaultPriorityWhenIdle) {
+  SimulatedMachine m = make_machine({idle});
+  m.submit_guest(small_job(1e9));
+  m.step(6);
+  EXPECT_EQ(m.guest_status(), GuestStatus::kRunningDefault);
+  EXPECT_NEAR(m.guest_progress_seconds(), 0.95 * 6, 1e-9);
+}
+
+TEST(MachineTest, GuestRenicedUnderHeavyLoad) {
+  SimulatedMachine m = make_machine({busy});
+  m.submit_guest(small_job(1e9));
+  m.step(6);
+  EXPECT_EQ(m.guest_status(), GuestStatus::kRunningReniced);
+}
+
+TEST(MachineTest, TransientOverloadSuspendsThenResumes) {
+  // 5 ticks of overload (30 s < 60 s limit), then idle again.
+  std::vector<HostSignal::Tick> script(5, overload);
+  script.push_back(idle);
+  SimulatedMachine m = make_machine(std::move(script));
+  m.submit_guest(small_job(1e9));
+  for (SimTime t = 6; t <= 30; t += 6) {
+    m.step(t);
+    EXPECT_EQ(m.guest_status(), GuestStatus::kSuspended) << t;
+  }
+  m.step(36);
+  EXPECT_EQ(m.guest_status(), GuestStatus::kRunningDefault);
+}
+
+TEST(MachineTest, SteadyOverloadKillsGuestAfterTransientLimit) {
+  SimulatedMachine m = make_machine({overload});
+  m.submit_guest(small_job(1e9));
+  SimTime killed_at = 0;
+  for (SimTime t = 6; t <= 300; t += 6) {
+    m.step(t);
+    if (m.guest_status() == GuestStatus::kKilled) {
+      killed_at = t;
+      break;
+    }
+  }
+  ASSERT_NE(killed_at, 0);
+  EXPECT_EQ(killed_at, 66);  // first excursion tick at 6, limit 60 s later
+  ASSERT_TRUE(m.guest_failure().has_value());
+  EXPECT_EQ(*m.guest_failure(), State::kS3);
+}
+
+TEST(MachineTest, LowMemoryKillsGuestImmediately) {
+  SimulatedMachine m = make_machine({low_mem});
+  m.submit_guest(small_job());
+  m.step(6);
+  EXPECT_EQ(m.guest_status(), GuestStatus::kKilled);
+  EXPECT_EQ(*m.guest_failure(), State::kS4);
+}
+
+TEST(MachineTest, RevocationKillsGuest) {
+  SimulatedMachine m = make_machine({idle, down});
+  m.submit_guest(small_job());
+  m.step(6);
+  EXPECT_TRUE(m.guest_active());
+  const ResourceSample s = m.step(12);
+  EXPECT_FALSE(s.up());
+  EXPECT_EQ(m.guest_status(), GuestStatus::kKilled);
+  EXPECT_EQ(*m.guest_failure(), State::kS5);
+}
+
+TEST(MachineTest, GuestCompletesWhenWorkIsDone) {
+  SimulatedMachine m = make_machine({idle});
+  m.submit_guest(small_job(10.0));  // < 2 ticks of idle progress
+  m.step(6);
+  m.step(12);
+  EXPECT_EQ(m.guest_status(), GuestStatus::kCompleted);
+  EXPECT_FALSE(m.guest_active());
+}
+
+TEST(MachineTest, SampleReflectsHostSignalOnly) {
+  SimulatedMachine m = make_machine({busy});
+  m.submit_guest(small_job(1e9));
+  const ResourceSample s = m.step(6);
+  EXPECT_EQ(s.host_load_pct, 45);
+  EXPECT_EQ(s.free_mem_mb, 400);
+  EXPECT_TRUE(s.up());
+}
+
+TEST(MachineTest, OnlyOneGuestAtATime) {
+  SimulatedMachine m = make_machine({idle});
+  m.submit_guest(small_job(1e9));
+  EXPECT_THROW(m.submit_guest(small_job()), PreconditionError);
+}
+
+TEST(MachineTest, ClearGuestResetsState) {
+  SimulatedMachine m = make_machine({low_mem, idle});
+  m.submit_guest(small_job());
+  m.step(6);  // killed (S4)
+  EXPECT_EQ(m.guest_status(), GuestStatus::kKilled);
+  m.clear_guest();
+  EXPECT_EQ(m.guest_status(), GuestStatus::kNone);
+  EXPECT_FALSE(m.guest_failure().has_value());
+  EXPECT_NO_THROW(m.submit_guest(small_job()));
+}
+
+TEST(MachineTest, CannotClearLiveGuest) {
+  SimulatedMachine m = make_machine({idle});
+  m.submit_guest(small_job(1e9));
+  m.step(6);
+  EXPECT_THROW(m.clear_guest(), PreconditionError);
+}
+
+TEST(MachineTest, StatusToString) {
+  EXPECT_STREQ(to_string(GuestStatus::kNone), "none");
+  EXPECT_STREQ(to_string(GuestStatus::kRunningReniced), "running(reniced)");
+  EXPECT_STREQ(to_string(GuestStatus::kKilled), "killed");
+}
+
+}  // namespace
+}  // namespace fgcs

@@ -1,0 +1,74 @@
+#include "test_support.hpp"
+
+#include <string>
+
+namespace fgcs::test {
+
+ResourceSample sample(int load_pct) { return sample(load_pct, 400, true); }
+
+ResourceSample sample(int load_pct, int free_mem_mb, bool up) {
+  ResourceSample s;
+  s.host_load_pct = static_cast<std::uint8_t>(load_pct);
+  s.free_mem_mb = static_cast<std::uint16_t>(free_mem_mb);
+  s.set_up(up);
+  return s;
+}
+
+std::vector<ResourceSample> constant_day(SimTime period, int load_pct) {
+  return std::vector<ResourceSample>(
+      static_cast<std::size_t>(kSecondsPerDay / period), sample(load_pct));
+}
+
+MachineTrace constant_trace(int days, int load_pct, SimTime period,
+                            int total_mem_mb, int epoch_dow) {
+  MachineTrace trace("test", Calendar(epoch_dow), period, total_mem_mb);
+  for (int d = 0; d < days; ++d) trace.append_day(constant_day(period, load_pct));
+  return trace;
+}
+
+Thresholds test_thresholds() {
+  Thresholds t;
+  t.th1 = 0.20;
+  t.th2 = 0.60;
+  t.transient_limit = 60;
+  t.guest_mem_mb = 100;
+  return t;
+}
+
+SmpModel random_fgcs_model(std::size_t horizon, Rng& rng,
+                           bool allow_defective) {
+  SmpModel model(kStateCount, horizon);
+  for (std::size_t from : {0u, 1u}) {
+    // Random exit distribution over the 4 feasible destinations.
+    std::vector<std::size_t> destinations;
+    for (std::size_t to = 0; to < kStateCount; ++to)
+      if (to != from) destinations.push_back(to);
+    std::vector<double> weights(destinations.size());
+    double total = 0.0;
+    for (double& w : weights) {
+      w = rng.uniform(0.05, 1.0);
+      total += w;
+    }
+    const double keep = allow_defective ? rng.uniform(0.5, 1.0) : 1.0;
+    for (std::size_t d = 0; d < destinations.size(); ++d) {
+      const double q = keep * weights[d] / total;
+      model.set_q(from, destinations[d], q);
+      // Random pmf over a random support within the horizon.
+      const std::size_t support =
+          1 + static_cast<std::size_t>(rng.uniform_int(
+                  0, static_cast<std::int64_t>(horizon) - 1));
+      std::vector<double> pmf(support);
+      double mass = 0.0;
+      for (double& p : pmf) {
+        p = rng.uniform(0.0, 1.0);
+        mass += p;
+      }
+      for (double& p : pmf) p /= mass;
+      model.set_h_pmf(from, destinations[d], std::move(pmf));
+    }
+  }
+  model.validate();
+  return model;
+}
+
+}  // namespace fgcs::test

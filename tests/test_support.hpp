@@ -1,0 +1,37 @@
+// Shared helpers for the fgcs test suite: compact builders for traces,
+// samples, and SMP models with known structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/semi_markov.hpp"
+#include "core/states.hpp"
+#include "core/thresholds.hpp"
+#include "trace/machine_trace.hpp"
+#include "util/rng.hpp"
+
+namespace fgcs::test {
+
+/// A sample with the given load percent, plenty of memory, machine up.
+ResourceSample sample(int load_pct);
+
+/// A sample with explicit memory / liveness.
+ResourceSample sample(int load_pct, int free_mem_mb, bool up);
+
+/// An all-day sample vector with constant load (period must divide 86400).
+std::vector<ResourceSample> constant_day(SimTime period, int load_pct);
+
+/// Builds a trace of `days` constant-load days.
+MachineTrace constant_trace(int days, int load_pct, SimTime period = 60,
+                            int total_mem_mb = 512, int epoch_dow = 0);
+
+/// Thresholds used throughout the tests (paper values, 1-minute transient).
+Thresholds test_thresholds();
+
+/// A random, valid 5-state FGCS SMP model (S1/S2 transient, S3..S5
+/// absorbing) with full exit mass and holding-time support ≤ `horizon`.
+SmpModel random_fgcs_model(std::size_t horizon, Rng& rng,
+                           bool allow_defective = false);
+
+}  // namespace fgcs::test

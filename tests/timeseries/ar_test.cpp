@@ -1,0 +1,89 @@
+#include "timeseries/ar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fgcs {
+namespace {
+
+std::vector<double> simulate_ar(std::span<const double> phi, double mean,
+                                double sigma, std::size_t n, Rng& rng) {
+  std::vector<double> x(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    double value = rng.normal(0.0, sigma);
+    for (std::size_t i = 0; i < phi.size() && i < t; ++i)
+      value += phi[i] * x[t - 1 - i];
+    x[t] = value;
+  }
+  for (double& v : x) v += mean;
+  return x;
+}
+
+TEST(ArModelTest, NameIncludesOrder) {
+  EXPECT_EQ(ArModel(8).name(), "AR(8)");
+}
+
+TEST(ArModelTest, RecoversAr1Coefficient) {
+  Rng rng(21);
+  const std::vector<double> phi{0.7};
+  const std::vector<double> x = simulate_ar(phi, 5.0, 1.0, 50000, rng);
+  ArModel model(1);
+  model.fit(x);
+  ASSERT_EQ(model.coefficients().size(), 1u);
+  EXPECT_NEAR(model.coefficients()[0], 0.7, 0.02);
+  EXPECT_NEAR(model.mean(), 5.0, 0.15);
+}
+
+TEST(ArModelTest, RecoversAr2Coefficients) {
+  Rng rng(22);
+  const std::vector<double> phi{0.5, -0.3};
+  const std::vector<double> x = simulate_ar(phi, 0.0, 1.0, 80000, rng);
+  ArModel model(2);
+  model.fit(x);
+  EXPECT_NEAR(model.coefficients()[0], 0.5, 0.02);
+  EXPECT_NEAR(model.coefficients()[1], -0.3, 0.02);
+}
+
+TEST(ArModelTest, ForecastConvergesToMean) {
+  Rng rng(23);
+  const std::vector<double> phi{0.6};
+  const std::vector<double> x = simulate_ar(phi, 2.0, 0.5, 20000, rng);
+  ArModel model(1);
+  model.fit(x);
+  const std::vector<double> f = model.forecast(200);
+  ASSERT_EQ(f.size(), 200u);
+  // One-step forecast ≈ mean + 0.6 (last − mean); long-run forecast → mean.
+  const double expected1 = model.mean() + 0.6 * (x.back() - model.mean());
+  EXPECT_NEAR(f[0], expected1, 0.1);
+  EXPECT_NEAR(f.back(), model.mean(), 0.02);
+}
+
+TEST(ArModelTest, ConstantSeriesForecastsConstant) {
+  const std::vector<double> x(100, 0.42);
+  ArModel model(4);
+  model.fit(x);
+  for (const double f : model.forecast(10)) EXPECT_DOUBLE_EQ(f, 0.42);
+}
+
+TEST(ArModelTest, FitRejectsShortSeries) {
+  ArModel model(8);
+  const std::vector<double> x(9, 1.0);
+  EXPECT_THROW(model.fit(x), PreconditionError);
+}
+
+TEST(ArModelTest, ForecastBeforeFitThrows) {
+  ArModel model(2);
+  EXPECT_THROW(model.forecast(5), PreconditionError);
+}
+
+TEST(ArModelTest, OrderZeroRejected) {
+  EXPECT_THROW(ArModel(0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fgcs

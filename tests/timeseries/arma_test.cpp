@@ -1,0 +1,73 @@
+#include "timeseries/arma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fgcs {
+namespace {
+
+std::vector<double> simulate_arma11(double phi, double theta, double mean,
+                                    double sigma, std::size_t n, Rng& rng) {
+  std::vector<double> x(n, 0.0);
+  double prev_eps = rng.normal(0.0, sigma);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double eps = rng.normal(0.0, sigma);
+    const double prev_x = t > 0 ? x[t - 1] : 0.0;
+    x[t] = phi * prev_x + eps + theta * prev_eps;
+    prev_eps = eps;
+  }
+  for (double& v : x) v += mean;
+  return x;
+}
+
+TEST(ArmaModelTest, NameIncludesOrders) {
+  EXPECT_EQ(ArmaModel(8, 8).name(), "ARMA(8,8)");
+}
+
+TEST(ArmaModelTest, RecoversArma11Coefficients) {
+  Rng rng(41);
+  const std::vector<double> x = simulate_arma11(0.6, 0.4, 0.0, 1.0, 80000, rng);
+  ArmaModel model(1, 1);
+  model.fit(x);
+  EXPECT_NEAR(model.ar_coefficients()[0], 0.6, 0.05);
+  EXPECT_NEAR(model.ma_coefficients()[0], 0.4, 0.07);
+}
+
+TEST(ArmaModelTest, ForecastConvergesToMean) {
+  Rng rng(43);
+  const std::vector<double> x = simulate_arma11(0.5, 0.3, 4.0, 1.0, 40000, rng);
+  ArmaModel model(1, 1);
+  model.fit(x);
+  const std::vector<double> f = model.forecast(300);
+  EXPECT_NEAR(f.back(), model.mean(), 0.05);
+}
+
+TEST(ArmaModelTest, ConstantSeriesIsDegenerate) {
+  const std::vector<double> x(500, 1.5);
+  ArmaModel model(2, 2);
+  model.fit(x);
+  for (const double f : model.forecast(5)) EXPECT_DOUBLE_EQ(f, 1.5);
+}
+
+TEST(ArmaModelTest, FitRejectsShortSeries) {
+  ArmaModel model(8, 8);
+  const std::vector<double> x(30, 1.0);
+  EXPECT_THROW(model.fit(x), PreconditionError);
+}
+
+TEST(ArmaModelTest, ForecastBeforeFitThrows) {
+  ArmaModel model(1, 1);
+  EXPECT_THROW(model.forecast(5), PreconditionError);
+}
+
+TEST(ArmaModelTest, RejectsZeroOrders) {
+  EXPECT_THROW(ArmaModel(0, 1), PreconditionError);
+  EXPECT_THROW(ArmaModel(1, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fgcs

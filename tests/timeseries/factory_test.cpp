@@ -1,0 +1,37 @@
+#include "timeseries/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+namespace {
+
+TEST(ModelFactoryTest, BuildsAllPaperModels) {
+  // The exact set from paper Table 1 / Fig. 7.
+  for (const char* spec : {"AR(8)", "BM(8)", "MA(8)", "ARMA(8,8)", "LAST"}) {
+    const auto model = make_time_series_model(spec);
+    ASSERT_NE(model, nullptr) << spec;
+    EXPECT_EQ(model->name(), spec);
+  }
+}
+
+TEST(ModelFactoryTest, ParsesDifferentOrders) {
+  EXPECT_EQ(make_time_series_model("AR(16)")->name(), "AR(16)");
+  EXPECT_EQ(make_time_series_model("ARMA(2,3)")->name(), "ARMA(2,3)");
+  EXPECT_EQ(make_time_series_model("ARMA(2, 3)")->name(), "ARMA(2,3)");
+}
+
+TEST(ModelFactoryTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(make_time_series_model("AR"), PreconditionError);
+  EXPECT_THROW(make_time_series_model("AR()"), PreconditionError);
+  EXPECT_THROW(make_time_series_model("AR(8"), PreconditionError);
+  EXPECT_THROW(make_time_series_model("AR(a)"), PreconditionError);
+  EXPECT_THROW(make_time_series_model("ARMA(8)"), PreconditionError);
+  EXPECT_THROW(make_time_series_model("LAST(1)"), PreconditionError);
+  EXPECT_THROW(make_time_series_model("HOLT(1)"), PreconditionError);
+  EXPECT_THROW(make_time_series_model(""), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fgcs

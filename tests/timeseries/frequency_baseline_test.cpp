@@ -1,0 +1,43 @@
+#include "timeseries/frequency_baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace fgcs {
+namespace {
+
+using test::constant_day;
+using test::sample;
+
+TEST(FrequencyBaselineTest, MatchesSurvivalFrequency) {
+  MachineTrace trace("m", Calendar(0), 60, 512);
+  for (int d = 0; d < 4; ++d) {
+    auto day = constant_day(60, 10);
+    if (d == 1)  // one of four days fails in the window
+      for (std::size_t i = 30; i < 90; ++i) day[i] = sample(95);
+    trace.append_day(std::move(day));
+  }
+  const StateClassifier classifier(test::test_thresholds(), 60);
+  const TimeWindow w{.start_of_day = 0, .length = 2 * kSecondsPerHour};
+  const std::vector<std::int64_t> days{0, 1, 2, 3};
+  const FrequencyBaselineResult r =
+      predict_tr_frequency(trace, days, w, classifier);
+  ASSERT_TRUE(r.tr.has_value());
+  EXPECT_DOUBLE_EQ(*r.tr, 0.75);
+  EXPECT_EQ(r.days_used, 4u);
+}
+
+TEST(FrequencyBaselineTest, NoDataGivesEmpty) {
+  MachineTrace trace("m", Calendar(0), 60, 512);
+  auto day = constant_day(60, 10);
+  for (auto& s : day) s.set_up(false);
+  trace.append_day(std::move(day));
+  const StateClassifier classifier(test::test_thresholds(), 60);
+  const TimeWindow w{.start_of_day = 0, .length = kSecondsPerHour};
+  const std::vector<std::int64_t> days{0};
+  EXPECT_FALSE(predict_tr_frequency(trace, days, w, classifier).tr.has_value());
+}
+
+}  // namespace
+}  // namespace fgcs

@@ -1,0 +1,59 @@
+#include "timeseries/simple.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+namespace {
+
+TEST(BmModelTest, ForecastsWindowMean) {
+  BmModel model(3);
+  const std::vector<double> x{10.0, 1.0, 2.0, 3.0};
+  model.fit(x);  // mean of last 3 = 2.0
+  const std::vector<double> f = model.forecast(4);
+  ASSERT_EQ(f.size(), 4u);
+  for (const double v : f) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(BmModelTest, WindowLargerThanSeriesUsesAll) {
+  BmModel model(100);
+  const std::vector<double> x{1.0, 3.0};
+  model.fit(x);
+  EXPECT_DOUBLE_EQ(model.forecast(1)[0], 2.0);
+}
+
+TEST(BmModelTest, NameAndValidation) {
+  EXPECT_EQ(BmModel(8).name(), "BM(8)");
+  EXPECT_THROW(BmModel(0), PreconditionError);
+  BmModel model(2);
+  EXPECT_THROW(model.fit({}), PreconditionError);
+  EXPECT_THROW(model.forecast(1), PreconditionError);
+}
+
+TEST(LastModelTest, ForecastsLastValue) {
+  LastModel model;
+  const std::vector<double> x{1.0, 2.0, 7.5};
+  model.fit(x);
+  const std::vector<double> f = model.forecast(3);
+  for (const double v : f) EXPECT_DOUBLE_EQ(v, 7.5);
+}
+
+TEST(LastModelTest, NameAndValidation) {
+  LastModel model;
+  EXPECT_EQ(model.name(), "LAST");
+  EXPECT_THROW(model.fit({}), PreconditionError);
+  EXPECT_THROW(model.forecast(1), PreconditionError);
+}
+
+TEST(SimpleModelsTest, ZeroHorizonForecastIsEmpty) {
+  LastModel model;
+  const std::vector<double> x{1.0};
+  model.fit(x);
+  EXPECT_TRUE(model.forecast(0).empty());
+}
+
+}  // namespace
+}  // namespace fgcs

@@ -1,0 +1,116 @@
+#include "timeseries/tr_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "timeseries/simple.hpp"
+
+namespace fgcs {
+namespace {
+
+using test::constant_day;
+using test::sample;
+
+TEST(LoadSeriesTest, EncodesFailuresAsFullLoad) {
+  const Thresholds t = test::test_thresholds();
+  std::vector<ResourceSample> samples;
+  samples.push_back(sample(30));             // normal: 0.30
+  samples.push_back(sample(30, 50, true));   // low memory → 1.0
+  samples.push_back(sample(30, 400, false)); // down → 1.0
+  const std::vector<double> series = load_series(samples, t);
+  EXPECT_DOUBLE_EQ(series[0], 0.30);
+  EXPECT_DOUBLE_EQ(series[1], 1.0);
+  EXPECT_DOUBLE_EQ(series[2], 1.0);
+}
+
+TEST(PrecedingWindowTest, SameDayWhenRoomBefore) {
+  const TimeWindow w{.start_of_day = 8 * kSecondsPerHour,
+                     .length = 2 * kSecondsPerHour};
+  std::int64_t anchor = -1;
+  const TimeWindow prev = preceding_window(w, 5, anchor);
+  EXPECT_EQ(anchor, 5);
+  EXPECT_EQ(prev.start_of_day, 6 * kSecondsPerHour);
+  EXPECT_EQ(prev.length, w.length);
+}
+
+TEST(PrecedingWindowTest, CrossesToPreviousDay) {
+  const TimeWindow w{.start_of_day = kSecondsPerHour,
+                     .length = 3 * kSecondsPerHour};
+  std::int64_t anchor = -1;
+  const TimeWindow prev = preceding_window(w, 5, anchor);
+  EXPECT_EQ(anchor, 4);
+  EXPECT_EQ(prev.start_of_day, 22 * kSecondsPerHour);
+}
+
+TEST(TsTrPredictorTest, QuietMachinePredictsFullTr) {
+  const MachineTrace trace = test::constant_trace(6, 10, 60);
+  const StateClassifier classifier(test::test_thresholds(), 60);
+  LastModel model;
+  const TimeWindow w{.start_of_day = 8 * kSecondsPerHour,
+                     .length = 2 * kSecondsPerHour};
+  const std::vector<std::int64_t> days{3, 4, 5};
+  const TsTrResult r =
+      predict_tr_time_series(trace, days, w, model, classifier);
+  EXPECT_EQ(r.eligible_days, 3u);
+  EXPECT_EQ(r.predicted_surviving, 3u);
+  ASSERT_TRUE(r.tr.has_value());
+  EXPECT_DOUBLE_EQ(*r.tr, 1.0);
+}
+
+TEST(TsTrPredictorTest, LastModelExtrapolatesOverload) {
+  // Preceding window ends at 95% load: LAST predicts a failing window.
+  MachineTrace trace("m", Calendar(0), 60, 512);
+  auto day = constant_day(60, 10);
+  // 06:00–08:00 climbs to overload; the 08:00 target window itself is idle.
+  for (std::size_t i = 7 * 60; i < 8 * 60; ++i) day[i] = sample(95);
+  for (std::size_t i = 8 * 60; i < 10 * 60; ++i) day[i] = sample(5);
+  trace.append_day(day);
+  trace.append_day(day);
+
+  const StateClassifier classifier(test::test_thresholds(), 60);
+  LastModel model;
+  const TimeWindow w{.start_of_day = 8 * kSecondsPerHour,
+                     .length = 2 * kSecondsPerHour};
+  const std::vector<std::int64_t> days{0, 1};
+  const TsTrResult r =
+      predict_tr_time_series(trace, days, w, model, classifier);
+  EXPECT_EQ(r.eligible_days, 2u);
+  EXPECT_EQ(r.predicted_surviving, 0u);  // predicted failure on both days
+  EXPECT_DOUBLE_EQ(*r.tr, 0.0);
+}
+
+TEST(TsTrPredictorTest, DayWithoutPrecedingWindowIsSkipped) {
+  const MachineTrace trace = test::constant_trace(3, 10, 60);
+  const StateClassifier classifier(test::test_thresholds(), 60);
+  LastModel model;
+  // Window at 01:00 with 3h length: preceding window starts the previous day;
+  // day 0 has no predecessor.
+  const TimeWindow w{.start_of_day = kSecondsPerHour,
+                     .length = 3 * kSecondsPerHour};
+  const std::vector<std::int64_t> days{0, 1, 2};
+  const TsTrResult r =
+      predict_tr_time_series(trace, days, w, model, classifier);
+  EXPECT_EQ(r.eligible_days, 2u);
+}
+
+TEST(TsTrPredictorTest, IneligibleFailingDaysAreExcluded) {
+  MachineTrace trace("m", Calendar(0), 60, 512);
+  trace.append_day(constant_day(60, 10));
+  auto down_day = constant_day(60, 10);
+  for (std::size_t i = 8 * 60; i < 9 * 60; ++i) down_day[i].set_up(false);
+  trace.append_day(std::move(down_day));
+
+  const StateClassifier classifier(test::test_thresholds(), 60);
+  LastModel model;
+  const TimeWindow w{.start_of_day = 8 * kSecondsPerHour,
+                     .length = kSecondsPerHour};
+  const std::vector<std::int64_t> days{1};
+  const TsTrResult r =
+      predict_tr_time_series(trace, days, w, model, classifier);
+  // Day 1 starts the window down → ineligible.
+  EXPECT_EQ(r.eligible_days, 0u);
+  EXPECT_FALSE(r.tr.has_value());
+}
+
+}  // namespace
+}  // namespace fgcs

@@ -1,0 +1,87 @@
+// Robustness of the trace (de)serializer: corrupted input must be rejected
+// with DataError (or, if the corruption hits only payload bytes, load as
+// plausible data) — never crash, hang, or allocate absurdly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "test_support.hpp"
+#include "trace/machine_trace.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fgcs {
+namespace {
+
+std::string serialized_fixture() {
+  MachineTrace trace = test::constant_trace(2, 25, 3600);
+  std::ostringstream os;
+  trace.save(os);
+  return os.str();
+}
+
+TEST(TraceRobustnessTest, TruncationAtEveryPrefixLengthIsSafe) {
+  const std::string bytes = serialized_fixture();
+  // Every strict prefix must fail cleanly (stride keeps the test fast).
+  for (std::size_t len = 0; len < bytes.size(); len += 7) {
+    std::istringstream is(bytes.substr(0, len));
+    EXPECT_THROW(MachineTrace::load(is), DataError) << "prefix " << len;
+  }
+}
+
+class TraceFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraceFuzzTest, RandomByteCorruptionNeverCrashes) {
+  const std::string original = serialized_fixture();
+  Rng rng(static_cast<std::uint64_t>(9000 + GetParam()));
+  for (int round = 0; round < 200; ++round) {
+    std::string bytes = original;
+    const int flips = 1 + static_cast<int>(rng.uniform_int(0, 4));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+      bytes[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    }
+    std::istringstream is(bytes);
+    try {
+      const MachineTrace trace = MachineTrace::load(is);
+      // Loaded despite corruption: the invariants must still hold.
+      EXPECT_GT(trace.sampling_period(), 0);
+      EXPECT_EQ(kSecondsPerDay % trace.sampling_period(), 0);
+      EXPECT_GT(trace.total_mem_mb(), 0);
+      EXPECT_GE(trace.day_count(), 0);
+    } catch (const DataError&) {
+      // Expected for most corruptions.
+    } catch (const PreconditionError&) {
+      // Acceptable: corrupt header fields caught by constructor guards.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TraceFuzzTest, ::testing::Range(0, 5));
+
+TEST(TraceRobustnessTest, FileRoundTripThroughTempDir) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "fgcs_roundtrip_test.fgcs";
+  const MachineTrace trace = test::constant_trace(3, 35, 60);
+  trace.save_file(path.string());
+  const MachineTrace loaded = MachineTrace::load_file(path.string());
+  EXPECT_EQ(loaded.day_count(), 3);
+  EXPECT_EQ(loaded.at(1, 100).host_load_pct, 35);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceRobustnessTest, MissingFileThrowsDataError) {
+  EXPECT_THROW(MachineTrace::load_file("/nonexistent/dir/trace.fgcs"),
+               DataError);
+}
+
+TEST(TraceRobustnessTest, UnwritablePathThrowsDataError) {
+  const MachineTrace trace = test::constant_trace(1, 5, 3600);
+  EXPECT_THROW(trace.save_file("/nonexistent/dir/trace.fgcs"), DataError);
+}
+
+}  // namespace
+}  // namespace fgcs

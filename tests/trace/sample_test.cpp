@@ -1,0 +1,54 @@
+#include "trace/sample.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fgcs {
+namespace {
+
+TEST(SampleTest, DefaultSampleIsUp) {
+  const ResourceSample s;
+  EXPECT_TRUE(s.up());
+  EXPECT_EQ(s.host_load_pct, 0);
+}
+
+TEST(SampleTest, UpFlagRoundTrips) {
+  ResourceSample s;
+  s.set_up(false);
+  EXPECT_FALSE(s.up());
+  s.set_up(true);
+  EXPECT_TRUE(s.up());
+}
+
+TEST(SampleTest, LoadFractionConversion) {
+  ResourceSample s;
+  s.host_load_pct = 45;
+  EXPECT_DOUBLE_EQ(s.load(), 0.45);
+}
+
+TEST(SampleTest, PackLoadRoundsAndClamps) {
+  EXPECT_EQ(pack_load_pct(0.0), 0);
+  EXPECT_EQ(pack_load_pct(0.454), 45);
+  EXPECT_EQ(pack_load_pct(0.456), 46);
+  EXPECT_EQ(pack_load_pct(1.0), 100);
+  EXPECT_EQ(pack_load_pct(1.7), 100);   // clamp high
+  EXPECT_EQ(pack_load_pct(-0.2), 0);    // clamp low
+}
+
+TEST(SampleTest, PackMemClamps) {
+  EXPECT_EQ(pack_mem_mb(0.0), 0);
+  EXPECT_EQ(pack_mem_mb(383.6), 384);
+  EXPECT_EQ(pack_mem_mb(1e9), 65535);
+  EXPECT_EQ(pack_mem_mb(-5.0), 0);
+}
+
+TEST(SampleTest, EqualityComparesAllFields) {
+  ResourceSample a, b;
+  a.host_load_pct = b.host_load_pct = 10;
+  a.free_mem_mb = b.free_mem_mb = 100;
+  EXPECT_EQ(a, b);
+  b.free_mem_mb = 101;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace fgcs

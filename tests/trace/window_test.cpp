@@ -1,0 +1,60 @@
+#include "trace/window.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fgcs {
+namespace {
+
+TEST(WindowTest, StepsDividesExactly) {
+  const TimeWindow w{.start_of_day = 0, .length = 2 * kSecondsPerHour};
+  EXPECT_EQ(w.steps(6), 1200u);
+  EXPECT_EQ(w.steps(60), 120u);
+}
+
+TEST(WindowTest, StepsRejectsNonDivisiblePeriod) {
+  const TimeWindow w{.start_of_day = 0, .length = 100};
+  EXPECT_THROW(w.steps(7), PreconditionError);
+  EXPECT_THROW(w.steps(0), PreconditionError);
+}
+
+TEST(WindowTest, MidnightWrapDetection) {
+  const TimeWindow inside{.start_of_day = 10 * kSecondsPerHour,
+                          .length = 10 * kSecondsPerHour};
+  EXPECT_FALSE(inside.wraps_midnight());
+  const TimeWindow wraps{.start_of_day = 23 * kSecondsPerHour,
+                         .length = 2 * kSecondsPerHour};
+  EXPECT_TRUE(wraps.wraps_midnight());
+  const TimeWindow exact{.start_of_day = 14 * kSecondsPerHour,
+                         .length = 10 * kSecondsPerHour};
+  EXPECT_FALSE(exact.wraps_midnight());  // ends exactly at midnight
+}
+
+TEST(WindowTest, ValidateAcceptsPaperSweep) {
+  for (int start_hour = 0; start_hour < 24; ++start_hour)
+    for (int len_hours = 1; len_hours <= 10; ++len_hours) {
+      const TimeWindow w{.start_of_day = start_hour * kSecondsPerHour,
+                         .length = len_hours * kSecondsPerHour};
+      EXPECT_NO_THROW(validate(w));
+    }
+}
+
+TEST(WindowTest, ValidateRejectsBadWindows) {
+  EXPECT_THROW(validate(TimeWindow{.start_of_day = -1, .length = 100}),
+               PreconditionError);
+  EXPECT_THROW(validate(TimeWindow{.start_of_day = kSecondsPerDay, .length = 100}),
+               PreconditionError);
+  EXPECT_THROW(validate(TimeWindow{.start_of_day = 0, .length = 0}),
+               PreconditionError);
+  EXPECT_THROW(
+      validate(TimeWindow{.start_of_day = 0, .length = kSecondsPerDay + 1}),
+      PreconditionError);
+}
+
+TEST(WindowTest, DescribeIsHumanReadable) {
+  const TimeWindow w{.start_of_day = 8 * kSecondsPerHour,
+                     .length = 2 * kSecondsPerHour};
+  EXPECT_EQ(w.describe(), "08:00:00 +2h");
+}
+
+}  // namespace
+}  // namespace fgcs

@@ -1,0 +1,82 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/time.hpp"
+
+namespace fgcs {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv,
+                std::set<std::string> flags = {}) {
+  std::vector<const char*> args(argv);
+  return ArgParser(static_cast<int>(args.size()), args.data(), std::move(flags));
+}
+
+TEST(ArgParserTest, SpaceAndEqualsForms) {
+  const ArgParser args = parse({"prog", "--name", "alpha", "--count=3"});
+  EXPECT_EQ(args.get("name"), "alpha");
+  EXPECT_EQ(args.get_int("count"), 3);
+}
+
+TEST(ArgParserTest, FlagsTakeNoValue) {
+  const ArgParser args =
+      parse({"prog", "--verbose", "--out", "x"}, {"verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.has("quiet"));
+  EXPECT_EQ(args.get("out"), "x");
+}
+
+TEST(ArgParserTest, PositionalArguments) {
+  const ArgParser args = parse({"prog", "first", "--k", "v", "second"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(ArgParserTest, DefaultsAndMissing) {
+  const ArgParser args = parse({"prog"});
+  EXPECT_EQ(args.get_or("name", "fallback"), "fallback");
+  EXPECT_EQ(args.get_int_or("n", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double_or("x", 1.5), 1.5);
+  EXPECT_THROW(args.get("name"), PreconditionError);
+}
+
+TEST(ArgParserTest, NumericValidation) {
+  const ArgParser args = parse({"prog", "--n", "12x", "--x", "3.5"});
+  EXPECT_THROW(args.get_int("n"), PreconditionError);
+  EXPECT_DOUBLE_EQ(args.get_double("x"), 3.5);
+}
+
+TEST(ArgParserTest, ValueOptionAtEndWithoutValueThrows) {
+  std::vector<const char*> argv{"prog", "--dangling"};
+  EXPECT_THROW(ArgParser(2, argv.data()), PreconditionError);
+}
+
+TEST(ArgParserTest, UnknownOptionDetection) {
+  const ArgParser args = parse({"prog", "--known", "1", "--typo", "2"});
+  EXPECT_EQ(args.get_int("known"), 1);
+  EXPECT_THROW(args.check_all_consumed(), PreconditionError);
+}
+
+TEST(ArgParserTest, AllConsumedPasses) {
+  const ArgParser args = parse({"prog", "--a", "1"}, {});
+  EXPECT_EQ(args.get_int("a"), 1);
+  EXPECT_NO_THROW(args.check_all_consumed());
+}
+
+TEST(ParseTimeOfDayTest, Formats) {
+  EXPECT_EQ(parse_time_of_day("08:30"), 8 * kSecondsPerHour + 1800);
+  EXPECT_EQ(parse_time_of_day("23:59:59"), kSecondsPerDay - 1);
+  EXPECT_EQ(parse_time_of_day("00:00"), 0);
+}
+
+TEST(ParseTimeOfDayTest, RejectsBadInput) {
+  EXPECT_THROW(parse_time_of_day("24:00"), PreconditionError);
+  EXPECT_THROW(parse_time_of_day("12:60"), PreconditionError);
+  EXPECT_THROW(parse_time_of_day("noon"), PreconditionError);
+  EXPECT_THROW(parse_time_of_day("7"), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fgcs

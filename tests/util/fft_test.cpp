@@ -1,0 +1,93 @@
+#include "util/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fgcs {
+namespace {
+
+TEST(FftTest, ForwardInverseRoundTrip) {
+  Rng rng(1);
+  std::vector<std::complex<double>> a(64);
+  for (auto& x : a) x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const auto original = a;
+  fft_inplace(a, false);
+  fft_inplace(a, true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), original[i].real(), 1e-12) << i;
+    EXPECT_NEAR(a[i].imag(), original[i].imag(), 1e-12) << i;
+  }
+}
+
+TEST(FftTest, ImpulseHasFlatSpectrum) {
+  std::vector<std::complex<double>> a(8, 0.0);
+  a[0] = 1.0;
+  fft_inplace(a, false);
+  for (const auto& x : a) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> a(6);
+  EXPECT_THROW(fft_inplace(a, false), PreconditionError);
+  std::vector<std::complex<double>> empty;
+  EXPECT_THROW(fft_inplace(empty, false), PreconditionError);
+}
+
+TEST(NextPow2Test, Values) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_THROW(next_pow2(0), PreconditionError);
+}
+
+TEST(ConvolveTest, SmallKnownCase) {
+  // (1 + 2x)(3 + 4x) = 3 + 10x + 8x².
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{3.0, 4.0};
+  const std::vector<double> c = convolve(a, b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_NEAR(c[0], 3.0, 1e-12);
+  EXPECT_NEAR(c[1], 10.0, 1e-12);
+  EXPECT_NEAR(c[2], 8.0, 1e-12);
+}
+
+class ConvolveRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConvolveRandomTest, FftMatchesDirectSum) {
+  Rng rng(static_cast<std::uint64_t>(100 + GetParam()));
+  // Sizes straddling the FFT crossover.
+  const std::size_t na = 16 + static_cast<std::size_t>(GetParam()) * 37;
+  const std::size_t nb = 8 + static_cast<std::size_t>(GetParam()) * 53;
+  std::vector<double> a(na), b(nb);
+  for (double& v : a) v = rng.uniform(-1.0, 1.0);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+
+  const std::vector<double> fast = convolve(a, b);
+  ASSERT_EQ(fast.size(), na + nb - 1);
+  for (std::size_t k = 0; k < fast.size(); ++k) {
+    double direct = 0.0;
+    for (std::size_t i = 0; i < na; ++i)
+      if (k >= i && k - i < nb) direct += a[i] * b[k - i];
+    EXPECT_NEAR(fast[k], direct, 1e-9) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConvolveRandomTest, ::testing::Range(0, 8));
+
+TEST(ConvolveTest, RejectsEmptyInput) {
+  const std::vector<double> a{1.0};
+  EXPECT_THROW(convolve({}, a), PreconditionError);
+  EXPECT_THROW(convolve(a, {}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fgcs

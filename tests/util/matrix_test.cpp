@@ -1,0 +1,147 @@
+#include "util/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fgcs {
+namespace {
+
+TEST(MatrixTest, IdentityAndMultiply) {
+  const Matrix id = Matrix::identity(3);
+  Matrix a(3, 3);
+  int v = 1;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = v++;
+  const Matrix prod = a * id;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(prod(r, c), a(r, c));
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const Matrix t = a.transposed();
+  ASSERT_EQ(t.rows(), 3u);
+  ASSERT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  const Matrix tt = t.transposed();
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(tt(r, c), a(r, c));
+}
+
+TEST(MatrixTest, MatVecProduct) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 3; a(1, 1) = 4;
+  const std::vector<double> x{1.0, -1.0};
+  const std::vector<double> y = a * x;
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(LuSolveTest, SolvesKnownSystem) {
+  Matrix a(3, 3);
+  a(0, 0) = 2; a(0, 1) = 1; a(0, 2) = 1;
+  a(1, 0) = 1; a(1, 1) = 3; a(1, 2) = 2;
+  a(2, 0) = 1; a(2, 1) = 0; a(2, 2) = 0;
+  const std::vector<double> x = lu_solve(a, {4, 5, 6});
+  EXPECT_NEAR(x[0], 6.0, 1e-12);
+  EXPECT_NEAR(x[1], 15.0, 1e-12);
+  EXPECT_NEAR(x[2], -23.0, 1e-12);
+}
+
+TEST(LuSolveTest, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 0;
+  const std::vector<double> x = lu_solve(a, {3.0, 7.0});
+  EXPECT_DOUBLE_EQ(x[0], 7.0);
+  EXPECT_DOUBLE_EQ(x[1], 3.0);
+}
+
+TEST(LuSolveTest, ThrowsOnSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 4;
+  EXPECT_THROW(lu_solve(a, {1.0, 2.0}), DataError);
+}
+
+TEST(ToeplitzTest, MatchesLuOnKnownSystem) {
+  const std::vector<double> r{4.0, 2.0, 1.0};
+  const std::vector<double> rhs{1.0, 2.0, 3.0};
+  Matrix t(3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      t(i, j) = r[static_cast<std::size_t>(std::abs(static_cast<int>(i) -
+                                                    static_cast<int>(j)))];
+  const std::vector<double> expected = lu_solve(t, rhs);
+  const std::vector<double> actual = solve_toeplitz(r, rhs);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(actual[i], expected[i], 1e-10) << "i=" << i;
+}
+
+class ToeplitzRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ToeplitzRandomTest, MatchesDenseLuSolver) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 2 + static_cast<std::size_t>(GetParam() % 10);
+  // Diagonally dominant symmetric Toeplitz: well-conditioned by construction.
+  std::vector<double> r(n);
+  r[0] = 10.0 + rng.uniform();
+  for (std::size_t i = 1; i < n; ++i)
+    r[i] = rng.uniform(-1.0, 1.0) * (1.0 / static_cast<double>(i + 1));
+  std::vector<double> rhs(n);
+  for (double& v : rhs) v = rng.uniform(-5.0, 5.0);
+
+  Matrix t(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      t(i, j) = r[static_cast<std::size_t>(
+          std::abs(static_cast<int>(i) - static_cast<int>(j)))];
+
+  const std::vector<double> expected = lu_solve(t, rhs);
+  const std::vector<double> actual = solve_toeplitz(r, rhs);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(actual[i], expected[i], 1e-8) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ToeplitzRandomTest, ::testing::Range(1, 25));
+
+TEST(ToeplitzTest, RejectsZeroLeadingElement) {
+  EXPECT_THROW(solve_toeplitz(std::vector<double>{0.0, 1.0},
+                              std::vector<double>{1.0, 1.0}),
+               DataError);
+}
+
+TEST(LeastSquaresTest, RecoversExactCoefficients) {
+  // y = 2 x0 - 3 x1, overdetermined and noise-free.
+  Rng rng(9);
+  Matrix a(20, 2);
+  std::vector<double> b(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    a(i, 0) = rng.uniform(-1, 1);
+    a(i, 1) = rng.uniform(-1, 1);
+    b[i] = 2.0 * a(i, 0) - 3.0 * a(i, 1);
+  }
+  const std::vector<double> beta = least_squares(a, b);
+  EXPECT_NEAR(beta[0], 2.0, 1e-6);
+  EXPECT_NEAR(beta[1], -3.0, 1e-6);
+}
+
+TEST(LeastSquaresTest, RejectsUnderdetermined) {
+  Matrix a(1, 2);
+  std::vector<double> b{1.0};
+  EXPECT_THROW(least_squares(a, b), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fgcs

@@ -1,0 +1,68 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace fgcs {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> visits(kCount);
+  parallel_for(kCount, [&](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < kCount; ++i)
+    EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, ZeroCountIsNoOp) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleThreadMatchesSerial) {
+  std::vector<std::size_t> order;
+  parallel_for(8, [&](std::size_t i) { order.push_back(i); },
+               /*max_threads=*/1);
+  // Exactly the serial order when restricted to one thread.
+  std::vector<std::size_t> expected(8);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, ResultsIndependentOfThreadCount) {
+  auto compute = [](unsigned threads) {
+    std::vector<double> out(257, 0.0);
+    parallel_for(out.size(),
+                 [&](std::size_t i) {
+                   out[i] = static_cast<double>(i) * 1.5 + 1.0;
+                 },
+                 threads);
+    return out;
+  };
+  const auto serial = compute(1);
+  for (const unsigned threads : {2u, 3u, 8u}) EXPECT_EQ(compute(threads), serial);
+}
+
+TEST(ParallelForTest, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallel_for(64,
+                   [](std::size_t i) {
+                     if (i == 13) throw std::runtime_error("boom");
+                   },
+                   4),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, MoreThreadsThanWorkIsFine) {
+  std::vector<std::atomic<int>> visits(3);
+  parallel_for(3, [&](std::size_t i) { ++visits[i]; }, 16);
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+}  // namespace
+}  // namespace fgcs

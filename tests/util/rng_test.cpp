@@ -1,0 +1,134 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fgcs {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i)
+    if (a() != b()) ++differing;
+  EXPECT_GT(differing, 30);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  double acc = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntSinglePoint) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(RngTest, UniformIntRejectsInvertedRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(2, 1), PreconditionError);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(17);
+  double acc = 0.0, acc2 = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    acc += x;
+    acc2 += x * x;
+  }
+  const double mean = acc / kN;
+  const double var = acc2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.03);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(23);
+  double acc = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) acc += rng.exponential(2.5);
+  EXPECT_NEAR(acc / kN, 2.5, 0.05);
+}
+
+TEST(RngTest, ExponentialRejectsNonPositiveMean) {
+  Rng rng(23);
+  EXPECT_THROW(rng.exponential(0.0), PreconditionError);
+}
+
+TEST(RngTest, PoissonMeanMatchesSmallAndLarge) {
+  Rng rng(29);
+  for (const double mean : {0.3, 4.0, 120.0}) {
+    double acc = 0.0;
+    constexpr int kN = 50000;
+    for (int i = 0; i < kN; ++i)
+      acc += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(acc / kN, mean, mean * 0.05 + 0.02) << "mean=" << mean;
+  }
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(31);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent(99);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng rng(5);
+  const auto first = rng();
+  rng.reseed(5);
+  EXPECT_EQ(rng(), first);
+}
+
+}  // namespace
+}  // namespace fgcs

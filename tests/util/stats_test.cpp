@@ -1,0 +1,140 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fgcs {
+namespace {
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_THROW(s.min(), PreconditionError);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+}
+
+TEST(RunningStatsTest, MergeEqualsCombinedStream) {
+  Rng rng(1);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);  // empty rhs: no change
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // empty lhs: adopt rhs
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(PercentileTest, RejectsEmptyAndBadQ) {
+  EXPECT_THROW(percentile({}, 0.5), PreconditionError);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(percentile(v, 1.5), PreconditionError);
+}
+
+TEST(SummaryTest, MatchesComponents) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(AutocovarianceTest, WhiteNoiseDecorrelates) {
+  Rng rng(3);
+  std::vector<double> x(20000);
+  for (double& v : x) v = rng.normal(0.0, 1.0);
+  const std::vector<double> gamma = autocovariance(x, 3);
+  EXPECT_NEAR(gamma[0], 1.0, 0.05);
+  EXPECT_NEAR(gamma[1], 0.0, 0.03);
+  EXPECT_NEAR(gamma[2], 0.0, 0.03);
+}
+
+TEST(AutocovarianceTest, Ar1StructureRecovered) {
+  // x_t = 0.8 x_{t-1} + ε: autocorrelation at lag k is 0.8^k.
+  Rng rng(5);
+  std::vector<double> x(50000);
+  double prev = 0.0;
+  for (double& v : x) {
+    prev = 0.8 * prev + rng.normal(0.0, 1.0);
+    v = prev;
+  }
+  const std::vector<double> rho = autocorrelation(x, 3);
+  EXPECT_DOUBLE_EQ(rho[0], 1.0);
+  EXPECT_NEAR(rho[1], 0.8, 0.03);
+  EXPECT_NEAR(rho[2], 0.64, 0.04);
+  EXPECT_NEAR(rho[3], 0.512, 0.05);
+}
+
+TEST(AutocovarianceTest, ConstantSeriesIsAllZero) {
+  const std::vector<double> x(100, 2.5);
+  const std::vector<double> rho = autocorrelation(x, 2);
+  for (const double r : rho) EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(AutocovarianceTest, RejectsTooShortSeries) {
+  const std::vector<double> x{1.0, 2.0};
+  EXPECT_THROW(autocovariance(x, 2), PreconditionError);
+}
+
+TEST(FitLineTest, RecoversExactLine) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y{1.0, 3.0, 5.0, 7.0};
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLineTest, DegenerateXGivesMeanIntercept) {
+  const std::vector<double> x{2.0, 2.0, 2.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+}  // namespace
+}  // namespace fgcs

@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+namespace {
+
+TEST(TableTest, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+}
+
+TEST(TableTest, RejectsWrongRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(TableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), PreconditionError);
+}
+
+TEST(TableTest, CsvEscapesSpecialCharacters) {
+  Table t({"k", "v"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"quote\"inside", "x"});
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("k,v\n"), std::string::npos);
+  EXPECT_NE(out.find("plain,\"has,comma\"\n"), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\",x\n"), std::string::npos);
+}
+
+TEST(TableTest, NumAndPctFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::pct(0.8651, 1), "86.5%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(TableTest, RowCountTracksAdds) {
+  Table t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, BannerFormat) {
+  std::ostringstream os;
+  print_banner(os, "Fig 5");
+  EXPECT_EQ(os.str(), "\n== Fig 5 ==\n");
+}
+
+}  // namespace
+}  // namespace fgcs

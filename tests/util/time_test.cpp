@@ -1,0 +1,79 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+namespace {
+
+TEST(CalendarTest, DayIndexOfNonNegativeTimes) {
+  EXPECT_EQ(Calendar::day_index(0), 0);
+  EXPECT_EQ(Calendar::day_index(1), 0);
+  EXPECT_EQ(Calendar::day_index(kSecondsPerDay - 1), 0);
+  EXPECT_EQ(Calendar::day_index(kSecondsPerDay), 1);
+  EXPECT_EQ(Calendar::day_index(10 * kSecondsPerDay + 5), 10);
+}
+
+TEST(CalendarTest, DayIndexOfNegativeTimes) {
+  EXPECT_EQ(Calendar::day_index(-1), -1);
+  EXPECT_EQ(Calendar::day_index(-kSecondsPerDay), -1);
+  EXPECT_EQ(Calendar::day_index(-kSecondsPerDay - 1), -2);
+}
+
+TEST(CalendarTest, SecondOfDayWrapsCorrectly) {
+  EXPECT_EQ(Calendar::second_of_day(0), 0);
+  EXPECT_EQ(Calendar::second_of_day(kSecondsPerDay + 42), 42);
+  EXPECT_EQ(Calendar::second_of_day(-1), kSecondsPerDay - 1);
+}
+
+TEST(CalendarTest, MondayEpochWeekendsOnDays5And6) {
+  const Calendar cal(0);  // day 0 = Monday
+  EXPECT_EQ(cal.day_type(0), DayType::kWeekday);
+  EXPECT_EQ(cal.day_type(4), DayType::kWeekday);
+  EXPECT_EQ(cal.day_type(5), DayType::kWeekend);
+  EXPECT_EQ(cal.day_type(6), DayType::kWeekend);
+  EXPECT_EQ(cal.day_type(7), DayType::kWeekday);
+}
+
+TEST(CalendarTest, EpochDayOfWeekShiftsTheWeek) {
+  const Calendar cal(6);  // day 0 = Sunday
+  EXPECT_EQ(cal.day_type(0), DayType::kWeekend);
+  EXPECT_EQ(cal.day_type(1), DayType::kWeekday);
+  EXPECT_EQ(cal.day_type(6), DayType::kWeekend);
+}
+
+TEST(CalendarTest, DayOfWeekHandlesNegativeDays) {
+  const Calendar cal(0);
+  EXPECT_EQ(cal.day_of_week(-1), 6);  // the day before Monday is Sunday
+  EXPECT_EQ(cal.day_of_week(-7), 0);
+}
+
+TEST(CalendarTest, RejectsBadEpochDayOfWeek) {
+  EXPECT_THROW(Calendar(7), PreconditionError);
+  EXPECT_THROW(Calendar(-1), PreconditionError);
+}
+
+TEST(TimeFormatTest, FormatsTimeOfDay) {
+  EXPECT_EQ(format_time_of_day(0), "00:00:00");
+  EXPECT_EQ(format_time_of_day(8 * kSecondsPerHour + 5 * 60 + 9), "08:05:09");
+  EXPECT_EQ(format_time_of_day(kSecondsPerDay - 1), "23:59:59");
+}
+
+TEST(TimeFormatTest, RejectsOutOfRangeSecondOfDay) {
+  EXPECT_THROW(format_time_of_day(kSecondsPerDay), PreconditionError);
+  EXPECT_THROW(format_time_of_day(-1), PreconditionError);
+}
+
+TEST(TimeFormatTest, FormatsAbsoluteSimTime) {
+  EXPECT_EQ(format_sim_time(0), "d0 00:00:00");
+  EXPECT_EQ(format_sim_time(3 * kSecondsPerDay + kSecondsPerHour), "d3 01:00:00");
+}
+
+TEST(DayTypeTest, ToString) {
+  EXPECT_STREQ(to_string(DayType::kWeekday), "weekday");
+  EXPECT_STREQ(to_string(DayType::kWeekend), "weekend");
+}
+
+}  // namespace
+}  // namespace fgcs

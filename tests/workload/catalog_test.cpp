@@ -1,0 +1,51 @@
+#include "workload/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fgcs {
+namespace {
+
+TEST(CatalogTest, GuestWorkingSetsSpanPaperRange) {
+  const auto& guests = spec_guest_catalog();
+  ASSERT_GE(guests.size(), 10u);
+  int lo = guests.front().working_set_mb, hi = lo;
+  for (const auto& g : guests) {
+    lo = std::min(lo, g.working_set_mb);
+    hi = std::max(hi, g.working_set_mb);
+  }
+  EXPECT_EQ(lo, 29);   // paper: 29 MB …
+  EXPECT_EQ(hi, 193);  // … to 193 MB
+}
+
+TEST(CatalogTest, HostWorkloadsSpanPaperEnvelopes) {
+  const auto& hosts = musbus_host_catalog();
+  ASSERT_GE(hosts.size(), 5u);
+  double cpu_lo = 1.0, cpu_hi = 0.0;
+  int mem_lo = 10000, mem_hi = 0;
+  for (const auto& h : hosts) {
+    cpu_lo = std::min(cpu_lo, h.cpu_duty);
+    cpu_hi = std::max(cpu_hi, h.cpu_duty);
+    mem_lo = std::min(mem_lo, h.mem_mb);
+    mem_hi = std::max(mem_hi, h.mem_mb);
+  }
+  EXPECT_NEAR(cpu_lo, 0.08, 1e-9);  // paper: 8 % …
+  EXPECT_NEAR(cpu_hi, 0.67, 1e-9);  // … to 67 %
+  EXPECT_EQ(mem_lo, 53);            // paper: 53 MB …
+  EXPECT_EQ(mem_hi, 213);           // … to 213 MB
+}
+
+TEST(CatalogTest, HostCatalogOrderedByCpu) {
+  const auto& hosts = musbus_host_catalog();
+  for (std::size_t i = 1; i < hosts.size(); ++i)
+    EXPECT_GT(hosts[i].cpu_duty, hosts[i - 1].cpu_duty);
+}
+
+TEST(CatalogTest, EntriesHaveNames) {
+  for (const auto& g : spec_guest_catalog()) EXPECT_FALSE(g.name.empty());
+  for (const auto& h : musbus_host_catalog()) EXPECT_FALSE(h.name.empty());
+}
+
+}  // namespace
+}  // namespace fgcs

@@ -1,0 +1,88 @@
+#include "workload/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+#include "workload/trace_generator.hpp"
+
+namespace fgcs {
+namespace {
+
+TEST(PearsonTest, PerfectAndInverseCorrelation) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  const std::vector<double> c{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, DegenerateSeriesGiveZero) {
+  const std::vector<double> flat{3.0, 3.0, 3.0};
+  const std::vector<double> var{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(flat, var), 0.0);
+}
+
+TEST(PearsonTest, ValidatesInput) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0};
+  EXPECT_THROW(pearson(a, b), PreconditionError);
+  const std::vector<double> single{1.0};
+  EXPECT_THROW(pearson(single, single), PreconditionError);
+}
+
+TEST(HourlyProfileTest, ConstantTraceHasFlatProfile) {
+  const MachineTrace trace = test::constant_trace(3, 30, 60);
+  const StateClassifier classifier(test::test_thresholds(), 60);
+  const HourlyProfile p = hourly_profile(trace, DayType::kWeekday, classifier);
+  EXPECT_EQ(p.days, 3u);
+  for (int hour = 0; hour < kHoursPerDay; ++hour) {
+    EXPECT_NEAR(p.mean_load[hour], 0.30, 1e-9) << hour;
+    EXPECT_DOUBLE_EQ(p.availability[hour], 1.0) << hour;
+  }
+}
+
+TEST(HourlyProfileTest, DetectsBusyHour) {
+  MachineTrace trace("m", Calendar(0), 60, 512);
+  auto day = test::constant_day(60, 10);
+  for (std::size_t i = 14 * 60; i < 15 * 60; ++i) day[i] = test::sample(90);
+  trace.append_day(std::move(day));
+  const StateClassifier classifier(test::test_thresholds(), 60);
+  const HourlyProfile p = hourly_profile(trace, DayType::kWeekday, classifier);
+  EXPECT_NEAR(p.mean_load[14], 0.90, 1e-9);
+  EXPECT_NEAR(p.mean_load[13], 0.10, 1e-9);
+  EXPECT_DOUBLE_EQ(p.availability[14], 0.0);
+  EXPECT_DOUBLE_EQ(p.availability[13], 1.0);
+}
+
+TEST(HourlyProfileTest, EmptyTypeGivesEmptyProfile) {
+  // 3 days from a Monday epoch: all weekdays, no weekend days.
+  const MachineTrace trace = test::constant_trace(3, 30, 60);
+  const StateClassifier classifier(test::test_thresholds(), 60);
+  const HourlyProfile p = hourly_profile(trace, DayType::kWeekend, classifier);
+  EXPECT_EQ(p.days, 0u);
+}
+
+TEST(RepeatabilityTest, GeneratedTracesRepeatAcrossDays) {
+  WorkloadParams params;
+  params.sampling_period = 60;
+  TraceGenerator generator(params, 31);
+  const MachineTrace trace = generator.generate("m0", 28);
+  const PatternRepeatability r =
+      measure_repeatability(trace, DayType::kWeekday);
+  EXPECT_GT(r.day_pairs, 10u);
+  // Diurnal structure + anchored episodes must produce clear positive
+  // correlation between same-type days — the paper's premise.
+  EXPECT_GT(r.consecutive_day_correlation, 0.3);
+  EXPECT_GT(r.week_apart_correlation, 0.2);
+}
+
+TEST(RepeatabilityTest, TooFewDaysGivesZero) {
+  const MachineTrace trace = test::constant_trace(1, 30, 60);
+  const PatternRepeatability r =
+      measure_repeatability(trace, DayType::kWeekday);
+  EXPECT_EQ(r.day_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace fgcs

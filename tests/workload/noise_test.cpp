@@ -1,0 +1,87 @@
+#include "workload/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.hpp"
+#include "core/empirical.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace fgcs {
+namespace {
+
+TEST(NoiseTest, ZeroCountIsIdentity) {
+  const MachineTrace trace = test::constant_trace(3, 10, 60);
+  Rng rng(1);
+  const MachineTrace noisy = inject_unavailability(trace, 1, 0, {}, rng);
+  for (std::int64_t d = 0; d < 3; ++d)
+    for (std::size_t i = 0; i < trace.samples_per_day(); ++i)
+      ASSERT_EQ(noisy.at(d, i), trace.at(d, i));
+}
+
+TEST(NoiseTest, InjectionLandsNearTheRequestedTime) {
+  const MachineTrace trace = test::constant_trace(3, 10, 60);
+  Rng rng(2);
+  const NoiseParams params;
+  const MachineTrace noisy = inject_unavailability(trace, 1, 3, params, rng);
+  // All modified samples lie within around ± spread + max_hold.
+  const SimTime lo = params.around - params.spread;
+  const SimTime hi = params.around + params.spread + params.max_hold;
+  for (std::size_t i = 0; i < trace.samples_per_day(); ++i) {
+    const SimTime sec = static_cast<SimTime>(i) * 60;
+    if (noisy.at(1, i).host_load_pct != trace.at(1, i).host_load_pct) {
+      EXPECT_GE(sec + 60, lo);
+      EXPECT_LE(sec, hi);
+      EXPECT_EQ(noisy.at(1, i).host_load_pct, 100);
+    }
+  }
+}
+
+TEST(NoiseTest, OtherDaysUntouched) {
+  const MachineTrace trace = test::constant_trace(3, 10, 60);
+  Rng rng(3);
+  const MachineTrace noisy = inject_unavailability(trace, 1, 5, {}, rng);
+  for (const std::int64_t d : {0, 2})
+    for (std::size_t i = 0; i < trace.samples_per_day(); ++i)
+      ASSERT_EQ(noisy.at(d, i), trace.at(d, i)) << d << ":" << i;
+}
+
+TEST(NoiseTest, CreatesUnavailabilityOccurrences) {
+  const MachineTrace trace = test::constant_trace(2, 10, 60);
+  Rng rng(4);
+  const MachineTrace noisy = inject_unavailability(trace, 0, 4, {}, rng);
+  const StateClassifier classifier(test::test_thresholds(), 60);
+  const UnavailabilityStats before = count_unavailability(trace, classifier);
+  const UnavailabilityStats after = count_unavailability(noisy, classifier);
+  EXPECT_EQ(before.total(), 0u);
+  EXPECT_GT(after.cpu_contention, 0u);
+  EXPECT_LE(after.cpu_contention, 4u);  // overlaps may merge occurrences
+}
+
+TEST(NoiseTest, MoreNoiseMeansMoreAffectedTime) {
+  const MachineTrace trace = test::constant_trace(2, 10, 60);
+  auto affected_ticks = [&](int count) {
+    Rng rng(5);
+    const MachineTrace noisy = inject_unavailability(trace, 0, count, {}, rng);
+    std::size_t ticks = 0;
+    for (std::size_t i = 0; i < trace.samples_per_day(); ++i)
+      if (noisy.at(0, i).host_load_pct == 100) ++ticks;
+    return ticks;
+  };
+  EXPECT_LT(affected_ticks(1), affected_ticks(10));
+}
+
+TEST(NoiseTest, ValidatesArguments) {
+  const MachineTrace trace = test::constant_trace(2, 10, 60);
+  Rng rng(6);
+  EXPECT_THROW(inject_unavailability(trace, 5, 1, {}, rng), PreconditionError);
+  EXPECT_THROW(inject_unavailability(trace, -1, 1, {}, rng), PreconditionError);
+  EXPECT_THROW(inject_unavailability(trace, 0, -1, {}, rng), PreconditionError);
+  NoiseParams bad;
+  bad.min_hold = 100;
+  bad.max_hold = 50;
+  EXPECT_THROW(inject_unavailability(trace, 0, 1, bad, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fgcs

@@ -1,0 +1,78 @@
+#include "workload/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+namespace {
+
+TEST(ProfileTest, PresetsStayInUnitRange) {
+  for (const DiurnalProfile& p :
+       {DiurnalProfile::student_lab(), DiurnalProfile::enterprise_desktop()}) {
+    for (double hour = 0.0; hour < 24.0; hour += 0.25) {
+      for (const DayType type : {DayType::kWeekday, DayType::kWeekend}) {
+        const double a = p.activity(type, hour);
+        EXPECT_GE(a, 0.0);
+        EXPECT_LE(a, 1.0);
+      }
+    }
+  }
+}
+
+TEST(ProfileTest, HourMidpointsMatchTable) {
+  const DiurnalProfile p = DiurnalProfile::student_lab();
+  EXPECT_DOUBLE_EQ(p.activity(DayType::kWeekday, 14.5), p.weekday[14]);
+  EXPECT_DOUBLE_EQ(p.activity(DayType::kWeekend, 3.5), p.weekend[3]);
+}
+
+TEST(ProfileTest, InterpolatesBetweenMidpoints) {
+  const DiurnalProfile p = DiurnalProfile::student_lab();
+  const double at_15 = p.activity(DayType::kWeekday, 15.0);
+  EXPECT_DOUBLE_EQ(at_15, (p.weekday[14] + p.weekday[15]) / 2.0);
+}
+
+TEST(ProfileTest, WrapsAroundMidnight) {
+  const DiurnalProfile p = DiurnalProfile::student_lab();
+  const double at_midnight = p.activity(DayType::kWeekday, 0.0);
+  EXPECT_DOUBLE_EQ(at_midnight, (p.weekday[23] + p.weekday[0]) / 2.0);
+}
+
+TEST(ProfileTest, StudentLabBusyAfternoonQuietNight) {
+  const DiurnalProfile p = DiurnalProfile::student_lab();
+  EXPECT_GT(p.activity(DayType::kWeekday, 15.0),
+            p.activity(DayType::kWeekday, 4.0) * 5.0);
+}
+
+TEST(ProfileTest, WeekendsLighterThanWeekdays) {
+  const DiurnalProfile p = DiurnalProfile::student_lab();
+  double weekday_total = 0.0, weekend_total = 0.0;
+  for (int h = 0; h < kHoursPerDay; ++h) {
+    weekday_total += p.weekday[h];
+    weekend_total += p.weekend[h];
+  }
+  EXPECT_GT(weekday_total, weekend_total);
+}
+
+TEST(ProfileTest, ActivityAtSecondOfDay) {
+  const DiurnalProfile p = DiurnalProfile::student_lab();
+  EXPECT_DOUBLE_EQ(p.activity_at(DayType::kWeekday, 14 * kSecondsPerHour + 1800),
+                   p.activity(DayType::kWeekday, 14.5));
+}
+
+TEST(ProfileTest, RejectsOutOfRangeHour) {
+  const DiurnalProfile p = DiurnalProfile::student_lab();
+  EXPECT_THROW(p.activity(DayType::kWeekday, 25.0), PreconditionError);
+  EXPECT_THROW(p.activity(DayType::kWeekday, -0.5), PreconditionError);
+}
+
+TEST(ProfileTest, EnterpriseHasSharpNineToFive) {
+  const DiurnalProfile p = DiurnalProfile::enterprise_desktop();
+  EXPECT_GT(p.activity(DayType::kWeekday, 10.5),
+            p.activity(DayType::kWeekday, 20.5) * 3.0);
+  // Enterprise weekends are near-dead.
+  EXPECT_LT(p.activity(DayType::kWeekend, 14.5), 0.2);
+}
+
+}  // namespace
+}  // namespace fgcs

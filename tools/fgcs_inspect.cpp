@@ -1,0 +1,72 @@
+// fgcs_inspect — summarize a recorded trace, or dump one day as CSV.
+//
+//   fgcs_inspect --trace FILE                 summary + per-day occurrence table
+//   fgcs_inspect --trace FILE --day N --csv   day N as CSV on stdout
+#include <cstdio>
+#include <iostream>
+
+#include "fgcs.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fgcs;
+  try {
+    const ArgParser args(argc, argv, {"csv"});
+    const MachineTrace trace = MachineTrace::load_file(args.get("trace"));
+
+    if (args.has("csv")) {
+      const std::int64_t day = args.get_int("day");
+      args.check_all_consumed();
+      trace.write_day_csv(std::cout, day);
+      return 0;
+    }
+    args.check_all_consumed();
+
+    std::printf("machine        : %s\n", trace.machine_id().c_str());
+    std::printf("days           : %lld\n",
+                static_cast<long long>(trace.day_count()));
+    std::printf("sampling period: %lld s (%zu samples/day)\n",
+                static_cast<long long>(trace.sampling_period()),
+                trace.samples_per_day());
+    std::printf("memory         : %d MB\n", trace.total_mem_mb());
+    std::printf("uptime         : %.2f%%\n", 100.0 * trace.uptime_fraction());
+    std::printf("mean host load : %.1f%%\n", 100.0 * trace.mean_load());
+
+    const StateClassifier classifier(Thresholds{}, trace.sampling_period());
+    const UnavailabilityStats stats = count_unavailability(trace, classifier);
+    std::printf("\nunavailability occurrences (whole trace):\n");
+    std::printf("  S3 cpu contention : %zu\n", stats.cpu_contention);
+    std::printf("  S4 memory thrash  : %zu\n", stats.memory_thrash);
+    std::printf("  S5 revocation     : %zu\n", stats.revocation);
+    std::printf("  total             : %zu (%.1f/day)\n", stats.total(),
+                static_cast<double>(stats.total()) /
+                    static_cast<double>(trace.day_count()));
+
+    // Hourly availability heat-row: fraction of weekday samples per hour in
+    // an available state — where are this machine's habitual trouble times?
+    std::printf("\nweekday availability by hour:\n  ");
+    for (int hour = 0; hour < kHoursPerDay; ++hour) {
+      std::size_t available = 0, total = 0;
+      for (std::int64_t d = 0; d < trace.day_count(); ++d) {
+        if (trace.day_type(d) != DayType::kWeekday) continue;
+        const TimeWindow w{.start_of_day = hour * kSecondsPerHour,
+                           .length = kSecondsPerHour};
+        if (!trace.window_in_range(d, w)) continue;
+        for (const State s : classifier.classify_window(trace, d, w)) {
+          ++total;
+          if (is_available(s)) ++available;
+        }
+      }
+      const double frac =
+          total == 0 ? 1.0
+                     : static_cast<double>(available) / static_cast<double>(total);
+      std::printf("%02d:%.0f%% ", hour, 100.0 * frac);
+      if (hour % 6 == 5) std::printf("\n  ");
+    }
+    std::printf("\n");
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "fgcs_inspect: %s\n", error.what());
+    return 1;
+  }
+}

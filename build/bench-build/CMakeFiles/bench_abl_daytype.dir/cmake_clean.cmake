@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_daytype"
+  "../bench/bench_abl_daytype.pdb"
+  "CMakeFiles/bench_abl_daytype.dir/bench_abl_daytype.cpp.o"
+  "CMakeFiles/bench_abl_daytype.dir/bench_abl_daytype.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_daytype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_discretization"
+  "../bench/bench_abl_discretization.pdb"
+  "CMakeFiles/bench_abl_discretization.dir/bench_abl_discretization.cpp.o"
+  "CMakeFiles/bench_abl_discretization.dir/bench_abl_discretization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_discretization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

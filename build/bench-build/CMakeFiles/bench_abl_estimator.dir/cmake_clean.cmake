@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_estimator"
+  "../bench/bench_abl_estimator.pdb"
+  "CMakeFiles/bench_abl_estimator.dir/bench_abl_estimator.cpp.o"
+  "CMakeFiles/bench_abl_estimator.dir/bench_abl_estimator.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

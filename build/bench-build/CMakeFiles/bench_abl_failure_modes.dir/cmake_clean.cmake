@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_failure_modes"
+  "../bench/bench_abl_failure_modes.pdb"
+  "CMakeFiles/bench_abl_failure_modes.dir/bench_abl_failure_modes.cpp.o"
+  "CMakeFiles/bench_abl_failure_modes.dir/bench_abl_failure_modes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_failure_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_sparse_solver"
+  "../bench/bench_abl_sparse_solver.pdb"
+  "CMakeFiles/bench_abl_sparse_solver.dir/bench_abl_sparse_solver.cpp.o"
+  "CMakeFiles/bench_abl_sparse_solver.dir/bench_abl_sparse_solver.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_sparse_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl_sparse_solver.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_enterprise"
+  "../bench/bench_ext_enterprise.pdb"
+  "CMakeFiles/bench_ext_enterprise.dir/bench_ext_enterprise.cpp.o"
+  "CMakeFiles/bench_ext_enterprise.dir/bench_ext_enterprise.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_enterprise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

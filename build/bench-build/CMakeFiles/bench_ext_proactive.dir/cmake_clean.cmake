@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_proactive"
+  "../bench/bench_ext_proactive.pdb"
+  "CMakeFiles/bench_ext_proactive.dir/bench_ext_proactive.cpp.o"
+  "CMakeFiles/bench_ext_proactive.dir/bench_ext_proactive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_proactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

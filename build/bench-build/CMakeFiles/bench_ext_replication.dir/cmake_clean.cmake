@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_replication"
+  "../bench/bench_ext_replication.pdb"
+  "CMakeFiles/bench_ext_replication.dir/bench_ext_replication.cpp.o"
+  "CMakeFiles/bench_ext_replication.dir/bench_ext_replication.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

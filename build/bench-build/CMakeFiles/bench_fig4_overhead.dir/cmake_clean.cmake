@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_overhead"
+  "../bench/bench_fig4_overhead.pdb"
+  "CMakeFiles/bench_fig4_overhead.dir/bench_fig4_overhead.cpp.o"
+  "CMakeFiles/bench_fig4_overhead.dir/bench_fig4_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

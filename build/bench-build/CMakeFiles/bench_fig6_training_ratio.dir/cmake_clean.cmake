@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_training_ratio"
+  "../bench/bench_fig6_training_ratio.pdb"
+  "CMakeFiles/bench_fig6_training_ratio.dir/bench_fig6_training_ratio.cpp.o"
+  "CMakeFiles/bench_fig6_training_ratio.dir/bench_fig6_training_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_training_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

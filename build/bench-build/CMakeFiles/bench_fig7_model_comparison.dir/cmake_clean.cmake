@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_model_comparison"
+  "../bench/bench_fig7_model_comparison.pdb"
+  "CMakeFiles/bench_fig7_model_comparison.dir/bench_fig7_model_comparison.cpp.o"
+  "CMakeFiles/bench_fig7_model_comparison.dir/bench_fig7_model_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_model_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

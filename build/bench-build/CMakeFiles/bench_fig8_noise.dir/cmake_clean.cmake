@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_noise"
+  "../bench/bench_fig8_noise.pdb"
+  "CMakeFiles/bench_fig8_noise.dir/bench_fig8_noise.cpp.o"
+  "CMakeFiles/bench_fig8_noise.dir/bench_fig8_noise.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec32_memory"
+  "../bench/bench_sec32_memory.pdb"
+  "CMakeFiles/bench_sec32_memory.dir/bench_sec32_memory.cpp.o"
+  "CMakeFiles/bench_sec32_memory.dir/bench_sec32_memory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec32_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

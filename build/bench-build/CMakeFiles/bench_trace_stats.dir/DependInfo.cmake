@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_trace_stats.cpp" "bench-build/CMakeFiles/bench_trace_stats.dir/bench_trace_stats.cpp.o" "gcc" "bench-build/CMakeFiles/bench_trace_stats.dir/bench_trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/fgcs_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/fgcs_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/CMakeFiles/fgcs_ishare.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fgcs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fgcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fgcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fgcs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fgcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

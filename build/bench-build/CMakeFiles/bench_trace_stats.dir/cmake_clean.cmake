@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_trace_stats"
+  "../bench/bench_trace_stats.pdb"
+  "CMakeFiles/bench_trace_stats.dir/bench_trace_stats.cpp.o"
+  "CMakeFiles/bench_trace_stats.dir/bench_trace_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

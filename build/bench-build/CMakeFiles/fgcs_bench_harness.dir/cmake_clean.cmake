@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/fgcs_bench_harness.dir/harness.cpp.o.d"
+  "lib/libfgcs_bench_harness.a"
+  "lib/libfgcs_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

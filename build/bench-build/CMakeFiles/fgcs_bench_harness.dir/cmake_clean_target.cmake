@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "lib/libfgcs_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contention_study.dir/contention_study.cpp.o"
+  "CMakeFiles/contention_study.dir/contention_study.cpp.o.d"
+  "contention_study"
+  "contention_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contention_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

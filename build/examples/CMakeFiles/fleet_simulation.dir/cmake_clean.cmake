@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_simulation.dir/fleet_simulation.cpp.o"
+  "CMakeFiles/fleet_simulation.dir/fleet_simulation.cpp.o.d"
+  "fleet_simulation"
+  "fleet_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

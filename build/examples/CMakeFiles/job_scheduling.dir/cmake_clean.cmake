@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_scheduling.dir/job_scheduling.cpp.o"
+  "CMakeFiles/job_scheduling.dir/job_scheduling.cpp.o.d"
+  "job_scheduling"
+  "job_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/fgcs_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/fgcs_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/classifier.cpp" "src/core/CMakeFiles/fgcs_core.dir/classifier.cpp.o" "gcc" "src/core/CMakeFiles/fgcs_core.dir/classifier.cpp.o.d"
+  "/root/repo/src/core/empirical.cpp" "src/core/CMakeFiles/fgcs_core.dir/empirical.cpp.o" "gcc" "src/core/CMakeFiles/fgcs_core.dir/empirical.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/fgcs_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/fgcs_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/fast_solver.cpp" "src/core/CMakeFiles/fgcs_core.dir/fast_solver.cpp.o" "gcc" "src/core/CMakeFiles/fgcs_core.dir/fast_solver.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/fgcs_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/fgcs_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/semi_markov.cpp" "src/core/CMakeFiles/fgcs_core.dir/semi_markov.cpp.o" "gcc" "src/core/CMakeFiles/fgcs_core.dir/semi_markov.cpp.o.d"
+  "/root/repo/src/core/sparse_solver.cpp" "src/core/CMakeFiles/fgcs_core.dir/sparse_solver.cpp.o" "gcc" "src/core/CMakeFiles/fgcs_core.dir/sparse_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fgcs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fgcs_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

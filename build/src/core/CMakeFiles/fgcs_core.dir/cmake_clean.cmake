@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_core.dir/analysis.cpp.o"
+  "CMakeFiles/fgcs_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/fgcs_core.dir/classifier.cpp.o"
+  "CMakeFiles/fgcs_core.dir/classifier.cpp.o.d"
+  "CMakeFiles/fgcs_core.dir/empirical.cpp.o"
+  "CMakeFiles/fgcs_core.dir/empirical.cpp.o.d"
+  "CMakeFiles/fgcs_core.dir/estimator.cpp.o"
+  "CMakeFiles/fgcs_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/fgcs_core.dir/fast_solver.cpp.o"
+  "CMakeFiles/fgcs_core.dir/fast_solver.cpp.o.d"
+  "CMakeFiles/fgcs_core.dir/predictor.cpp.o"
+  "CMakeFiles/fgcs_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/fgcs_core.dir/semi_markov.cpp.o"
+  "CMakeFiles/fgcs_core.dir/semi_markov.cpp.o.d"
+  "CMakeFiles/fgcs_core.dir/sparse_solver.cpp.o"
+  "CMakeFiles/fgcs_core.dir/sparse_solver.cpp.o.d"
+  "libfgcs_core.a"
+  "libfgcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

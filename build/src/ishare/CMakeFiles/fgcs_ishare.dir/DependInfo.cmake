@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ishare/gateway.cpp" "src/ishare/CMakeFiles/fgcs_ishare.dir/gateway.cpp.o" "gcc" "src/ishare/CMakeFiles/fgcs_ishare.dir/gateway.cpp.o.d"
+  "/root/repo/src/ishare/registry.cpp" "src/ishare/CMakeFiles/fgcs_ishare.dir/registry.cpp.o" "gcc" "src/ishare/CMakeFiles/fgcs_ishare.dir/registry.cpp.o.d"
+  "/root/repo/src/ishare/replication.cpp" "src/ishare/CMakeFiles/fgcs_ishare.dir/replication.cpp.o" "gcc" "src/ishare/CMakeFiles/fgcs_ishare.dir/replication.cpp.o.d"
+  "/root/repo/src/ishare/resource_monitor.cpp" "src/ishare/CMakeFiles/fgcs_ishare.dir/resource_monitor.cpp.o" "gcc" "src/ishare/CMakeFiles/fgcs_ishare.dir/resource_monitor.cpp.o.d"
+  "/root/repo/src/ishare/scheduler.cpp" "src/ishare/CMakeFiles/fgcs_ishare.dir/scheduler.cpp.o" "gcc" "src/ishare/CMakeFiles/fgcs_ishare.dir/scheduler.cpp.o.d"
+  "/root/repo/src/ishare/state_manager.cpp" "src/ishare/CMakeFiles/fgcs_ishare.dir/state_manager.cpp.o" "gcc" "src/ishare/CMakeFiles/fgcs_ishare.dir/state_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fgcs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fgcs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fgcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fgcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fgcs_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

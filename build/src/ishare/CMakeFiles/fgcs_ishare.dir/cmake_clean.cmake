@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_ishare.dir/gateway.cpp.o"
+  "CMakeFiles/fgcs_ishare.dir/gateway.cpp.o.d"
+  "CMakeFiles/fgcs_ishare.dir/registry.cpp.o"
+  "CMakeFiles/fgcs_ishare.dir/registry.cpp.o.d"
+  "CMakeFiles/fgcs_ishare.dir/replication.cpp.o"
+  "CMakeFiles/fgcs_ishare.dir/replication.cpp.o.d"
+  "CMakeFiles/fgcs_ishare.dir/resource_monitor.cpp.o"
+  "CMakeFiles/fgcs_ishare.dir/resource_monitor.cpp.o.d"
+  "CMakeFiles/fgcs_ishare.dir/scheduler.cpp.o"
+  "CMakeFiles/fgcs_ishare.dir/scheduler.cpp.o.d"
+  "CMakeFiles/fgcs_ishare.dir/state_manager.cpp.o"
+  "CMakeFiles/fgcs_ishare.dir/state_manager.cpp.o.d"
+  "libfgcs_ishare.a"
+  "libfgcs_ishare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_ishare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

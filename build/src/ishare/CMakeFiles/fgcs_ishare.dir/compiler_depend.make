@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fgcs_ishare.
+# This may be replaced when dependencies are built.

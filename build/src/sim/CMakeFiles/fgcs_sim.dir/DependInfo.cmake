@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/contention.cpp" "src/sim/CMakeFiles/fgcs_sim.dir/contention.cpp.o" "gcc" "src/sim/CMakeFiles/fgcs_sim.dir/contention.cpp.o.d"
+  "/root/repo/src/sim/cpu_scheduler.cpp" "src/sim/CMakeFiles/fgcs_sim.dir/cpu_scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/fgcs_sim.dir/cpu_scheduler.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/fgcs_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/fgcs_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/fgcs_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/fgcs_sim.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fgcs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fgcs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fgcs_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

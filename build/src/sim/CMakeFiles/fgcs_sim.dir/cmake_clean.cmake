@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_sim.dir/contention.cpp.o"
+  "CMakeFiles/fgcs_sim.dir/contention.cpp.o.d"
+  "CMakeFiles/fgcs_sim.dir/cpu_scheduler.cpp.o"
+  "CMakeFiles/fgcs_sim.dir/cpu_scheduler.cpp.o.d"
+  "CMakeFiles/fgcs_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/fgcs_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/fgcs_sim.dir/machine.cpp.o"
+  "CMakeFiles/fgcs_sim.dir/machine.cpp.o.d"
+  "libfgcs_sim.a"
+  "libfgcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timeseries/ar.cpp" "src/timeseries/CMakeFiles/fgcs_timeseries.dir/ar.cpp.o" "gcc" "src/timeseries/CMakeFiles/fgcs_timeseries.dir/ar.cpp.o.d"
+  "/root/repo/src/timeseries/arma.cpp" "src/timeseries/CMakeFiles/fgcs_timeseries.dir/arma.cpp.o" "gcc" "src/timeseries/CMakeFiles/fgcs_timeseries.dir/arma.cpp.o.d"
+  "/root/repo/src/timeseries/frequency_baseline.cpp" "src/timeseries/CMakeFiles/fgcs_timeseries.dir/frequency_baseline.cpp.o" "gcc" "src/timeseries/CMakeFiles/fgcs_timeseries.dir/frequency_baseline.cpp.o.d"
+  "/root/repo/src/timeseries/ma.cpp" "src/timeseries/CMakeFiles/fgcs_timeseries.dir/ma.cpp.o" "gcc" "src/timeseries/CMakeFiles/fgcs_timeseries.dir/ma.cpp.o.d"
+  "/root/repo/src/timeseries/model.cpp" "src/timeseries/CMakeFiles/fgcs_timeseries.dir/model.cpp.o" "gcc" "src/timeseries/CMakeFiles/fgcs_timeseries.dir/model.cpp.o.d"
+  "/root/repo/src/timeseries/simple.cpp" "src/timeseries/CMakeFiles/fgcs_timeseries.dir/simple.cpp.o" "gcc" "src/timeseries/CMakeFiles/fgcs_timeseries.dir/simple.cpp.o.d"
+  "/root/repo/src/timeseries/tr_predictor.cpp" "src/timeseries/CMakeFiles/fgcs_timeseries.dir/tr_predictor.cpp.o" "gcc" "src/timeseries/CMakeFiles/fgcs_timeseries.dir/tr_predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fgcs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fgcs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fgcs_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

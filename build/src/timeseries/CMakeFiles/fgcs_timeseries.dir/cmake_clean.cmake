@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_timeseries.dir/ar.cpp.o"
+  "CMakeFiles/fgcs_timeseries.dir/ar.cpp.o.d"
+  "CMakeFiles/fgcs_timeseries.dir/arma.cpp.o"
+  "CMakeFiles/fgcs_timeseries.dir/arma.cpp.o.d"
+  "CMakeFiles/fgcs_timeseries.dir/frequency_baseline.cpp.o"
+  "CMakeFiles/fgcs_timeseries.dir/frequency_baseline.cpp.o.d"
+  "CMakeFiles/fgcs_timeseries.dir/ma.cpp.o"
+  "CMakeFiles/fgcs_timeseries.dir/ma.cpp.o.d"
+  "CMakeFiles/fgcs_timeseries.dir/model.cpp.o"
+  "CMakeFiles/fgcs_timeseries.dir/model.cpp.o.d"
+  "CMakeFiles/fgcs_timeseries.dir/simple.cpp.o"
+  "CMakeFiles/fgcs_timeseries.dir/simple.cpp.o.d"
+  "CMakeFiles/fgcs_timeseries.dir/tr_predictor.cpp.o"
+  "CMakeFiles/fgcs_timeseries.dir/tr_predictor.cpp.o.d"
+  "libfgcs_timeseries.a"
+  "libfgcs_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fgcs_timeseries.
+# This may be replaced when dependencies are built.

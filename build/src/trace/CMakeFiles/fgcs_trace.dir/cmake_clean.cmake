@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_trace.dir/machine_trace.cpp.o"
+  "CMakeFiles/fgcs_trace.dir/machine_trace.cpp.o.d"
+  "CMakeFiles/fgcs_trace.dir/sample.cpp.o"
+  "CMakeFiles/fgcs_trace.dir/sample.cpp.o.d"
+  "libfgcs_trace.a"
+  "libfgcs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

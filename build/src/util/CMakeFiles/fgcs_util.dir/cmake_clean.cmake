@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_util.dir/cli.cpp.o"
+  "CMakeFiles/fgcs_util.dir/cli.cpp.o.d"
+  "CMakeFiles/fgcs_util.dir/fft.cpp.o"
+  "CMakeFiles/fgcs_util.dir/fft.cpp.o.d"
+  "CMakeFiles/fgcs_util.dir/matrix.cpp.o"
+  "CMakeFiles/fgcs_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/fgcs_util.dir/stats.cpp.o"
+  "CMakeFiles/fgcs_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fgcs_util.dir/table.cpp.o"
+  "CMakeFiles/fgcs_util.dir/table.cpp.o.d"
+  "CMakeFiles/fgcs_util.dir/time.cpp.o"
+  "CMakeFiles/fgcs_util.dir/time.cpp.o.d"
+  "libfgcs_util.a"
+  "libfgcs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

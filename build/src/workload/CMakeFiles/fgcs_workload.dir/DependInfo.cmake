@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/catalog.cpp" "src/workload/CMakeFiles/fgcs_workload.dir/catalog.cpp.o" "gcc" "src/workload/CMakeFiles/fgcs_workload.dir/catalog.cpp.o.d"
+  "/root/repo/src/workload/characterize.cpp" "src/workload/CMakeFiles/fgcs_workload.dir/characterize.cpp.o" "gcc" "src/workload/CMakeFiles/fgcs_workload.dir/characterize.cpp.o.d"
+  "/root/repo/src/workload/noise.cpp" "src/workload/CMakeFiles/fgcs_workload.dir/noise.cpp.o" "gcc" "src/workload/CMakeFiles/fgcs_workload.dir/noise.cpp.o.d"
+  "/root/repo/src/workload/profile.cpp" "src/workload/CMakeFiles/fgcs_workload.dir/profile.cpp.o" "gcc" "src/workload/CMakeFiles/fgcs_workload.dir/profile.cpp.o.d"
+  "/root/repo/src/workload/replay.cpp" "src/workload/CMakeFiles/fgcs_workload.dir/replay.cpp.o" "gcc" "src/workload/CMakeFiles/fgcs_workload.dir/replay.cpp.o.d"
+  "/root/repo/src/workload/trace_generator.cpp" "src/workload/CMakeFiles/fgcs_workload.dir/trace_generator.cpp.o" "gcc" "src/workload/CMakeFiles/fgcs_workload.dir/trace_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fgcs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fgcs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fgcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fgcs_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

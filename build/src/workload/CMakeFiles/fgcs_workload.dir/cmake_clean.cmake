@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_workload.dir/catalog.cpp.o"
+  "CMakeFiles/fgcs_workload.dir/catalog.cpp.o.d"
+  "CMakeFiles/fgcs_workload.dir/characterize.cpp.o"
+  "CMakeFiles/fgcs_workload.dir/characterize.cpp.o.d"
+  "CMakeFiles/fgcs_workload.dir/noise.cpp.o"
+  "CMakeFiles/fgcs_workload.dir/noise.cpp.o.d"
+  "CMakeFiles/fgcs_workload.dir/profile.cpp.o"
+  "CMakeFiles/fgcs_workload.dir/profile.cpp.o.d"
+  "CMakeFiles/fgcs_workload.dir/replay.cpp.o"
+  "CMakeFiles/fgcs_workload.dir/replay.cpp.o.d"
+  "CMakeFiles/fgcs_workload.dir/trace_generator.cpp.o"
+  "CMakeFiles/fgcs_workload.dir/trace_generator.cpp.o.d"
+  "libfgcs_workload.a"
+  "libfgcs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/analysis_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/core/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/core/analysis_test.cpp.o.d"
+  "/root/repo/tests/core/classifier_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/core/classifier_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/core/classifier_test.cpp.o.d"
+  "/root/repo/tests/core/empirical_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/core/empirical_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/core/empirical_test.cpp.o.d"
+  "/root/repo/tests/core/estimator_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/core/estimator_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/core/estimator_test.cpp.o.d"
+  "/root/repo/tests/core/fast_solver_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/core/fast_solver_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/core/fast_solver_test.cpp.o.d"
+  "/root/repo/tests/core/predictor_property_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/core/predictor_property_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/core/predictor_property_test.cpp.o.d"
+  "/root/repo/tests/core/predictor_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/core/predictor_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/core/predictor_test.cpp.o.d"
+  "/root/repo/tests/core/semi_markov_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/core/semi_markov_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/core/semi_markov_test.cpp.o.d"
+  "/root/repo/tests/core/sparse_solver_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/core/sparse_solver_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/core/sparse_solver_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/ishare/gateway_registry_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/ishare/gateway_registry_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/ishare/gateway_registry_test.cpp.o.d"
+  "/root/repo/tests/ishare/replication_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/ishare/replication_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/ishare/replication_test.cpp.o.d"
+  "/root/repo/tests/ishare/resource_monitor_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/ishare/resource_monitor_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/ishare/resource_monitor_test.cpp.o.d"
+  "/root/repo/tests/ishare/scheduler_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/ishare/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/ishare/scheduler_test.cpp.o.d"
+  "/root/repo/tests/ishare/state_manager_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/ishare/state_manager_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/ishare/state_manager_test.cpp.o.d"
+  "/root/repo/tests/sim/contention_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/sim/contention_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/sim/contention_test.cpp.o.d"
+  "/root/repo/tests/sim/cpu_scheduler_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/sim/cpu_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/sim/cpu_scheduler_test.cpp.o.d"
+  "/root/repo/tests/sim/event_queue_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/sim/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/sim/event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim/machine_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/sim/machine_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/sim/machine_test.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/fgcs_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/timeseries/ar_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/timeseries/ar_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/timeseries/ar_test.cpp.o.d"
+  "/root/repo/tests/timeseries/arma_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/timeseries/arma_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/timeseries/arma_test.cpp.o.d"
+  "/root/repo/tests/timeseries/factory_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/timeseries/factory_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/timeseries/factory_test.cpp.o.d"
+  "/root/repo/tests/timeseries/frequency_baseline_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/timeseries/frequency_baseline_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/timeseries/frequency_baseline_test.cpp.o.d"
+  "/root/repo/tests/timeseries/ma_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/timeseries/ma_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/timeseries/ma_test.cpp.o.d"
+  "/root/repo/tests/timeseries/simple_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/timeseries/simple_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/timeseries/simple_test.cpp.o.d"
+  "/root/repo/tests/timeseries/tr_predictor_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/timeseries/tr_predictor_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/timeseries/tr_predictor_test.cpp.o.d"
+  "/root/repo/tests/trace/machine_trace_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/trace/machine_trace_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/trace/machine_trace_test.cpp.o.d"
+  "/root/repo/tests/trace/robustness_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/trace/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/trace/robustness_test.cpp.o.d"
+  "/root/repo/tests/trace/sample_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/trace/sample_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/trace/sample_test.cpp.o.d"
+  "/root/repo/tests/trace/window_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/trace/window_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/trace/window_test.cpp.o.d"
+  "/root/repo/tests/util/cli_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/util/cli_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/util/cli_test.cpp.o.d"
+  "/root/repo/tests/util/fft_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/util/fft_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/util/fft_test.cpp.o.d"
+  "/root/repo/tests/util/matrix_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/util/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/util/matrix_test.cpp.o.d"
+  "/root/repo/tests/util/parallel_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/util/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/util/parallel_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/time_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/util/time_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/util/time_test.cpp.o.d"
+  "/root/repo/tests/workload/catalog_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/workload/catalog_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/workload/catalog_test.cpp.o.d"
+  "/root/repo/tests/workload/characterize_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/workload/characterize_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/workload/characterize_test.cpp.o.d"
+  "/root/repo/tests/workload/noise_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/workload/noise_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/workload/noise_test.cpp.o.d"
+  "/root/repo/tests/workload/profile_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/workload/profile_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/workload/profile_test.cpp.o.d"
+  "/root/repo/tests/workload/trace_generator_test.cpp" "tests/CMakeFiles/fgcs_tests.dir/workload/trace_generator_test.cpp.o" "gcc" "tests/CMakeFiles/fgcs_tests.dir/workload/trace_generator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timeseries/CMakeFiles/fgcs_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/CMakeFiles/fgcs_ishare.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fgcs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fgcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fgcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fgcs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fgcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fgcs_tests[1]_include.cmake")
+add_test(tool_gen_smoke "/root/repo/build/tools/fgcs_gen" "--out" "/root/repo/build/tool-smoke" "--machines" "1" "--days" "9" "--seed" "3" "--period" "60" "--prefix" "smoke")
+set_tests_properties(tool_gen_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;56;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool_inspect_smoke "/root/repo/build/tools/fgcs_inspect" "--trace" "/root/repo/build/tool-smoke/smoke00.fgcs")
+set_tests_properties(tool_inspect_smoke PROPERTIES  DEPENDS "tool_gen_smoke" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;59;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool_predict_smoke "/root/repo/build/tools/fgcs_predict" "--trace" "/root/repo/build/tool-smoke/smoke00.fgcs" "--start" "09:00" "--hours" "2" "--analysis")
+set_tests_properties(tool_predict_smoke PROPERTIES  DEPENDS "tool_gen_smoke" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;61;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool_eval_smoke "/root/repo/build/tools/fgcs_eval" "--trace" "/root/repo/build/tool-smoke/smoke00.fgcs" "--split" "0.6")
+set_tests_properties(tool_eval_smoke PROPERTIES  DEPENDS "tool_gen_smoke" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;64;add_test;/root/repo/tests/CMakeLists.txt;0;")

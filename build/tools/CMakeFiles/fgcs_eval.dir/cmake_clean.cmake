@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_eval.dir/fgcs_eval.cpp.o"
+  "CMakeFiles/fgcs_eval.dir/fgcs_eval.cpp.o.d"
+  "fgcs_eval"
+  "fgcs_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

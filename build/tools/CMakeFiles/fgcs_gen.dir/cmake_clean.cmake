@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_gen.dir/fgcs_gen.cpp.o"
+  "CMakeFiles/fgcs_gen.dir/fgcs_gen.cpp.o.d"
+  "fgcs_gen"
+  "fgcs_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_inspect.dir/fgcs_inspect.cpp.o"
+  "CMakeFiles/fgcs_inspect.dir/fgcs_inspect.cpp.o.d"
+  "fgcs_inspect"
+  "fgcs_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgcs_predict.dir/fgcs_predict.cpp.o"
+  "CMakeFiles/fgcs_predict.dir/fgcs_predict.cpp.o.d"
+  "fgcs_predict"
+  "fgcs_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgcs_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

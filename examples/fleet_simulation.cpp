@@ -6,6 +6,11 @@
 // monitor, state manager — on one EventQueue clock, and prints a day's
 // activity log plus end-of-day statistics.
 //
+// All TR queries — the scheduler's batched fleet probes and the gateways'
+// adaptive-checkpoint probes — go through one shared PredictionService, so
+// the end-of-day report can show how much of the day's prediction traffic
+// was served from the memoized (Q, H) cache.
+//
 // Build & run:  ./fleet_simulation
 #include <cstdio>
 #include <memory>
@@ -27,6 +32,7 @@ int main() {
       generate_fleet(params, 2006, kMachines, kHistoryDays + 1, "node");
 
   Thresholds thresholds;
+  const auto service = std::make_shared<PredictionService>();
   std::vector<std::unique_ptr<SimulatedMachine>> machines;
   std::vector<std::unique_ptr<ResourceMonitor>> monitors;
   std::vector<Gateway> gateways;
@@ -34,10 +40,10 @@ int main() {
   for (const MachineTrace& trace : traces) {
     machines.push_back(make_replay_machine(trace, thresholds));
     monitors.push_back(std::make_unique<ResourceMonitor>(*machines.back()));
-    gateways.emplace_back(trace, thresholds);
+    gateways.emplace_back(trace, thresholds, EstimatorConfig{}, service);
   }
   for (Gateway& g : gateways) registry.publish(g);
-  const JobScheduler scheduler(registry);
+  const JobScheduler scheduler(registry, SchedulerConfig{}, service);
 
   EventQueue clock;
   const SimTime day_start = kHistoryDays * kSecondsPerDay;
@@ -107,5 +113,19 @@ int main() {
     std::printf("monitor %s: %zu samples, overhead %.2f%% CPU\n",
                 traces[m].machine_id().c_str(), monitors[m]->samples_taken(),
                 100.0 * monitors[m]->overhead_fraction());
+
+  const ServiceStats stats = service->stats();
+  const double hit_rate =
+      stats.lookups == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(stats.hits + stats.partial_hits) /
+                static_cast<double>(stats.lookups);
+  std::printf(
+      "prediction svc : %llu queries (%llu batches, max %llu), "
+      "%.1f%% cache hits, %.1f ms estimating + %.1f ms solving\n",
+      static_cast<unsigned long long>(stats.lookups),
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.max_batch), hit_rate,
+      1e3 * stats.estimate_seconds, 1e3 * stats.solve_seconds);
   return 0;
 }

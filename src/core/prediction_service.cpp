@@ -1,0 +1,262 @@
+#include "core/prediction_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/sparse_solver.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace fgcs {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::uint64_t to_micros(double seconds) {
+  return static_cast<std::uint64_t>(seconds * 1e6);
+}
+
+State resolve_initial(const PredictionRequest& request, State majority) {
+  const State init = request.initial_state.value_or(majority);
+  FGCS_REQUIRE_MSG(is_available(init), "initial state must be S1 or S2");
+  return init;
+}
+
+void fetch_max(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t previous = target.load(std::memory_order_relaxed);
+  while (previous < value &&
+         !target.compare_exchange_weak(previous, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::size_t PredictionService::KeyHash::operator()(const Key& key) const {
+  std::size_t h = std::hash<std::string>{}(key.machine_id);
+  const auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::size_t>(key.generation));
+  mix(static_cast<std::size_t>(key.day_type));
+  mix(static_cast<std::size_t>(key.window_start));
+  mix(static_cast<std::size_t>(key.window_length));
+  return h;
+}
+
+PredictionService::PredictionService(ServiceConfig config)
+    : config_(config),
+      estimator_(config.estimator),
+      shard_count_(std::max<std::size_t>(1, config.shards)),
+      shards_(std::make_unique<Shard[]>(shard_count_)) {
+  FGCS_REQUIRE_MSG(config.capacity_per_shard >= 1,
+                   "cache capacity must be at least one entry per shard");
+}
+
+PredictionService::Shard& PredictionService::shard_for(const Key& key) const {
+  return shards_[KeyHash{}(key) % shard_count_];
+}
+
+std::uint64_t PredictionService::generation_of(
+    const std::string& machine_id) const {
+  const std::lock_guard<std::mutex> lock(generation_mutex_);
+  const auto it = generations_.find(machine_id);
+  return it == generations_.end() ? 0 : it->second;
+}
+
+Prediction PredictionService::predict(const MachineTrace& trace,
+                                      const PredictionRequest& request) {
+  validate(request.window);
+  FGCS_REQUIRE_MSG(request.target_day >= 0 &&
+                       request.target_day <= trace.day_count(),
+                   "target day beyond recorded history + 1");
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+
+  const Key key{trace.machine_id(), generation_of(trace.machine_id()),
+                trace.day_type(request.target_day),
+                request.window.start_of_day, request.window.length};
+  // The training-day rule is cheap (a day-index scan) and is re-run on every
+  // lookup: a cached model is reused only when it was estimated from exactly
+  // the days the rule selects now, so staleness can never change a result.
+  const std::vector<std::int64_t> days =
+      estimator_.training_days_for(trace, request.target_day, request.window);
+  const std::size_t steps = request.window.steps(trace.sampling_period());
+  Shard& shard = shard_for(key);
+
+  std::shared_ptr<const SmpModel> model;
+  State majority = State::kS1;
+  double estimate_seconds = 0.0;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      Entry& entry = it->second->second;
+      if (entry.training_days == days) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        const State init = resolve_initial(request, entry.majority_initial);
+        if (entry.solved[index_of(init)]) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          return *entry.solved[index_of(init)];
+        }
+        model = entry.model;
+        majority = entry.majority_initial;
+        estimate_seconds = entry.estimate_seconds;
+      } else {
+        stale_drops_.fetch_add(1, std::memory_order_relaxed);
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+      }
+    }
+  }
+
+  const bool model_was_cached = model != nullptr;
+  if (!model_was_cached) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const TransitionCounts counts =
+        estimator_.count_transitions(trace, days, request.window);
+    model = std::make_shared<const SmpModel>(estimator_.build_model(counts));
+    majority = estimator_.majority_initial_state(trace, days, request.window);
+    estimate_seconds = seconds_since(t0);
+    estimate_micros_.fetch_add(to_micros(estimate_seconds),
+                               std::memory_order_relaxed);
+  }
+
+  Prediction prediction;
+  prediction.steps = steps;
+  prediction.training_days_used = days.size();
+  prediction.initial_state = resolve_initial(request, majority);
+  prediction.estimate_seconds = estimate_seconds;
+
+  const auto t1 = std::chrono::steady_clock::now();
+  const SparseTrSolver solver(*model);
+  const SparseTrSolver::Result result =
+      solver.solve(prediction.initial_state, steps);
+  prediction.solve_seconds = seconds_since(t1);
+  prediction.temporal_reliability = result.temporal_reliability;
+  prediction.p_absorb = result.p_absorb;
+  solve_micros_.fetch_add(to_micros(prediction.solve_seconds),
+                          std::memory_order_relaxed);
+  (model_was_cached ? partial_hits_ : misses_)
+      .fetch_add(1, std::memory_order_relaxed);
+
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // A concurrent predict raced us here; keep the existing entry when it
+      // is still valid, otherwise replace it with what we just computed.
+      Entry& entry = it->second->second;
+      if (entry.training_days == days) {
+        auto& slot = entry.solved[index_of(prediction.initial_state)];
+        if (!slot) slot = prediction;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return prediction;
+      }
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+    }
+    Entry entry;
+    entry.training_days = days;
+    entry.model = model;
+    entry.majority_initial = majority;
+    entry.estimate_seconds = estimate_seconds;
+    entry.solved[index_of(prediction.initial_state)] = prediction;
+    shard.lru.emplace_front(key, std::move(entry));
+    shard.index[key] = shard.lru.begin();
+    while (shard.index.size() > config_.capacity_per_shard) {
+      shard.index.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return prediction;
+}
+
+std::vector<Prediction> PredictionService::predict_batch(
+    std::span<const BatchRequest> requests) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_requests_.fetch_add(requests.size(), std::memory_order_relaxed);
+  fetch_max(max_batch_, requests.size());
+  for (const BatchRequest& request : requests)
+    FGCS_REQUIRE_MSG(request.trace != nullptr,
+                     "batch request carries a null trace");
+
+  std::vector<Prediction> predictions(requests.size());
+  parallel_for(
+      requests.size(),
+      [&](std::size_t i) {
+        predictions[i] = predict(*requests[i].trace, requests[i].request);
+      },
+      config_.max_threads);
+  return predictions;
+}
+
+void PredictionService::invalidate(const std::string& machine_id) {
+  {
+    const std::lock_guard<std::mutex> lock(generation_mutex_);
+    ++generations_[machine_id];
+  }
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  // The generation bump already makes the old keys unreachable; also drop
+  // the machine's entries so dead models do not crowd the LRU.
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->first.machine_id == machine_id) {
+        shard.index.erase(it->first);
+        it = shard.lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+std::uint64_t PredictionService::history_generation(
+    const std::string& machine_id) const {
+  return generation_of(machine_id);
+}
+
+std::size_t PredictionService::size() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    const std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    total += shards_[s].index.size();
+  }
+  return total;
+}
+
+void PredictionService::clear() {
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    const std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    shards_[s].lru.clear();
+    shards_[s].index.clear();
+  }
+}
+
+ServiceStats PredictionService::stats() const {
+  ServiceStats stats;
+  stats.lookups = lookups_.load(std::memory_order_relaxed);
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.partial_hits = partial_hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  stats.stale_drops = stale_drops_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.batch_requests = batch_requests_.load(std::memory_order_relaxed);
+  stats.max_batch = max_batch_.load(std::memory_order_relaxed);
+  stats.estimate_seconds =
+      static_cast<double>(estimate_micros_.load(std::memory_order_relaxed)) /
+      1e6;
+  stats.solve_seconds =
+      static_cast<double>(solve_micros_.load(std::memory_order_relaxed)) / 1e6;
+  return stats;
+}
+
+}  // namespace fgcs

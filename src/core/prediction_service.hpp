@@ -1,0 +1,174 @@
+// Fleet-scale prediction front-end: request batching plus memoized Q/H
+// estimation (the "serve many clients" layer above AvailabilityPredictor).
+//
+// A scheduler placing one job probes every machine in the fleet with the
+// same time window, and probes again minutes later with a nearly identical
+// one; the estimated SMP model for a (machine, day-type, window) triple is
+// the same each time. PredictionService exploits that: predictions fan out
+// over the parallel_for thread pool, and estimated (Q, H) models — plus the
+// solved Prediction per initial state — live in a sharded LRU cache so warm
+// queries skip both the history scan and the Eq. 3 recursion.
+//
+// Cache key and staleness: entries are keyed by (machine_id, day_type,
+// window_start, window_length, history_generation). The generation is a
+// monotone counter bumped by invalidate(machine_id) whenever the machine's
+// trace gains new days — traces are append-only, so a counter is a complete
+// staleness signal and costs O(1) where content hashing would cost
+// O(samples). As defense in depth every lookup re-runs the cheap
+// training-day rule and drops the entry if the selected days changed, so a
+// missed invalidate() can never yield a wrong Prediction (DESIGN.md §7).
+//
+// Thread-safety contract: all public methods may be called concurrently.
+// Traces passed in must outlive the call and must not be mutated during it
+// (append new days between batches, then invalidate()). A cache hit returns
+// the stored Prediction verbatim — bit-identical to the cold call that
+// populated it, including its recorded estimate/solve timings.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/predictor.hpp"
+#include "core/semi_markov.hpp"
+#include "core/states.hpp"
+#include "trace/machine_trace.hpp"
+
+namespace fgcs {
+
+struct ServiceConfig {
+  EstimatorConfig estimator{};
+  /// Cache shards; more shards = less lock contention under large batches.
+  std::size_t shards = 16;
+  /// LRU capacity per shard, in memoized (machine, window) models.
+  std::size_t capacity_per_shard = 512;
+  /// Worker cap for predict_batch (0 = hardware_concurrency).
+  unsigned max_threads = 0;
+};
+
+/// One element of a predict_batch call. The trace must outlive the call.
+struct BatchRequest {
+  const MachineTrace* trace = nullptr;
+  PredictionRequest request{};
+};
+
+/// Monotonic observability counters; snapshot via PredictionService::stats().
+/// Invariant: lookups == hits + partial_hits + misses.
+struct ServiceStats {
+  std::uint64_t lookups = 0;        ///< predict() calls (incl. batched ones)
+  std::uint64_t hits = 0;           ///< fully cached Prediction returned
+  std::uint64_t partial_hits = 0;   ///< (Q,H) model reused, Eq. 3 re-solved
+  std::uint64_t misses = 0;         ///< estimated and solved from scratch
+  std::uint64_t evictions = 0;      ///< LRU capacity evictions
+  std::uint64_t invalidations = 0;  ///< invalidate() calls
+  std::uint64_t stale_drops = 0;    ///< entries dropped by day revalidation
+  std::uint64_t batches = 0;        ///< predict_batch() calls
+  std::uint64_t batch_requests = 0; ///< requests across all batches
+  std::uint64_t max_batch = 0;      ///< largest batch seen
+  double estimate_seconds = 0.0;    ///< total wall time in Q/H estimation
+  double solve_seconds = 0.0;       ///< total wall time in the Eq. 3 solver
+};
+
+class PredictionService {
+ public:
+  explicit PredictionService(ServiceConfig config = {});
+
+  const SmpEstimator& estimator() const { return estimator_; }
+  const ServiceConfig& config() const { return config_; }
+
+  /// Single prediction through the cache. Semantically identical to
+  /// AvailabilityPredictor::predict with the same EstimatorConfig; a warm
+  /// call returns the cold call's Prediction bit-for-bit.
+  Prediction predict(const MachineTrace& trace,
+                     const PredictionRequest& request);
+
+  /// Batch fan-out over the thread pool; results align with `requests`.
+  /// Every request must carry a non-null trace.
+  std::vector<Prediction> predict_batch(std::span<const BatchRequest> requests);
+
+  /// Declares that `machine_id`'s trace gained new days: bumps the machine's
+  /// history generation (making its old cache keys unreachable) and drops its
+  /// cached entries. Other machines' entries are untouched.
+  void invalidate(const std::string& machine_id);
+
+  /// Current history generation for a machine (0 until first invalidate()).
+  std::uint64_t history_generation(const std::string& machine_id) const;
+
+  /// Memoized (machine, window) models currently cached, across all shards.
+  std::size_t size() const;
+
+  /// Drops every cache entry (generations are preserved).
+  void clear();
+
+  ServiceStats stats() const;
+
+ private:
+  struct Key {
+    std::string machine_id;
+    std::uint64_t generation = 0;
+    DayType day_type = DayType::kWeekday;
+    SimTime window_start = 0;
+    SimTime window_length = 0;
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const;
+  };
+
+  /// A memoized estimation for one (machine, day-type, window, generation):
+  /// the model, the training days that produced it (revalidated on every
+  /// hit), and the solved Prediction per transient initial state.
+  struct Entry {
+    std::vector<std::int64_t> training_days;
+    std::shared_ptr<const SmpModel> model;
+    State majority_initial = State::kS1;
+    double estimate_seconds = 0.0;
+    std::array<std::optional<Prediction>, 2> solved;  // by index_of(init)
+  };
+
+  struct Shard {
+    std::mutex mutex;
+    /// Front = most recently used; index points into the list.
+    std::list<std::pair<Key, Entry>> lru;
+    std::unordered_map<Key, std::list<std::pair<Key, Entry>>::iterator,
+                       KeyHash> index;
+  };
+
+  Shard& shard_for(const Key& key) const;
+  std::uint64_t generation_of(const std::string& machine_id) const;
+
+  ServiceConfig config_;
+  SmpEstimator estimator_;
+  std::size_t shard_count_;
+  std::unique_ptr<Shard[]> shards_;
+
+  mutable std::mutex generation_mutex_;
+  std::unordered_map<std::string, std::uint64_t> generations_;
+
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> partial_hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+  std::atomic<std::uint64_t> stale_drops_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batch_requests_{0};
+  std::atomic<std::uint64_t> max_batch_{0};
+  std::atomic<std::uint64_t> estimate_micros_{0};
+  std::atomic<std::uint64_t> solve_micros_{0};
+};
+
+}  // namespace fgcs

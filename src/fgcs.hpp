@@ -12,6 +12,7 @@
 #include "core/estimator.hpp"       // Q/H estimation from history logs
 #include "core/fast_solver.hpp"     // O(n log^2 n) FFT renewal solver
 #include "core/predictor.hpp"       // the public prediction API
+#include "core/prediction_service.hpp"  // batched + memoized fleet serving
 #include "core/semi_markov.hpp"     // discrete-time SMP + dense solver
 #include "core/sparse_solver.hpp"   // Eq. 3 sparsity-optimized TR solver
 #include "core/states.hpp"

@@ -1,6 +1,7 @@
 #include "ishare/gateway.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/error.hpp"
 #include "workload/replay.hpp"
@@ -17,8 +18,11 @@ const char* to_string(CheckpointMode mode) {
 }
 
 Gateway::Gateway(const MachineTrace& trace, Thresholds thresholds,
-                 EstimatorConfig config)
-    : trace_(trace), thresholds_(thresholds), state_manager_(trace, config) {
+                 EstimatorConfig config,
+                 std::shared_ptr<PredictionService> service)
+    : trace_(trace),
+      thresholds_(thresholds),
+      state_manager_(trace, config, std::move(service)) {
   validate(thresholds_);
 }
 

@@ -6,12 +6,21 @@
 // Guest execution optionally checkpoints, either on a fixed interval or
 // adaptively from predicted TR — the proactive job management the paper's
 // introduction motivates (refs [20][31]) and §8 plans to integrate.
+//
+// The gateway holds only non-owning views: the trace must outlive it, and
+// query_reliability/execute may be called concurrently only when the trace
+// is not being appended to at the same time. Constructed with a shared
+// PredictionService, all TR queries (including the adaptive-checkpoint
+// probes inside execute) go through the fleet-wide memoizing cache instead
+// of a per-gateway predictor.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "core/prediction_service.hpp"
 #include "core/thresholds.hpp"
 #include "ishare/state_manager.hpp"
 #include "sim/machine.hpp"
@@ -54,8 +63,10 @@ class Gateway {
  public:
   /// `trace` is the machine's full monitored timeline; predictions at time t
   /// only consult days strictly before t's day, execution replays from t on.
+  /// A non-null `service` routes all TR queries through the shared cache.
   Gateway(const MachineTrace& trace, Thresholds thresholds,
-          EstimatorConfig config = {});
+          EstimatorConfig config = {},
+          std::shared_ptr<PredictionService> service = nullptr);
 
   const std::string& machine_id() const { return trace_.machine_id(); }
   const StateManager& state_manager() const { return state_manager_; }

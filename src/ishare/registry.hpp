@@ -3,6 +3,12 @@
 // ishare uses a P2P network for publication/discovery (paper §5.1, ref [24]);
 // the framework contract is publish / unpublish / lookup / enumerate, which
 // this in-process registry implements deterministically (DESIGN.md §2).
+//
+// Entries are non-owning: a published gateway must outlive its registry
+// entry (unpublish before destroying it). Enumeration is ordered by machine
+// id, which is what makes scheduler selection — serial scan or batched
+// predict_batch — reproducible run-to-run. The registry itself is not
+// thread-safe; publish/unpublish from one thread, or synchronize externally.
 #pragma once
 
 #include <map>

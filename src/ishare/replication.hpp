@@ -6,6 +6,13 @@
 // classic response-time/throughput trade in volunteer computing: extra
 // resource cost buys a shorter, more predictable completion time on flaky
 // fleets. bench_ext_proactive's sibling experiment quantifies it.
+//
+// Contract: replicas are placed on the k highest-TR machines at submission
+// time (k capped at the published fleet size), each replica runs once with
+// no restarts, and the outcome reports the first completion plus the total
+// CPU spent across all replicas — the cost side of the trade. Requires at
+// least one published gateway; with k = 1 it degenerates to a single
+// no-retry placement.
 #pragma once
 
 #include <string>

@@ -1,22 +1,47 @@
 #include "ishare/scheduler.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "ishare/state_manager.hpp"
 #include "util/error.hpp"
 
 namespace fgcs {
 
-JobScheduler::JobScheduler(const Registry& registry, SchedulerConfig config)
-    : registry_(registry), config_(config) {
+JobScheduler::JobScheduler(const Registry& registry, SchedulerConfig config,
+                           std::shared_ptr<PredictionService> service)
+    : registry_(registry), config_(config), service_(std::move(service)) {
   FGCS_REQUIRE(config.max_attempts >= 1);
   FGCS_REQUIRE(config.retry_delay >= 0);
   FGCS_REQUIRE(config.wall_time_factor >= 1.0);
 }
 
 Gateway* JobScheduler::select_machine(SimTime now, SimTime duration) const {
+  const std::vector<Gateway*> gateways = registry_.gateways();
+  if (service_ && !gateways.empty()) {
+    // One batched probe over the whole fleet; ties resolve to the first
+    // (lowest machine id) exactly like the serial strict-greater scan.
+    std::vector<BatchRequest> batch;
+    batch.reserve(gateways.size());
+    for (const Gateway* gateway : gateways) {
+      const MachineTrace& history = gateway->state_manager().history();
+      batch.push_back(BatchRequest{
+          .trace = &history,
+          .request = StateManager::job_request(history, now, duration)});
+    }
+    const std::vector<Prediction> predictions = service_->predict_batch(batch);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < predictions.size(); ++i) {
+      if (predictions[i].temporal_reliability >
+          predictions[best].temporal_reliability)
+        best = i;
+    }
+    return gateways[best];
+  }
+
   Gateway* best = nullptr;
   double best_tr = -1.0;
-  for (Gateway* gateway : registry_.gateways()) {
+  for (Gateway* gateway : gateways) {
     const double tr = gateway->query_reliability(now, duration);
     if (tr > best_tr) {
       best_tr = tr;

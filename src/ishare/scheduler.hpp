@@ -5,11 +5,20 @@
 // on the most reliable machine, and — because FGCS failures are expected —
 // restarts or resumes it (with whatever progress checkpointing preserved)
 // after each failure, re-selecting the machine each time.
+//
+// The fleet probe is the hot path at scale: every placement queries every
+// machine with the same window. Constructed with a PredictionService, the
+// scheduler issues that probe as one predict_batch (fanned out over the
+// thread pool, answered from the memoized cache when warm) instead of N
+// sequential per-gateway predictor runs; selection order and results are
+// identical to the serial path.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/prediction_service.hpp"
 #include "ishare/gateway.hpp"
 #include "ishare/registry.hpp"
 
@@ -38,7 +47,10 @@ struct JobOutcome {
 
 class JobScheduler {
  public:
-  JobScheduler(const Registry& registry, SchedulerConfig config = {});
+  /// A non-null `service` turns the per-placement fleet probe into one
+  /// batched predict_batch call against the shared cache.
+  JobScheduler(const Registry& registry, SchedulerConfig config = {},
+               std::shared_ptr<PredictionService> service = nullptr);
 
   /// The gateway with the highest TR for a job of `duration` wall seconds
   /// submitted at `now`; nullptr when nothing is published.
@@ -54,6 +66,7 @@ class JobScheduler {
  private:
   const Registry& registry_;
   SchedulerConfig config_;
+  std::shared_ptr<PredictionService> service_;
 };
 
 }  // namespace fgcs

@@ -1,30 +1,42 @@
 #include "ishare/state_manager.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/error.hpp"
 
 namespace fgcs {
 
-StateManager::StateManager(const MachineTrace& history, EstimatorConfig config)
-    : history_(history), predictor_(config) {}
+StateManager::StateManager(const MachineTrace& history, EstimatorConfig config,
+                           std::shared_ptr<PredictionService> service)
+    : history_(history), predictor_(config), service_(std::move(service)) {}
 
 Prediction StateManager::predict(std::int64_t target_day,
                                  const TimeWindow& window) const {
-  return predictor_.predict(history_,
-                            PredictionRequest{.target_day = target_day,
-                                              .window = window,
-                                              .initial_state = std::nullopt});
+  const PredictionRequest request{.target_day = target_day,
+                                  .window = window,
+                                  .initial_state = std::nullopt};
+  if (service_) return service_->predict(history_, request);
+  return predictor_.predict(history_, request);
+}
+
+PredictionRequest StateManager::job_request(const MachineTrace& history,
+                                            SimTime now, SimTime duration) {
+  FGCS_REQUIRE(duration > 0);
+  const SimTime period = history.sampling_period();
+  // Round the window out to whole sampling ticks.
+  const SimTime start = (Calendar::second_of_day(now) / period) * period;
+  SimTime length = ((duration + period - 1) / period) * period;
+  length = std::min<SimTime>(length, kSecondsPerDay);
+  return PredictionRequest{
+      .target_day = Calendar::day_index(now),
+      .window = TimeWindow{.start_of_day = start, .length = length},
+      .initial_state = std::nullopt};
 }
 
 Prediction StateManager::predict_for_job(SimTime now, SimTime duration) const {
-  FGCS_REQUIRE(duration > 0);
-  const SimTime period = history_.sampling_period();
-  // Round the window out to whole sampling ticks.
-  const SimTime start =
-      (Calendar::second_of_day(now) / period) * period;
-  SimTime length = ((duration + period - 1) / period) * period;
-  length = std::min<SimTime>(length, kSecondsPerDay);
-  return predict(Calendar::day_index(now),
-                 TimeWindow{.start_of_day = start, .length = length});
+  const PredictionRequest request = job_request(history_, now, duration);
+  return predict(request.target_day, request.window);
 }
 
 }  // namespace fgcs

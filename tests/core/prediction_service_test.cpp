@@ -1,0 +1,222 @@
+#include "core/prediction_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "test_support.hpp"
+#include "workload/trace_generator.hpp"
+
+namespace fgcs {
+namespace {
+
+using test::constant_day;
+using test::sample;
+
+// Light load, with a steady overload on alternating mornings so the TR is a
+// non-trivial value that would expose any cache-path divergence.
+MachineTrace flaky_trace(const std::string& id, int days = 10) {
+  MachineTrace trace(id, Calendar(0), 60, 512);
+  for (int d = 0; d < days; ++d) {
+    auto day = constant_day(60, 10);
+    if (d % 2 == 0)
+      for (std::size_t i = 9 * 60; i < 10 * 60; ++i) day[i] = sample(95);
+    trace.append_day(std::move(day));
+  }
+  return trace;
+}
+
+TimeWindow morning_window() {
+  return {.start_of_day = 8 * kSecondsPerHour, .length = 3 * kSecondsPerHour};
+}
+
+void expect_identical(const Prediction& a, const Prediction& b) {
+  EXPECT_EQ(a.temporal_reliability, b.temporal_reliability);
+  EXPECT_EQ(a.initial_state, b.initial_state);
+  EXPECT_EQ(a.p_absorb, b.p_absorb);
+  EXPECT_EQ(a.training_days_used, b.training_days_used);
+  EXPECT_EQ(a.steps, b.steps);
+}
+
+TEST(PredictionServiceTest, WarmHitIsBitIdenticalToColdCall) {
+  const MachineTrace trace = flaky_trace("m1");
+  PredictionService service;
+  const PredictionRequest request{.target_day = trace.day_count(),
+                                  .window = morning_window()};
+  const Prediction cold = service.predict(trace, request);
+  const Prediction warm = service.predict(trace, request);
+  expect_identical(cold, warm);
+  // A hit returns the stored Prediction verbatim, timings included.
+  EXPECT_EQ(cold.estimate_seconds, warm.estimate_seconds);
+  EXPECT_EQ(cold.solve_seconds, warm.solve_seconds);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(PredictionServiceTest, MatchesPerCallPredictorExactly) {
+  const MachineTrace trace = flaky_trace("m1");
+  PredictionService service;
+  const AvailabilityPredictor predictor(service.config().estimator);
+  for (const SimTime start_hr : {7, 8, 9, 12}) {
+    const PredictionRequest request{
+        .target_day = trace.day_count(),
+        .window = {.start_of_day = start_hr * kSecondsPerHour,
+                   .length = 2 * kSecondsPerHour}};
+    const Prediction direct = predictor.predict(trace, request);
+    expect_identical(direct, service.predict(trace, request));   // cold
+    expect_identical(direct, service.predict(trace, request));   // warm
+  }
+  EXPECT_LT(service.predict(trace, {.target_day = trace.day_count(),
+                                    .window = morning_window()})
+                .temporal_reliability,
+            1.0);
+}
+
+TEST(PredictionServiceTest, InvalidateDropsExactlyThatMachine) {
+  MachineTrace a = flaky_trace("a");
+  const MachineTrace b = flaky_trace("b");
+  PredictionService service;
+  const PredictionRequest request{.target_day = 10,
+                                  .window = morning_window()};
+  service.predict(a, request);
+  service.predict(b, request);
+  EXPECT_EQ(service.size(), 2u);
+
+  a.append_day(constant_day(60, 10));
+  service.invalidate("a");
+  EXPECT_EQ(service.history_generation("a"), 1u);
+  EXPECT_EQ(service.history_generation("b"), 0u);
+  EXPECT_EQ(service.size(), 1u);  // b's entry survives
+
+  service.predict(b, request);  // still warm
+  service.predict(a, request);  // recomputed under the new generation
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+}
+
+TEST(PredictionServiceTest, RevalidationCatchesChangedTrainingDays) {
+  // Target days 10 and 8 share a day type but select different training-day
+  // sets; the second lookup must drop the cached model, not reuse it.
+  const MachineTrace trace = flaky_trace("m1");
+  PredictionService service;
+  const AvailabilityPredictor predictor(service.config().estimator);
+  const PredictionRequest day10{.target_day = 10, .window = morning_window()};
+  const PredictionRequest day8{.target_day = 8, .window = morning_window()};
+  ASSERT_EQ(trace.day_type(10), trace.day_type(8));
+
+  expect_identical(predictor.predict(trace, day10),
+                   service.predict(trace, day10));
+  expect_identical(predictor.predict(trace, day8),
+                   service.predict(trace, day8));
+  EXPECT_EQ(service.stats().stale_drops, 1u);
+  EXPECT_EQ(service.stats().misses, 2u);
+}
+
+TEST(PredictionServiceTest, SecondInitialStateIsPartialHit) {
+  const MachineTrace trace = flaky_trace("m1");
+  PredictionService service;
+  const AvailabilityPredictor predictor(service.config().estimator);
+  PredictionRequest request{.target_day = 10, .window = morning_window()};
+  request.initial_state = State::kS1;
+  expect_identical(predictor.predict(trace, request),
+                   service.predict(trace, request));
+  request.initial_state = State::kS2;
+  expect_identical(predictor.predict(trace, request),
+                   service.predict(trace, request));
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.partial_hits, 1u);  // model reused, solver re-run
+  EXPECT_EQ(service.size(), 1u);
+}
+
+TEST(PredictionServiceTest, BatchUnderEightThreadsMatchesSerial) {
+  WorkloadParams params;
+  params.sampling_period = 60;
+  const std::vector<MachineTrace> fleet =
+      generate_fleet(params, 42, 4, 12, "svc");
+
+  std::vector<BatchRequest> requests;
+  for (const MachineTrace& trace : fleet) {
+    for (const SimTime start_hr : {7, 9, 11, 13, 15, 17}) {
+      requests.push_back(BatchRequest{
+          .trace = &trace,
+          .request = {.target_day = trace.day_count(),
+                      .window = {.start_of_day = start_hr * kSecondsPerHour,
+                                 .length = 2 * kSecondsPerHour}}});
+    }
+  }
+
+  PredictionService service(ServiceConfig{.max_threads = 8});
+  const std::vector<Prediction> cold = service.predict_batch(requests);
+  const std::vector<Prediction> warm = service.predict_batch(requests);
+
+  const AvailabilityPredictor predictor(service.config().estimator);
+  ASSERT_EQ(cold.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Prediction serial =
+        predictor.predict(*requests[i].trace, requests[i].request);
+    expect_identical(serial, cold[i]);
+    expect_identical(serial, warm[i]);
+  }
+}
+
+TEST(PredictionServiceTest, StatsCountersAddUp) {
+  const MachineTrace trace = flaky_trace("m1");
+  PredictionService service(ServiceConfig{.max_threads = 8});
+  std::vector<BatchRequest> requests;
+  for (const SimTime start_hr : {6, 8, 10, 12}) {
+    requests.push_back(BatchRequest{
+        .trace = &trace,
+        .request = {.target_day = trace.day_count(),
+                    .window = {.start_of_day = start_hr * kSecondsPerHour,
+                               .length = kSecondsPerHour}}});
+  }
+  service.predict_batch(requests);
+  service.predict_batch(requests);
+  service.predict(trace, requests.front().request);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.lookups, 9u);
+  EXPECT_EQ(stats.lookups, stats.hits + stats.partial_hits + stats.misses);
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.hits, 5u);
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.batch_requests, 8u);
+  EXPECT_EQ(stats.max_batch, 4u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(PredictionServiceTest, LruEvictsBeyondCapacity) {
+  const MachineTrace trace = flaky_trace("m1");
+  PredictionService service(
+      ServiceConfig{.shards = 1, .capacity_per_shard = 2});
+  for (const SimTime start_hr : {6, 8, 10}) {
+    service.predict(trace,
+                    {.target_day = trace.day_count(),
+                     .window = {.start_of_day = start_hr * kSecondsPerHour,
+                                .length = kSecondsPerHour}});
+  }
+  EXPECT_EQ(service.size(), 2u);
+  EXPECT_EQ(service.stats().evictions, 1u);
+  // The least recently used window (06:00) was the one evicted.
+  service.predict(trace, {.target_day = trace.day_count(),
+                          .window = {.start_of_day = 6 * kSecondsPerHour,
+                                     .length = kSecondsPerHour}});
+  EXPECT_EQ(service.stats().misses, 4u);
+}
+
+TEST(PredictionServiceTest, RejectsNullTraceInBatch) {
+  PredictionService service;
+  const std::vector<BatchRequest> requests(1);
+  EXPECT_THROW(service.predict_batch(requests), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fgcs

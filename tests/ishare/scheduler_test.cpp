@@ -44,6 +44,35 @@ TEST(JobSchedulerTest, SelectsTheMoreReliableMachine) {
   EXPECT_EQ(choice->machine_id(), "good");
 }
 
+TEST(JobSchedulerTest, BatchedSelectionMatchesSerial) {
+  const MachineTrace good = reliable_trace("good", 8);
+  const MachineTrace bad = unreliable_trace("bad", 8);
+  Gateway g_good(good, test::test_thresholds());
+  Gateway g_bad(bad, test::test_thresholds());
+  Registry registry;
+  registry.publish(g_bad);
+  registry.publish(g_good);
+
+  const JobScheduler serial(registry);
+  const auto service = std::make_shared<PredictionService>();
+  const JobScheduler batched(registry, SchedulerConfig{}, service);
+
+  for (const SimTime hour : {8, 9, 11, 15}) {
+    const SimTime now = 7 * kSecondsPerDay + hour * kSecondsPerHour;
+    for (const SimTime duration : {kSecondsPerHour, 4 * kSecondsPerHour}) {
+      Gateway* expected = serial.select_machine(now, duration);
+      // Probe twice: the repeat is answered entirely from the cache.
+      Gateway* actual = batched.select_machine(now, duration);
+      ASSERT_NE(actual, nullptr);
+      EXPECT_EQ(actual, expected);
+      EXPECT_EQ(batched.select_machine(now, duration), expected);
+    }
+  }
+  const ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.hits, stats.misses);  // every probe re-issued once, warm
+  EXPECT_GT(stats.hits, 0u);
+}
+
 TEST(JobSchedulerTest, EmptyRegistryGivesNoMachine) {
   Registry registry;
   const JobScheduler scheduler(registry);

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "core/sparse_solver.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/parallel.hpp"
 
 namespace fgcs {
@@ -75,6 +77,20 @@ Prediction PredictionService::predict(const MachineTrace& trace,
                        request.target_day <= trace.day_count(),
                    "target day beyond recorded history + 1");
   lookups_.fetch_add(1, std::memory_order_relaxed);
+
+  if (Failpoints::enabled()) {
+    // Chaos hooks, evaluated only while something is armed: hard estimation
+    // failure, injected estimation latency, and a forced invalidation racing
+    // the lookup (the staleness worst case the generation counter + per-hit
+    // day revalidation must absorb without ever serving a stale Prediction).
+    if (FGCS_FAILPOINT("service.estimate.fail"))
+      throw DataError("injected: prediction service estimation failure");
+    const double delay = FGCS_FAILPOINT_LATENCY("service.estimate.slow");
+    if (delay > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    if (FGCS_FAILPOINT("service.cache.invalidate"))
+      invalidate(trace.machine_id());
+  }
 
   const Key key{trace.machine_id(), generation_of(trace.machine_id()),
                 trace.day_type(request.target_day),

@@ -16,7 +16,7 @@
 // staleness signal and costs O(1) where content hashing would cost
 // O(samples). As defense in depth every lookup re-runs the cheap
 // training-day rule and drops the entry if the selected days changed, so a
-// missed invalidate() can never yield a wrong Prediction (DESIGN.md §7).
+// missed invalidate() can never yield a wrong Prediction (DESIGN.md §6).
 //
 // Thread-safety contract: all public methods may be called concurrently.
 // Traces passed in must outlive the call and must not be mutated during it

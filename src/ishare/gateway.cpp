@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "workload/replay.hpp"
 
 namespace fgcs {
@@ -54,9 +55,15 @@ ExecutionResult Gateway::execute(const GuestJobSpec& job, SimTime start,
 
   auto current_interval = [&](SimTime now) -> SimTime {
     if (mode == CheckpointMode::kFixed) return checkpoint.fixed_interval;
-    const double tr =
-        state_manager_.predict_for_job(now, checkpoint.probe_window)
-            .temporal_reliability;
+    double tr;
+    try {
+      tr = state_manager_.predict_for_job(now, checkpoint.probe_window)
+               .temporal_reliability;
+    } catch (const DataError&) {
+      // Degraded mode: with the prediction path down, checkpoint as if the
+      // machine looked unreliable rather than aborting the guest.
+      return checkpoint.short_interval;
+    }
     return tr < checkpoint.tr_low ? checkpoint.short_interval
                                   : checkpoint.long_interval;
   };
@@ -71,6 +78,17 @@ ExecutionResult Gateway::execute(const GuestJobSpec& job, SimTime start,
     machine.step(now);
     result.end_time = now;
 
+    // Chaos hooks: a fired revocation loses the guest to S5 (owner reboot /
+    // machine loss), a fired contention spike kills it as S3 — exactly the
+    // paper's URR and UEC failure sources, but on demand.
+    if (FGCS_FAILPOINT("gateway.execute.revoke")) {
+      result.failure = State::kS5;
+      break;
+    }
+    if (FGCS_FAILPOINT("gateway.execute.contention")) {
+      result.failure = State::kS3;
+      break;
+    }
     if (machine.guest_status() == GuestStatus::kKilled) {
       result.failure = machine.guest_failure();
       break;

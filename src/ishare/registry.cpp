@@ -1,5 +1,7 @@
 #include "ishare/registry.hpp"
 
+#include "util/failpoint.hpp"
+
 namespace fgcs {
 
 void Registry::publish(Gateway& gateway) {
@@ -11,6 +13,9 @@ bool Registry::unpublish(const std::string& machine_id) {
 }
 
 Gateway* Registry::lookup(const std::string& machine_id) const {
+  // Chaos hook: a fired staleness makes the entry look lost (the P2P overlay
+  // dropped or has not yet refreshed this gateway's publication).
+  if (FGCS_FAILPOINT("registry.lookup.stale")) return nullptr;
   const auto it = entries_.find(machine_id);
   return it == entries_.end() ? nullptr : it->second;
 }
@@ -18,7 +23,12 @@ Gateway* Registry::lookup(const std::string& machine_id) const {
 std::vector<Gateway*> Registry::gateways() const {
   std::vector<Gateway*> out;
   out.reserve(entries_.size());
-  for (const auto& [id, gateway] : entries_) out.push_back(gateway);
+  for (const auto& [id, gateway] : entries_) {
+    // Chaos hook: per-entry drop from enumeration — the scheduler sees a
+    // partial fleet, as it would during P2P churn.
+    if (FGCS_FAILPOINT("registry.enumerate.drop")) continue;
+    out.push_back(gateway);
+  }
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace fgcs {
 
@@ -28,9 +29,15 @@ ReplicatedOutcome ReplicatingScheduler::run_job(const GuestJobSpec& job,
       static_cast<SimTime>(job.cpu_seconds * config_.wall_time_factor),
       kSecondsPerMinute);
   std::vector<std::pair<double, Gateway*>> ranked;
-  for (Gateway* gateway : registry_.gateways())
-    ranked.emplace_back(gateway->query_reliability(submit_time, expected_wall),
-                        gateway);
+  for (Gateway* gateway : registry_.gateways()) {
+    try {
+      ranked.emplace_back(
+          gateway->query_reliability(submit_time, expected_wall), gateway);
+    } catch (const DataError&) {
+      // Degraded mode: a machine whose prediction fails is skipped for this
+      // placement instead of aborting the whole submission.
+    }
+  }
   std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
     return a.first > b.first;
   });
@@ -39,6 +46,13 @@ ReplicatedOutcome ReplicatingScheduler::run_job(const GuestJobSpec& job,
       std::min<int>(replicas_, static_cast<int>(ranked.size()));
   for (int r = 0; r < replica_count; ++r) {
     Gateway* gateway = ranked[static_cast<std::size_t>(r)].second;
+    // Chaos hook: the replica is lost before doing any work (host vanished
+    // between placement and launch) — the no-progress worst case of churn.
+    if (FGCS_FAILPOINT("replication.replica.lost")) {
+      ++outcome.replicas_started;
+      ++outcome.replicas_failed;
+      continue;
+    }
     const ExecutionResult result =
         gateway->execute(job, submit_time, give_up_at);
     ++outcome.replicas_started;

@@ -1,6 +1,7 @@
 #include "ishare/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "ishare/state_manager.hpp"
@@ -14,7 +15,47 @@ JobScheduler::JobScheduler(const Registry& registry, SchedulerConfig config,
   FGCS_REQUIRE(config.max_attempts >= 1);
   FGCS_REQUIRE(config.retry_delay >= 0);
   FGCS_REQUIRE(config.wall_time_factor >= 1.0);
+  FGCS_REQUIRE(config.backoff_factor >= 1.0);
+  FGCS_REQUIRE(config.max_retry_delay >= 0);
+  FGCS_REQUIRE(config.backoff_jitter >= 0.0 && config.backoff_jitter < 1.0);
 }
+
+SimTime retry_backoff_delay(const SchedulerConfig& config, int retry,
+                            Rng& rng) {
+  FGCS_REQUIRE(retry >= 0);
+  if (config.backoff_factor == 1.0) return config.retry_delay;
+  double delay = static_cast<double>(config.retry_delay) *
+                 std::pow(config.backoff_factor, retry);
+  delay = std::min(delay, static_cast<double>(config.max_retry_delay));
+  if (config.backoff_jitter > 0.0)
+    delay *= 1.0 + config.backoff_jitter * rng.uniform(-1.0, 1.0);
+  return static_cast<SimTime>(std::llround(delay));
+}
+
+namespace {
+
+/// Serial fleet scan; machines whose prediction fails are skipped, so one
+/// broken estimation pipeline degrades placement instead of aborting it.
+Gateway* serial_select(const std::vector<Gateway*>& gateways, SimTime now,
+                       SimTime duration) {
+  Gateway* best = nullptr;
+  double best_tr = -1.0;
+  for (Gateway* gateway : gateways) {
+    double tr;
+    try {
+      tr = gateway->query_reliability(now, duration);
+    } catch (const DataError&) {
+      continue;
+    }
+    if (tr > best_tr) {
+      best_tr = tr;
+      best = gateway;
+    }
+  }
+  return best;
+}
+
+}  // namespace
 
 Gateway* JobScheduler::select_machine(SimTime now, SimTime duration) const {
   const std::vector<Gateway*> gateways = registry_.gateways();
@@ -29,26 +70,22 @@ Gateway* JobScheduler::select_machine(SimTime now, SimTime duration) const {
           .trace = &history,
           .request = StateManager::job_request(history, now, duration)});
     }
-    const std::vector<Prediction> predictions = service_->predict_batch(batch);
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < predictions.size(); ++i) {
-      if (predictions[i].temporal_reliability >
-          predictions[best].temporal_reliability)
-        best = i;
-    }
-    return gateways[best];
-  }
-
-  Gateway* best = nullptr;
-  double best_tr = -1.0;
-  for (Gateway* gateway : gateways) {
-    const double tr = gateway->query_reliability(now, duration);
-    if (tr > best_tr) {
-      best_tr = tr;
-      best = gateway;
+    try {
+      const std::vector<Prediction> predictions =
+          service_->predict_batch(batch);
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < predictions.size(); ++i) {
+        if (predictions[i].temporal_reliability >
+            predictions[best].temporal_reliability)
+          best = i;
+      }
+      return gateways[best];
+    } catch (const DataError&) {
+      // The batch died on one machine's failure; fall through to the serial
+      // scan, which skips exactly the machines that cannot be predicted.
     }
   }
-  return best;
+  return serial_select(gateways, now, duration);
 }
 
 JobOutcome JobScheduler::run_job(const GuestJobSpec& job, SimTime submit_time,
@@ -63,13 +100,26 @@ JobOutcome JobScheduler::run_job(const GuestJobSpec& job, SimTime submit_time,
 
   double remaining = job.cpu_seconds;
   SimTime now = submit_time;
+  Rng backoff_rng(config_.backoff_seed);
+  int select_misses = 0;
 
   while (outcome.attempts < config_.max_attempts && now < give_up_at) {
     const SimTime expected_wall = std::max<SimTime>(
         static_cast<SimTime>(remaining * config_.wall_time_factor),
         kSecondsPerMinute);
     Gateway* gateway = select_machine(now, expected_wall);
-    if (gateway == nullptr) break;
+    if (gateway == nullptr) {
+      // Nothing selectable right now (empty fleet, churned registry, or every
+      // prediction failing). Back off — harder for each consecutive miss —
+      // and retry until the deadline rather than giving up on a transient
+      // outage; a registry that was empty at submission stays a hard
+      // no-placement, matching legacy behaviour.
+      if (outcome.attempts == 0 && registry_.size() == 0) break;
+      now += std::max<SimTime>(
+          1, retry_backoff_delay(config_, select_misses++, backoff_rng));
+      continue;
+    }
+    select_misses = 0;
 
     ++outcome.attempts;
     outcome.machines_used.push_back(gateway->machine_id());
@@ -86,9 +136,11 @@ JobOutcome JobScheduler::run_job(const GuestJobSpec& job, SimTime submit_time,
       return outcome;
     }
     if (result.failure) ++outcome.failures;
-    // Resume from the last checkpoint (0 preserved without checkpointing).
+    // Resume from the last checkpoint (0 preserved without checkpointing);
+    // the pause before resubmission backs off with the failure count.
     remaining = std::max(1.0, remaining - result.saved_progress_seconds);
-    now = result.end_time + config_.retry_delay;
+    now = result.end_time +
+          retry_backoff_delay(config_, outcome.attempts - 1, backoff_rng);
   }
 
   outcome.finish_time = std::min(now, give_up_at);

@@ -12,6 +12,12 @@
 // thread pool, answered from the memoized cache when warm) instead of N
 // sequential per-gateway predictor runs; selection order and results are
 // identical to the serial path.
+//
+// Degraded modes (exercised by tests/chaos): a machine whose prediction
+// fails is skipped during selection — never fatal; a selection round that
+// yields nothing (registry churn, estimator outage) is retried with backoff
+// until the job's deadline; retries pause with capped exponential backoff
+// plus seeded jitter when backoff_factor > 1 (fixed legacy delay otherwise).
 #pragma once
 
 #include <memory>
@@ -21,17 +27,38 @@
 #include "core/prediction_service.hpp"
 #include "ishare/gateway.hpp"
 #include "ishare/registry.hpp"
+#include "util/rng.hpp"
 
 namespace fgcs {
 
 struct SchedulerConfig {
   int max_attempts = 50;
-  /// Pause between a failure and the resubmission.
+  /// Base pause between a failure and the resubmission (first retry).
   SimTime retry_delay = 60;
   /// Wall-time estimate per CPU-second of work, used for the TR query window
   /// (guests only get idle cycles, so wall time exceeds CPU time).
   double wall_time_factor = 1.6;
+  /// Per-retry growth of the pause. 1 (the default) reproduces the legacy
+  /// fixed-delay behaviour exactly — no growth, no jitter, no Rng draws;
+  /// > 1 gives capped exponential backoff so repeated failures (revocation
+  /// storms, registry churn) stop hammering the fleet with resubmissions.
+  double backoff_factor = 1.0;
+  /// Ceiling on the backed-off pause (only consulted when backoff_factor > 1).
+  SimTime max_retry_delay = 3600;
+  /// Fraction of the pause randomized symmetrically around its nominal value
+  /// (delay ∈ [d·(1−j), d·(1+j)]), drawn from a scheduler-seeded Rng so runs
+  /// stay bit-reproducible. Ignored when backoff_factor == 1.
+  double backoff_jitter = 0.1;
+  /// Seed of the jitter stream (one independent stream per run_job call).
+  std::uint64_t backoff_seed = 0x5c4ed01e;
 };
+
+/// The pause before the (retry + 1)-th resubmission of a job:
+/// min(max_retry_delay, retry_delay · backoff_factor^retry), jittered by
+/// ±backoff_jitter from `rng`. With backoff_factor == 1 it returns
+/// retry_delay exactly and never touches `rng` (legacy behaviour).
+SimTime retry_backoff_delay(const SchedulerConfig& config, int retry,
+                            Rng& rng);
 
 struct JobOutcome {
   bool completed = false;

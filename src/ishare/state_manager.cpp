@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace fgcs {
 
@@ -13,6 +14,10 @@ StateManager::StateManager(const MachineTrace& history, EstimatorConfig config,
 
 Prediction StateManager::predict(std::int64_t target_day,
                                  const TimeWindow& window) const {
+  // Chaos hook: the estimation pipeline fails (history log unreadable,
+  // estimator daemon down). Consumers must degrade, not crash (DESIGN.md §7).
+  if (FGCS_FAILPOINT("state_manager.predict.fail"))
+    throw DataError("injected: state manager prediction failure");
   const PredictionRequest request{.target_day = target_day,
                                   .window = window,
                                   .initial_state = std::nullopt};

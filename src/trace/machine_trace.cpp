@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace fgcs {
 
@@ -153,6 +154,10 @@ void MachineTrace::save(std::ostream& os) const {
 }
 
 MachineTrace MachineTrace::load(std::istream& is) {
+  // Chaos hook: the stream is declared corrupt regardless of content —
+  // loaders and their callers must see the typed error, never a crash.
+  if (FGCS_FAILPOINT("trace.load.corrupt"))
+    throw DataError("injected: corrupt trace stream");
   if (read_pod<std::uint32_t>(is) != kMagic)
     throw DataError("not a fgcs trace stream (bad magic)");
   if (read_pod<std::uint32_t>(is) != kVersion)

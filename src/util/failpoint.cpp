@@ -1,0 +1,249 @@
+#include "util/failpoint.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+
+namespace {
+
+/// Point names are dotted lowercase identifiers; reject anything else so a
+/// typo in an FGCS_FAILPOINTS spec fails loudly instead of arming a point
+/// that no code site ever evaluates.
+bool valid_point_name(std::string_view name) {
+  if (name.empty()) return false;
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '.' ||
+           c == '_';
+  });
+}
+
+std::uint64_t parse_uint(const std::string& text, const char* what) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long value = std::stoull(text, &used);
+    if (used != text.size()) throw DataError("");
+    return value;
+  } catch (const std::exception&) {
+    throw DataError(std::string("failpoint spec: bad ") + what + " '" + text +
+                    "'");
+  }
+}
+
+double parse_double(const std::string& text, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) throw DataError("");
+    return value;
+  } catch (const std::exception&) {
+    throw DataError(std::string("failpoint spec: bad ") + what + " '" + text +
+                    "'");
+  }
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+FailpointSpec parse_failpoint_mode(const std::string& text) {
+  const std::vector<std::string> parts = split(text, ',');
+  FGCS_REQUIRE(!parts.empty());
+
+  FailpointSpec spec;
+  const std::vector<std::string> trigger = split(parts[0], ':');
+  const std::string& kind = trigger[0];
+  if (kind == "off" && trigger.size() == 1) {
+    spec.trigger = FailpointSpec::Trigger::kOff;
+  } else if (kind == "once" && trigger.size() == 1) {
+    spec.trigger = FailpointSpec::Trigger::kOnce;
+  } else if (kind == "always" && trigger.size() == 1) {
+    spec.trigger = FailpointSpec::Trigger::kAlways;
+  } else if (kind == "every" && trigger.size() == 2) {
+    spec.trigger = FailpointSpec::Trigger::kEveryNth;
+    spec.n = parse_uint(trigger[1], "every-Nth period");
+    if (spec.n == 0) throw DataError("failpoint spec: every:N needs N >= 1");
+  } else if (kind == "prob" && (trigger.size() == 2 || trigger.size() == 3)) {
+    spec.trigger = FailpointSpec::Trigger::kProbability;
+    spec.probability = parse_double(trigger[1], "probability");
+    if (spec.probability < 0.0 || spec.probability > 1.0)
+      throw DataError("failpoint spec: probability must be in [0, 1]");
+    if (trigger.size() == 3) spec.seed = parse_uint(trigger[2], "seed");
+  } else {
+    throw DataError("failpoint spec: unknown trigger '" + parts[0] + "'");
+  }
+
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::vector<std::string> option = split(parts[i], '=');
+    if (option.size() == 2 && option[0] == "latency") {
+      spec.latency_seconds = parse_double(option[1], "latency");
+      if (spec.latency_seconds < 0.0)
+        throw DataError("failpoint spec: latency must be >= 0");
+    } else {
+      throw DataError("failpoint spec: unknown option '" + parts[i] + "'");
+    }
+  }
+  return spec;
+}
+
+std::uint64_t FailpointStats::total_fires() const {
+  std::uint64_t total = 0;
+  for (const FailpointCounters& point : points) total += point.fires;
+  return total;
+}
+
+const FailpointCounters* FailpointStats::find(std::string_view name) const {
+  for (const FailpointCounters& point : points)
+    if (point.name == name) return &point;
+  return nullptr;
+}
+
+Failpoints& Failpoints::instance() {
+  static Failpoints registry;
+  return registry;
+}
+
+void Failpoints::arm(const std::string& name, FailpointSpec spec) {
+  FGCS_REQUIRE_MSG(valid_point_name(name),
+                   "failpoint names are dotted lowercase identifiers");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Point& point = points_[name];
+  if (!point.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  // Re-arming resets trigger state (lifetime counters stay: run history).
+  point.spec = spec;
+  point.rng.reseed(spec.seed);
+  point.armed = true;
+  point.armed_evaluations = 0;
+  point.armed_fires = 0;
+}
+
+bool Failpoints::disarm(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(name);
+  if (it == points_.end() || !it->second.armed) return false;
+  it->second.armed = false;
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Failpoints::disarm_all() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, point] : points_) {
+    if (point.armed) {
+      point.armed = false;
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Failpoints::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, point] : points_)
+    if (point.armed) armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  points_.clear();
+  fired_sequence_.clear();
+}
+
+bool Failpoints::evaluate_locked(Point& point, std::string_view name) {
+  ++point.evaluations;
+  if (!point.armed) return false;
+  ++point.armed_evaluations;
+
+  bool fired = false;
+  switch (point.spec.trigger) {
+    case FailpointSpec::Trigger::kOff:
+      break;
+    case FailpointSpec::Trigger::kOnce:
+      fired = point.armed_fires == 0;
+      break;
+    case FailpointSpec::Trigger::kAlways:
+      fired = true;
+      break;
+    case FailpointSpec::Trigger::kEveryNth:
+      fired = point.armed_evaluations % point.spec.n == 0;
+      break;
+    case FailpointSpec::Trigger::kProbability:
+      fired = point.rng.chance(point.spec.probability);
+      break;
+  }
+  if (fired) {
+    ++point.fires;
+    ++point.armed_fires;
+    if (fired_sequence_.size() < kMaxFiredLog)
+      fired_sequence_.emplace_back(name);
+  }
+  return fired;
+}
+
+bool Failpoints::fire(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(name);
+  if (it == points_.end()) return false;
+  return evaluate_locked(it->second, name);
+}
+
+double Failpoints::fire_latency(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(name);
+  if (it == points_.end()) return 0.0;
+  return evaluate_locked(it->second, name) ? it->second.spec.latency_seconds
+                                           : 0.0;
+}
+
+void Failpoints::arm_from_spec(const std::string& spec) {
+  for (const std::string& clause : split(spec, ';')) {
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw DataError("failpoint spec: expected 'name=trigger', got '" +
+                      clause + "'");
+    const std::string name = clause.substr(0, eq);
+    if (!valid_point_name(name))
+      throw DataError("failpoint spec: bad point name '" + name + "'");
+    arm(name, parse_failpoint_mode(clause.substr(eq + 1)));
+  }
+}
+
+bool Failpoints::arm_from_env() {
+  const char* spec = std::getenv("FGCS_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return false;
+  arm_from_spec(spec);
+  return true;
+}
+
+FailpointStats Failpoints::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  FailpointStats stats;
+  stats.points.reserve(points_.size());
+  for (const auto& [name, point] : points_)
+    stats.points.push_back(FailpointCounters{.name = name,
+                                             .armed = point.armed,
+                                             .evaluations = point.evaluations,
+                                             .fires = point.fires});
+  stats.fired_sequence = fired_sequence_;
+  return stats;
+}
+
+namespace {
+/// Arms FGCS_FAILPOINTS before main() so every binary honours the variable
+/// without per-tool wiring. A malformed spec aborts with the DataError
+/// message — better than silently running an un-injected "chaos" experiment.
+[[maybe_unused]] const bool g_env_armed = Failpoints::instance().arm_from_env();
+}  // namespace
+
+}  // namespace fgcs

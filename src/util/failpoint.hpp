@@ -1,0 +1,183 @@
+// Deterministic fault injection: a process-wide registry of named failpoints.
+//
+// A failpoint is a named site in production code (e.g. "gateway.execute.revoke")
+// that normally does nothing. Tests, the chaos driver (tools/fgcs_chaos) or the
+// FGCS_FAILPOINTS environment variable can *arm* a point with a trigger —
+// fire-once, every-Nth evaluation, probability-p from an explicitly seeded
+// project Rng, or always — and an optional latency payload. Armed points make
+// the instrumented site take its injected-failure path, which is how the
+// degraded paths of the ishare stack (scheduler retry, replication fallback,
+// prediction-cache invalidation, trace-load rejection) are exercised
+// systematically instead of only by whatever failures a generated trace
+// happens to contain.
+//
+// Determinism contract (DESIGN.md §7): with a fixed arming spec, firing is a
+// pure function of the per-point evaluation count (and, for probability
+// triggers, of the point's own seeded Rng stream), never of wall-clock time or
+// thread identity. Counter and probability state advance once per evaluation
+// under the registry mutex, so the *number* of fires over N evaluations is
+// reproducible even when the evaluations race across threads.
+//
+// Cost contract: with nothing armed, FGCS_FAILPOINT compiles to one relaxed
+// atomic load and a predictable branch — cheap enough for per-monitor-tick
+// sites. The registry mutex is only ever taken while at least one point is
+// armed (or until the stats of a finished run are reset).
+//
+// Spec grammar (also accepted by FGCS_FAILPOINTS):
+//
+//   spec    := point *(";" point)
+//   point   := name "=" trigger *("," option)
+//   trigger := "off" | "once" | "always" | "every:" N | "prob:" P [":" SEED]
+//   option  := "latency=" SECONDS
+//
+//   e.g.
+//   FGCS_FAILPOINTS="gateway.execute.revoke=prob:0.3:42;service.estimate.slow=always,latency=0.01"
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fgcs {
+
+struct FailpointSpec {
+  enum class Trigger : std::uint8_t {
+    kOff,          ///< registered but never fires (counts evaluations)
+    kOnce,         ///< fires on the first evaluation only
+    kAlways,       ///< fires on every evaluation
+    kEveryNth,     ///< fires on evaluations N, 2N, 3N, …
+    kProbability,  ///< fires with probability `probability` per evaluation
+  };
+
+  Trigger trigger = Trigger::kAlways;
+  /// Period for kEveryNth (must be ≥ 1).
+  std::uint64_t n = 1;
+  /// Fire probability for kProbability (in [0, 1]).
+  double probability = 1.0;
+  /// Seed of the point's private Rng stream (kProbability only).
+  std::uint64_t seed = 0x5eedfa11;
+  /// Payload for latency-injection sites (consumed via fire_latency()).
+  double latency_seconds = 0.0;
+};
+
+/// Parses one trigger spec, e.g. "prob:0.25:7,latency=0.5". Throws DataError
+/// on malformed input.
+FailpointSpec parse_failpoint_mode(const std::string& text);
+
+/// Per-point counters. `fires <= evaluations` always holds.
+struct FailpointCounters {
+  std::string name;
+  bool armed = false;
+  std::uint64_t evaluations = 0;
+  std::uint64_t fires = 0;
+
+  friend bool operator==(const FailpointCounters&,
+                         const FailpointCounters&) = default;
+};
+
+/// Snapshot of every point the registry has seen, sorted by name, plus the
+/// ordered log of fired point names (capped; meaningful for single-threaded
+/// scenarios). Chaos tests assert determinism by comparing two snapshots.
+struct FailpointStats {
+  std::vector<FailpointCounters> points;
+  std::vector<std::string> fired_sequence;
+
+  std::uint64_t total_fires() const;
+  /// nullptr when the point was never armed or evaluated.
+  const FailpointCounters* find(std::string_view name) const;
+
+  friend bool operator==(const FailpointStats&, const FailpointStats&) = default;
+};
+
+class Failpoints {
+ public:
+  /// The process-wide registry (failpoints cross-cut layers by design).
+  static Failpoints& instance();
+
+  /// True iff any point is currently armed. This is the *only* check the
+  /// disabled fast path performs.
+  static bool enabled() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Arms (or re-arms, resetting trigger state) the named point.
+  void arm(const std::string& name, FailpointSpec spec);
+
+  /// Stops the point firing; its counters are retained until reset().
+  /// Returns false when the name was not armed.
+  bool disarm(const std::string& name);
+
+  void disarm_all();
+
+  /// Disarms everything and clears all counters and the fired log.
+  void reset();
+
+  /// Evaluates the named point: records the evaluation and returns true when
+  /// the armed trigger fires. Unregistered names never fire. Call through
+  /// FGCS_FAILPOINT so the disabled fast path stays one atomic load.
+  bool fire(std::string_view name);
+
+  /// Like fire(), but returns the armed latency payload in seconds when the
+  /// point fires, and 0.0 otherwise.
+  double fire_latency(std::string_view name);
+
+  /// Arms every point of a "name=trigger;name=trigger" spec (grammar above).
+  /// Throws DataError on malformed input; points armed before the bad clause
+  /// stay armed.
+  void arm_from_spec(const std::string& spec);
+
+  /// Arms from the FGCS_FAILPOINTS environment variable (done once at program
+  /// start by a static initializer). Returns false when unset or empty.
+  bool arm_from_env();
+
+  FailpointStats stats() const;
+
+ private:
+  struct Point {
+    FailpointSpec spec;
+    Rng rng{0};
+    bool armed = false;
+    /// Lifetime counters, reported by stats().
+    std::uint64_t evaluations = 0;
+    std::uint64_t fires = 0;
+    /// Trigger state, reset by every arm() so a re-armed point starts its
+    /// once/every-Nth cycle fresh.
+    std::uint64_t armed_evaluations = 0;
+    std::uint64_t armed_fires = 0;
+  };
+
+  /// Maximum entries retained in the fired-sequence log.
+  static constexpr std::size_t kMaxFiredLog = 4096;
+
+  Failpoints() = default;
+
+  /// Must be called with mutex_ held. Returns whether the point fired.
+  bool evaluate_locked(Point& point, std::string_view name);
+
+  inline static std::atomic<int> armed_count_{0};
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Point, std::less<>> points_;
+  std::vector<std::string> fired_sequence_;
+};
+
+/// Evaluates a failpoint by name; false (and nearly free) when nothing is
+/// armed anywhere in the process.
+#define FGCS_FAILPOINT(name)        \
+  (::fgcs::Failpoints::enabled() && \
+   ::fgcs::Failpoints::instance().fire(name))
+
+/// Latency-payload variant: seconds to inject, 0.0 when not fired.
+#define FGCS_FAILPOINT_LATENCY(name)  \
+  (::fgcs::Failpoints::enabled()      \
+       ? ::fgcs::Failpoints::instance().fire_latency(name) \
+       : 0.0)
+
+}  // namespace fgcs

@@ -1,0 +1,39 @@
+// Shared fixture for the chaos suite: every test runs with a clean global
+// failpoint registry and leaves one behind, so armed points can never leak
+// between tests (or into a tier-1 run of the same ctest invocation).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/failpoint.hpp"
+
+namespace fgcs::test {
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::instance().reset(); }
+  void TearDown() override { Failpoints::instance().reset(); }
+};
+
+/// A trace of `days` constant-load days (plenty of memory, machine up).
+inline MachineTrace steady_trace(const std::string& id, int days,
+                                 int load_pct = 10) {
+  MachineTrace trace(id, Calendar(0), 60, 512);
+  for (int d = 0; d < days; ++d) trace.append_day(constant_day(60, load_pct));
+  return trace;
+}
+
+/// A trace whose host overloads 10:00–12:00 every day (guest dies as S3).
+inline MachineTrace flaky_trace(const std::string& id, int days,
+                                int base_load_pct = 10) {
+  MachineTrace trace(id, Calendar(0), 60, 512);
+  for (int d = 0; d < days; ++d) {
+    auto day = constant_day(60, base_load_pct);
+    for (std::size_t i = 10 * 60; i < 12 * 60; ++i) day[i] = sample(95);
+    trace.append_day(std::move(day));
+  }
+  return trace;
+}
+
+}  // namespace fgcs::test

@@ -2,6 +2,10 @@
 // must satisfy regardless of workload.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
+#include "core/prediction_service.hpp"
 #include "core/predictor.hpp"
 #include "test_support.hpp"
 #include "workload/trace_generator.hpp"
@@ -92,6 +96,94 @@ TEST_P(PredictorPropertyTest, MoreHistoryNeverThrows) {
     EXPECT_NO_THROW(predictor.predict(
         trace, {.target_day = 20,
                 .window = {.start_of_day = 0, .length = kSecondsPerHour}}));
+  }
+}
+
+TEST_P(PredictorPropertyTest, ServiceBatchStaysInUnitInterval) {
+  // The batched fleet-serving path must satisfy the same range invariant as
+  // the plain predictor, warm or cold (the batch repeats every request).
+  const MachineTrace trace = make_trace();
+  PredictionService service;
+  std::vector<BatchRequest> batch;
+  for (const SimTime start_hr : {0, 7, 13, 22}) {
+    for (const SimTime len_hr : {1, 5, 10}) {
+      const PredictionRequest request{
+          .target_day = 20,
+          .window = {.start_of_day = start_hr * kSecondsPerHour,
+                     .length = len_hr * kSecondsPerHour}};
+      batch.push_back({.trace = &trace, .request = request});
+      batch.push_back({.trace = &trace, .request = request});
+    }
+  }
+  for (const Prediction& p : service.predict_batch(batch)) {
+    EXPECT_GE(p.temporal_reliability, 0.0);
+    EXPECT_LE(p.temporal_reliability, 1.0);
+    double absorbed = 0.0;
+    for (const double a : p.p_absorb) {
+      EXPECT_GE(a, -1e-12);
+      absorbed += a;
+    }
+    EXPECT_NEAR(p.temporal_reliability + absorbed, 1.0, 1e-9);
+  }
+}
+
+TEST_P(PredictorPropertyTest, ServiceTrNonIncreasingInWindowLength) {
+  // Longer windows only add failure opportunities, so through the service
+  // path TR(T) must be non-increasing in T for a fixed window start. Each T
+  // estimates its own model from the clock-time window, so this only holds
+  // when training days agree — here every day repeats the same load pattern
+  // (overload block at 10:00–12:00, intensity varied by the sweep index).
+  // On fully random workloads re-estimation noise can locally raise TR.
+  const int overload_pct = 85 + 2 * GetParam();
+  MachineTrace trace("flaky", Calendar(0), 60, 512);
+  for (int d = 0; d < 8; ++d) {
+    auto day = test::constant_day(60, 10);
+    for (std::size_t i = 10 * 60; i < 12 * 60; ++i)
+      day[i] = test::sample(overload_pct);
+    trace.append_day(std::move(day));
+  }
+  PredictionService service;
+  for (const SimTime start_hr : {8, 9}) {
+    double previous = 1.0;
+    for (SimTime len_hr = 1; len_hr <= 12; ++len_hr) {
+      const double tr =
+          service
+              .predict(trace,
+                       {.target_day = 7,
+                        .window = {.start_of_day = start_hr * kSecondsPerHour,
+                                   .length = len_hr * kSecondsPerHour}})
+              .temporal_reliability;
+      EXPECT_LE(tr, previous + 1e-9) << "start " << start_hr << "h, length "
+                                     << len_hr << "h";
+      previous = tr;
+    }
+  }
+}
+
+TEST_P(PredictorPropertyTest, ServiceBitIdenticalToUnbatchedPredictor) {
+  // The service contract is bit-identity with AvailabilityPredictor, not
+  // approximate agreement — for cold misses and warm cache hits alike.
+  const MachineTrace trace = make_trace();
+  PredictionService service;
+  const AvailabilityPredictor reference;
+  for (const SimTime start_hr : {3, 11, 18}) {
+    const PredictionRequest request{
+        .target_day = 20,
+        .window = {.start_of_day = start_hr * kSecondsPerHour,
+                   .length = 4 * kSecondsPerHour}};
+    const Prediction want = reference.predict(trace, request);
+    for (int round = 0; round < 2; ++round) {  // miss, then cache hit
+      const Prediction got = service.predict(trace, request);
+      EXPECT_EQ(std::memcmp(&got.temporal_reliability,
+                            &want.temporal_reliability, sizeof(double)),
+                0);
+      EXPECT_EQ(std::memcmp(got.p_absorb.data(), want.p_absorb.data(),
+                            sizeof(got.p_absorb)),
+                0);
+      EXPECT_EQ(got.initial_state, want.initial_state);
+      EXPECT_EQ(got.training_days_used, want.training_days_used);
+      EXPECT_EQ(got.steps, want.steps);
+    }
   }
 }
 

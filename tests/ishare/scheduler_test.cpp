@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "test_support.hpp"
 #include "util/error.hpp"
 
@@ -154,9 +156,81 @@ TEST(JobSchedulerTest, ValidatesConfigAndArguments) {
   Registry registry;
   EXPECT_THROW(JobScheduler(registry, SchedulerConfig{.max_attempts = 0}),
                PreconditionError);
+  EXPECT_THROW(JobScheduler(registry, SchedulerConfig{.backoff_factor = 0.5}),
+               PreconditionError);
+  EXPECT_THROW(JobScheduler(registry, SchedulerConfig{.backoff_jitter = 1.0}),
+               PreconditionError);
   const JobScheduler scheduler(registry);
   const GuestJobSpec job{.job_id = "j", .cpu_seconds = 10, .mem_mb = 10};
   EXPECT_THROW(scheduler.run_job(job, 100, 100), PreconditionError);
+}
+
+TEST(RetryBackoffTest, FactorOneReproducesLegacyFixedDelay) {
+  SchedulerConfig config;
+  config.retry_delay = 60;
+  Rng rng(1);
+  const Rng untouched(1);
+  for (int retry = 0; retry < 20; ++retry)
+    EXPECT_EQ(retry_backoff_delay(config, retry, rng), 60);
+  // Legacy mode must never consume randomness: the stream is untouched.
+  Rng probe = rng;
+  Rng reference = untouched;
+  EXPECT_EQ(probe.uniform(0.0, 1.0), reference.uniform(0.0, 1.0));
+}
+
+TEST(RetryBackoffTest, GrowsExponentiallyWithoutJitter) {
+  SchedulerConfig config;
+  config.retry_delay = 60;
+  config.backoff_factor = 2.0;
+  config.backoff_jitter = 0.0;
+  config.max_retry_delay = 100000;
+  Rng rng(1);
+  EXPECT_EQ(retry_backoff_delay(config, 0, rng), 60);
+  EXPECT_EQ(retry_backoff_delay(config, 1, rng), 120);
+  EXPECT_EQ(retry_backoff_delay(config, 2, rng), 240);
+  EXPECT_EQ(retry_backoff_delay(config, 3, rng), 480);
+}
+
+TEST(RetryBackoffTest, CapsAtMaxRetryDelay) {
+  SchedulerConfig config;
+  config.retry_delay = 60;
+  config.backoff_factor = 2.0;
+  config.backoff_jitter = 0.0;
+  config.max_retry_delay = 300;
+  Rng rng(1);
+  EXPECT_EQ(retry_backoff_delay(config, 2, rng), 240);
+  EXPECT_EQ(retry_backoff_delay(config, 3, rng), 300);
+  EXPECT_EQ(retry_backoff_delay(config, 30, rng), 300);
+}
+
+TEST(RetryBackoffTest, JitterIsBoundedAndSeedDeterministic) {
+  SchedulerConfig config;
+  config.retry_delay = 1000;
+  config.backoff_factor = 2.0;
+  config.backoff_jitter = 0.2;
+  config.max_retry_delay = 1000000;
+  Rng first(42);
+  Rng second(42);
+  for (int retry = 0; retry < 10; ++retry) {
+    const double nominal = 1000.0 * std::pow(2.0, retry);
+    const SimTime a = retry_backoff_delay(config, retry, first);
+    const SimTime b = retry_backoff_delay(config, retry, second);
+    EXPECT_EQ(a, b);  // same seed, same stream position → same delay
+    EXPECT_GE(static_cast<double>(a), nominal * 0.8 - 1.0);
+    EXPECT_LE(static_cast<double>(a), nominal * 1.2 + 1.0);
+  }
+  // Different seed → (almost surely) a different jittered sequence.
+  Rng other(43);
+  bool any_difference = false;
+  for (int retry = 0; retry < 10; ++retry) {
+    Rng replay(42);
+    for (int skip = 0; skip < retry; ++skip)
+      retry_backoff_delay(config, skip, replay);
+    if (retry_backoff_delay(config, retry, other) !=
+        retry_backoff_delay(config, retry, replay))
+      any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
 }
 
 }  // namespace

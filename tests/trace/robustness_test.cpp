@@ -10,6 +10,7 @@
 #include "test_support.hpp"
 #include "trace/machine_trace.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/rng.hpp"
 
 namespace fgcs {
@@ -61,6 +62,50 @@ TEST_P(TraceFuzzTest, RandomByteCorruptionNeverCrashes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, TraceFuzzTest, ::testing::Range(0, 5));
+
+TEST(TraceRobustnessTest, GarbageHeaderIsRejected) {
+  // No prefix of random noise is a valid stream: the magic check fires first.
+  std::string garbage(256, '\0');
+  Rng rng(77);
+  for (char& byte : garbage)
+    byte = static_cast<char>(rng.uniform_int(0, 255));
+  garbage[0] = 'X';  // guarantee the magic cannot match by accident
+  std::istringstream is(garbage);
+  EXPECT_THROW(MachineTrace::load(is), DataError);
+}
+
+TEST(TraceRobustnessTest, WrongVersionIsRejected) {
+  std::string bytes = serialized_fixture();
+  bytes[4] = 2;  // version field follows the 4-byte magic
+  std::istringstream is(bytes);
+  EXPECT_THROW(MachineTrace::load(is), DataError);
+}
+
+TEST(TraceRobustnessTest, ZeroDayTraceRoundTrips) {
+  // An empty (just-provisioned) machine log is valid: header only, no days.
+  const MachineTrace empty("fresh", Calendar(0), 60, 512);
+  std::ostringstream os;
+  empty.save(os);
+  std::istringstream is(os.str());
+  const MachineTrace loaded = MachineTrace::load(is);
+  EXPECT_EQ(loaded.day_count(), 0);
+  EXPECT_EQ(loaded.machine_id(), "fresh");
+  EXPECT_EQ(loaded.sampling_period(), 60);
+}
+
+TEST(TraceRobustnessTest, InjectedCorruptionThrowsTypedErrorThenRecovers) {
+  // The trace.load.corrupt failpoint models a corrupt stream the header
+  // checks would miss; callers must see DataError, and a clean retry (the
+  // `once` trigger spent) must load the very same bytes.
+  Failpoints::instance().reset();
+  Failpoints::instance().arm_from_spec("trace.load.corrupt=once");
+  const std::string bytes = serialized_fixture();
+  std::istringstream first(bytes);
+  EXPECT_THROW(MachineTrace::load(first), DataError);
+  std::istringstream second(bytes);
+  EXPECT_EQ(MachineTrace::load(second).day_count(), 2);
+  Failpoints::instance().reset();
+}
 
 TEST(TraceRobustnessTest, FileRoundTripThroughTempDir) {
   const std::filesystem::path path =

@@ -1,0 +1,180 @@
+// Unit tests for the failpoint registry: trigger semantics, spec parsing,
+// stats invariants, and the disabled-by-default contract.
+#include "util/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+namespace {
+
+/// Every test starts and ends with a clean global registry so armed points
+/// can never leak into unrelated tests in this binary.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::instance().reset(); }
+  void TearDown() override { Failpoints::instance().reset(); }
+};
+
+TEST_F(FailpointTest, DisabledByDefault) {
+  EXPECT_FALSE(Failpoints::enabled());
+  EXPECT_FALSE(FGCS_FAILPOINT("some.point"));
+  EXPECT_EQ(FGCS_FAILPOINT_LATENCY("some.point"), 0.0);
+  // The short-circuit means unarmed evaluations are not even recorded.
+  EXPECT_TRUE(Failpoints::instance().stats().points.empty());
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnce) {
+  Failpoints::instance().arm("p.once", {.trigger = FailpointSpec::Trigger::kOnce});
+  EXPECT_TRUE(Failpoints::enabled());
+  EXPECT_TRUE(FGCS_FAILPOINT("p.once"));
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(FGCS_FAILPOINT("p.once"));
+  const FailpointStats stats = Failpoints::instance().stats();
+  const FailpointCounters* point = stats.find("p.once");
+  ASSERT_NE(point, nullptr);
+  EXPECT_EQ(point->evaluations, 11u);
+  EXPECT_EQ(point->fires, 1u);
+  EXPECT_EQ(stats.fired_sequence, std::vector<std::string>{"p.once"});
+}
+
+TEST_F(FailpointTest, EveryNthFiresOnMultiples) {
+  Failpoints::instance().arm(
+      "p.every", {.trigger = FailpointSpec::Trigger::kEveryNth, .n = 3});
+  std::vector<int> fired;
+  for (int i = 1; i <= 10; ++i)
+    if (FGCS_FAILPOINT("p.every")) fired.push_back(i);
+  EXPECT_EQ(fired, (std::vector<int>{3, 6, 9}));
+}
+
+TEST_F(FailpointTest, AlwaysAndOffTriggers) {
+  Failpoints::instance().arm("p.on", {.trigger = FailpointSpec::Trigger::kAlways});
+  Failpoints::instance().arm("p.off", {.trigger = FailpointSpec::Trigger::kOff});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(FGCS_FAILPOINT("p.on"));
+    EXPECT_FALSE(FGCS_FAILPOINT("p.off"));
+  }
+  const FailpointStats stats = Failpoints::instance().stats();
+  EXPECT_EQ(stats.find("p.off")->evaluations, 5u);
+  EXPECT_EQ(stats.find("p.off")->fires, 0u);
+  EXPECT_EQ(stats.total_fires(), 5u);
+}
+
+TEST_F(FailpointTest, ProbabilityIsSeededAndReproducible) {
+  const FailpointSpec spec{.trigger = FailpointSpec::Trigger::kProbability,
+                           .probability = 0.3,
+                           .seed = 1234};
+  auto run = [&spec] {
+    Failpoints::instance().reset();
+    Failpoints::instance().arm("p.prob", spec);
+    std::vector<bool> fires;
+    for (int i = 0; i < 500; ++i) fires.push_back(FGCS_FAILPOINT("p.prob"));
+    return fires;
+  };
+  const std::vector<bool> first = run();
+  const std::vector<bool> second = run();
+  EXPECT_EQ(first, second);
+  const std::size_t count =
+      static_cast<std::size_t>(std::count(first.begin(), first.end(), true));
+  // ~Binomial(500, 0.3); a deterministic draw well inside [100, 200].
+  EXPECT_GT(count, 100u);
+  EXPECT_LT(count, 200u);
+}
+
+TEST_F(FailpointTest, DisarmStopsFiringButKeepsCounters) {
+  Failpoints::instance().arm("p", {.trigger = FailpointSpec::Trigger::kAlways});
+  EXPECT_TRUE(FGCS_FAILPOINT("p"));
+  EXPECT_TRUE(Failpoints::instance().disarm("p"));
+  EXPECT_FALSE(Failpoints::instance().disarm("p"));
+  EXPECT_FALSE(Failpoints::enabled());
+  EXPECT_FALSE(FGCS_FAILPOINT("p"));  // short-circuits on enabled()
+  const FailpointStats stats = Failpoints::instance().stats();
+  const FailpointCounters* point = stats.find("p");
+  ASSERT_NE(point, nullptr);
+  EXPECT_FALSE(point->armed);
+  EXPECT_EQ(point->fires, 1u);
+}
+
+TEST_F(FailpointTest, FireLatencyReturnsPayloadOnlyWhenFired) {
+  Failpoints::instance().arm("p.slow",
+                             {.trigger = FailpointSpec::Trigger::kEveryNth,
+                              .n = 2,
+                              .latency_seconds = 0.25});
+  EXPECT_EQ(FGCS_FAILPOINT_LATENCY("p.slow"), 0.0);
+  EXPECT_EQ(FGCS_FAILPOINT_LATENCY("p.slow"), 0.25);
+  EXPECT_EQ(FGCS_FAILPOINT_LATENCY("p.slow"), 0.0);
+}
+
+TEST_F(FailpointTest, ParsesTriggerSpecs) {
+  EXPECT_EQ(parse_failpoint_mode("once").trigger, FailpointSpec::Trigger::kOnce);
+  EXPECT_EQ(parse_failpoint_mode("always").trigger,
+            FailpointSpec::Trigger::kAlways);
+  EXPECT_EQ(parse_failpoint_mode("off").trigger, FailpointSpec::Trigger::kOff);
+
+  const FailpointSpec every = parse_failpoint_mode("every:4");
+  EXPECT_EQ(every.trigger, FailpointSpec::Trigger::kEveryNth);
+  EXPECT_EQ(every.n, 4u);
+
+  const FailpointSpec prob = parse_failpoint_mode("prob:0.25:99");
+  EXPECT_EQ(prob.trigger, FailpointSpec::Trigger::kProbability);
+  EXPECT_DOUBLE_EQ(prob.probability, 0.25);
+  EXPECT_EQ(prob.seed, 99u);
+
+  const FailpointSpec slow = parse_failpoint_mode("always,latency=0.5");
+  EXPECT_DOUBLE_EQ(slow.latency_seconds, 0.5);
+}
+
+TEST_F(FailpointTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_failpoint_mode("sometimes"), DataError);
+  EXPECT_THROW(parse_failpoint_mode("every:0"), DataError);
+  EXPECT_THROW(parse_failpoint_mode("every:x"), DataError);
+  EXPECT_THROW(parse_failpoint_mode("prob:1.5"), DataError);
+  EXPECT_THROW(parse_failpoint_mode("prob"), DataError);
+  EXPECT_THROW(parse_failpoint_mode("always,latency=-1"), DataError);
+  EXPECT_THROW(parse_failpoint_mode("always,turbo=1"), DataError);
+  EXPECT_THROW(Failpoints::instance().arm_from_spec("noequals"), DataError);
+  EXPECT_THROW(Failpoints::instance().arm_from_spec("Bad Name=once"),
+               DataError);
+}
+
+TEST_F(FailpointTest, ArmFromSpecArmsEveryClause) {
+  Failpoints::instance().arm_from_spec(
+      "a.b=once;c.d=every:2;e.f=prob:0.5:7,latency=0.1;");
+  const FailpointStats stats = Failpoints::instance().stats();
+  ASSERT_EQ(stats.points.size(), 3u);
+  EXPECT_TRUE(stats.find("a.b")->armed);
+  EXPECT_TRUE(stats.find("c.d")->armed);
+  EXPECT_TRUE(stats.find("e.f")->armed);
+}
+
+TEST_F(FailpointTest, RearmResetsTriggerState) {
+  Failpoints::instance().arm("p", {.trigger = FailpointSpec::Trigger::kOnce});
+  EXPECT_TRUE(FGCS_FAILPOINT("p"));
+  EXPECT_FALSE(FGCS_FAILPOINT("p"));
+  // A re-armed `once` point starts its cycle fresh; lifetime counters keep
+  // accumulating across armings.
+  Failpoints::instance().arm("p", {.trigger = FailpointSpec::Trigger::kOnce});
+  EXPECT_TRUE(FGCS_FAILPOINT("p"));
+  EXPECT_FALSE(FGCS_FAILPOINT("p"));
+  EXPECT_EQ(Failpoints::instance().stats().find("p")->fires, 2u);
+}
+
+TEST_F(FailpointTest, StatsInvariants) {
+  Failpoints::instance().arm_from_spec("x.y=every:2;z.w=always");
+  for (int i = 0; i < 7; ++i) {
+    FGCS_FAILPOINT("x.y");
+    FGCS_FAILPOINT("z.w");
+  }
+  const FailpointStats stats = Failpoints::instance().stats();
+  for (const FailpointCounters& point : stats.points)
+    EXPECT_LE(point.fires, point.evaluations) << point.name;
+  // Points are reported sorted by name.
+  EXPECT_EQ(stats.points[0].name, "x.y");
+  EXPECT_EQ(stats.points[1].name, "z.w");
+  EXPECT_EQ(stats.total_fires(), 3u + 7u);
+}
+
+}  // namespace
+}  // namespace fgcs

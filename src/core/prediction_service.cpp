@@ -8,6 +8,7 @@
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
 #include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fgcs {
 
@@ -18,8 +19,11 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-std::uint64_t to_micros(double seconds) {
-  return static_cast<std::uint64_t>(seconds * 1e6);
+std::uint64_t to_nanos(double seconds) {
+  // Nanosecond granularity: sub-microsecond estimate/solve costs — the
+  // common case on a warm cache — must not truncate to zero per call, or
+  // the accumulated ServiceStats timings systematically under-report.
+  return static_cast<std::uint64_t>(seconds * 1e9);
 }
 
 State resolve_initial(const PredictionRequest& request, State majority) {
@@ -137,8 +141,8 @@ Prediction PredictionService::predict(const MachineTrace& trace,
     model = std::make_shared<const SmpModel>(estimator_.build_model(counts));
     majority = estimator_.majority_initial_state(trace, days, request.window);
     estimate_seconds = seconds_since(t0);
-    estimate_micros_.fetch_add(to_micros(estimate_seconds),
-                               std::memory_order_relaxed);
+    estimate_nanos_.fetch_add(to_nanos(estimate_seconds),
+                              std::memory_order_relaxed);
   }
 
   Prediction prediction;
@@ -154,13 +158,27 @@ Prediction PredictionService::predict(const MachineTrace& trace,
   prediction.solve_seconds = seconds_since(t1);
   prediction.temporal_reliability = result.temporal_reliability;
   prediction.p_absorb = result.p_absorb;
-  solve_micros_.fetch_add(to_micros(prediction.solve_seconds),
-                          std::memory_order_relaxed);
+  solve_nanos_.fetch_add(to_nanos(prediction.solve_seconds),
+                         std::memory_order_relaxed);
   (model_was_cached ? partial_hits_ : misses_)
       .fetch_add(1, std::memory_order_relaxed);
 
+  // Chaos hook for the invalidate-vs-insert race below: forces an
+  // invalidation to land exactly between the compute phase and the insert
+  // lock, the window the generation re-check must close.
+  if (FGCS_FAILPOINT("service.insert.race")) invalidate(trace.machine_id());
+
   {
     const std::lock_guard<std::mutex> lock(shard.mutex);
+    // An invalidate() that landed after our generation read has already
+    // swept this machine; inserting now would file the entry under a dead
+    // generation key — unreachable by every future lookup, crowding the LRU
+    // until capacity eviction. Skip the insert; the computed result is
+    // still correct (training days were revalidated), just not cacheable.
+    if (generation_of(trace.machine_id()) != key.generation) {
+      stale_drops_.fetch_add(1, std::memory_order_relaxed);
+      return prediction;
+    }
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       // A concurrent predict raced us here; keep the existing entry when it
@@ -268,10 +286,11 @@ ServiceStats PredictionService::stats() const {
   stats.batch_requests = batch_requests_.load(std::memory_order_relaxed);
   stats.max_batch = max_batch_.load(std::memory_order_relaxed);
   stats.estimate_seconds =
-      static_cast<double>(estimate_micros_.load(std::memory_order_relaxed)) /
-      1e6;
+      static_cast<double>(estimate_nanos_.load(std::memory_order_relaxed)) /
+      1e9;
   stats.solve_seconds =
-      static_cast<double>(solve_micros_.load(std::memory_order_relaxed)) / 1e6;
+      static_cast<double>(solve_nanos_.load(std::memory_order_relaxed)) / 1e9;
+  stats.pool = ThreadPool::default_pool().stats();
   return stats;
 }
 

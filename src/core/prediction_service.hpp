@@ -43,6 +43,7 @@
 #include "core/semi_markov.hpp"
 #include "core/states.hpp"
 #include "trace/machine_trace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fgcs {
 
@@ -52,7 +53,9 @@ struct ServiceConfig {
   std::size_t shards = 16;
   /// LRU capacity per shard, in memoized (machine, window) models.
   std::size_t capacity_per_shard = 512;
-  /// Worker cap for predict_batch (0 = hardware_concurrency).
+  /// Concurrency cap for predict_batch on the persistent thread pool
+  /// (0 = the pool's full worker count; 1 = serial). No threads are spawned
+  /// per batch either way — the cap bounds how many pool workers join in.
   unsigned max_threads = 0;
 };
 
@@ -77,6 +80,10 @@ struct ServiceStats {
   std::uint64_t max_batch = 0;      ///< largest batch seen
   double estimate_seconds = 0.0;    ///< total wall time in Q/H estimation
   double solve_seconds = 0.0;       ///< total wall time in the Eq. 3 solver
+  /// Snapshot of the process-wide thread pool batch fan-out runs on (shared
+  /// with every other parallel_for user in the process, e.g. fleet
+  /// generation — it observes the substrate, not this service alone).
+  PoolStats pool{};
 };
 
 class PredictionService {
@@ -167,8 +174,8 @@ class PredictionService {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batch_requests_{0};
   std::atomic<std::uint64_t> max_batch_{0};
-  std::atomic<std::uint64_t> estimate_micros_{0};
-  std::atomic<std::uint64_t> solve_micros_{0};
+  std::atomic<std::uint64_t> estimate_nanos_{0};
+  std::atomic<std::uint64_t> solve_nanos_{0};
 };
 
 }  // namespace fgcs

@@ -27,8 +27,12 @@ SimTime retry_backoff_delay(const SchedulerConfig& config, int retry,
   double delay = static_cast<double>(config.retry_delay) *
                  std::pow(config.backoff_factor, retry);
   delay = std::min(delay, static_cast<double>(config.max_retry_delay));
-  if (config.backoff_jitter > 0.0)
+  if (config.backoff_jitter > 0.0) {
     delay *= 1.0 + config.backoff_jitter * rng.uniform(-1.0, 1.0);
+    // Re-clamp: jitter is applied to the capped delay, so an upward draw
+    // would otherwise exceed max_retry_delay — the cap is a hard bound.
+    delay = std::min(delay, static_cast<double>(config.max_retry_delay));
+  }
   return static_cast<SimTime>(std::llround(delay));
 }
 

@@ -43,7 +43,8 @@ struct SchedulerConfig {
   /// > 1 gives capped exponential backoff so repeated failures (revocation
   /// storms, registry churn) stop hammering the fleet with resubmissions.
   double backoff_factor = 1.0;
-  /// Ceiling on the backed-off pause (only consulted when backoff_factor > 1).
+  /// Hard ceiling on the backed-off pause, jitter included (only consulted
+  /// when backoff_factor > 1).
   SimTime max_retry_delay = 3600;
   /// Fraction of the pause randomized symmetrically around its nominal value
   /// (delay ∈ [d·(1−j), d·(1+j)]), drawn from a scheduler-seeded Rng so runs
@@ -55,7 +56,8 @@ struct SchedulerConfig {
 
 /// The pause before the (retry + 1)-th resubmission of a job:
 /// min(max_retry_delay, retry_delay · backoff_factor^retry), jittered by
-/// ±backoff_jitter from `rng`. With backoff_factor == 1 it returns
+/// ±backoff_jitter from `rng` and clamped to max_retry_delay again, so the
+/// cap holds as a hard bound. With backoff_factor == 1 it returns
 /// retry_delay exactly and never touches `rng` (legacy behaviour).
 SimTime retry_backoff_delay(const SchedulerConfig& config, int retry,
                             Rng& rng);

@@ -1,14 +1,26 @@
 // Shared-memory parallel helpers.
 //
-// Fleet-scale work — generating 20 machines × 91 days of traces, evaluating
-// hundreds of windows per machine — is embarrassingly parallel across
-// machines. parallel_for runs an index range across a bounded thread pool
-// (hardware_concurrency by default) with static chunking; on a single-core
-// host it degrades to the serial loop with no thread spawn.
+// parallel_for runs an index range on the process-wide persistent
+// work-stealing pool (util/thread_pool.hpp): workers are spawned once and
+// reused across calls, and the range is claimed in small dynamic chunks, so
+// repeated fan-outs — a prediction service probing the fleet per job
+// placement, a generator building 20 machines × 91 days of traces — pay no
+// thread spawn/teardown per call and one slow index stalls only its chunk.
+// With an effective width of one (single-core host, or max_threads = 1) the
+// loop degrades to the serial loop in index order with no thread activity.
 //
-// The callable must be safe to run concurrently for distinct indices and
-// must not throw across threads unhandled: exceptions are captured and the
-// first one is rethrown on the caller after all workers join.
+// The callable must be safe to run concurrently for distinct indices. The
+// first exception it throws is captured, the not-yet-claimed remainder of
+// the range is abandoned, and the exception is rethrown on the caller once
+// in-flight work settles. Calling parallel_for from inside a parallel_for
+// body is safe: the inner caller works its own range, so nesting cannot
+// deadlock.
+//
+// spawn_parallel_for is the retired spawn-per-call implementation (fresh
+// std::threads every call, static chunking). It is kept only as the
+// regression baseline: bench_ext_service measures pool dispatch against it,
+// and the pool tests pin behavioural parity (visit-each-once, exception
+// propagation) between the two.
 #pragma once
 
 #include <cstddef>
@@ -18,20 +30,40 @@
 #include <thread>
 #include <vector>
 
-#include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fgcs {
 
-/// Invokes `body(i)` for i in [0, count), distributing contiguous chunks
-/// over at most `max_threads` threads (0 = hardware_concurrency).
+/// Invokes `body(i)` for i in [0, count) on the persistent default pool,
+/// using at most `max_threads` threads (0 = the pool's worker count).
 template <typename Body>
 void parallel_for(std::size_t count, Body&& body, unsigned max_threads = 0) {
+  if (count == 0) return;
+  ThreadPool& pool = ThreadPool::default_pool();
+  const unsigned width =
+      max_threads == 0 ? pool.worker_count() : max_threads;
+  if (width <= 1 || count == 1) {
+    // Serial fast path: no pool startup, no std::function wrap.
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  const std::function<void(std::size_t)> wrapped =
+      [&body](std::size_t i) { body(i); };
+  pool.for_each_index(count, wrapped, max_threads);
+}
+
+/// Legacy spawn-per-call parallel loop: creates up to `max_threads` fresh
+/// std::threads (0 = hardware_concurrency), statically chunked, joined
+/// before returning. Superseded by parallel_for on the persistent pool;
+/// kept as the comparison baseline for benches and parity tests only.
+template <typename Body>
+void spawn_parallel_for(std::size_t count, Body&& body,
+                        unsigned max_threads = 0) {
   if (count == 0) return;
   unsigned hw = max_threads == 0 ? std::thread::hardware_concurrency()
                                  : max_threads;
   if (hw == 0) hw = 1;
-  const std::size_t threads =
-      std::min<std::size_t>(hw, count);
+  const std::size_t threads = std::min<std::size_t>(hw, count);
 
   if (threads <= 1) {
     for (std::size_t i = 0; i < count; ++i) body(i);

@@ -1,0 +1,32 @@
+# Replay determinism gate for the chaos driver with the thread pool active:
+# runs `fgcs_chaos --scenario service` twice with FGCS_THREADS=4 (forcing the
+# batch fan-out onto four pool workers even on a single-CPU host) and fails
+# unless both runs exit 0 with byte-identical output. Guards the tool's
+# same-flags → same-bytes contract against thread-order-dependent counters
+# leaking into the report.
+#
+# Invoked as: cmake -DCHAOS_BIN=<path-to-fgcs_chaos> -P chaos_replay.cmake
+if(NOT DEFINED CHAOS_BIN)
+  message(FATAL_ERROR "chaos_replay.cmake requires -DCHAOS_BIN=<fgcs_chaos>")
+endif()
+
+set(ENV{FGCS_THREADS} 4)
+foreach(run first second)
+  execute_process(
+    COMMAND ${CHAOS_BIN} --scenario service --seed 11 --machines 4 --days 9
+            --jobs 6
+    OUTPUT_VARIABLE ${run}_out
+    ERROR_VARIABLE ${run}_err
+    RESULT_VARIABLE ${run}_rc)
+  if(NOT ${run}_rc EQUAL 0)
+    message(FATAL_ERROR
+      "fgcs_chaos ${run} run failed (rc=${${run}_rc}):\n${${run}_err}")
+  endif()
+endforeach()
+
+if(NOT first_out STREQUAL second_out)
+  message(FATAL_ERROR
+    "fgcs_chaos service scenario is not replay-stable with FGCS_THREADS=4\n"
+    "--- first run ---\n${first_out}\n--- second run ---\n${second_out}")
+endif()
+message(STATUS "chaos service scenario replayed byte-identically (pool x4)")

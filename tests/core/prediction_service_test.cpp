@@ -118,6 +118,21 @@ TEST(PredictionServiceTest, RevalidationCatchesChangedTrainingDays) {
   EXPECT_EQ(service.stats().misses, 2u);
 }
 
+TEST(PredictionServiceTest, TimingCountersRegisterFastColdCalls) {
+  const MachineTrace trace = flaky_trace("m1");
+  PredictionService service;
+  service.predict(trace, {.target_day = trace.day_count(),
+                          .window = morning_window()});
+  const ServiceStats stats = service.stats();
+  // Nanosecond accumulation: a single sub-millisecond cold call must leave a
+  // nonzero trace (the old microsecond truncation rounded sub-µs phases to
+  // zero, systematically under-reporting the aggregate).
+  EXPECT_GT(stats.estimate_seconds, 0.0);
+  EXPECT_GT(stats.solve_seconds, 0.0);
+  // The stats snapshot also carries the process-wide pool's counters.
+  EXPECT_GE(stats.pool.workers, 1u);
+}
+
 TEST(PredictionServiceTest, SecondInitialStateIsPartialHit) {
   const MachineTrace trace = flaky_trace("m1");
   PredictionService service;

@@ -203,6 +203,26 @@ TEST(RetryBackoffTest, CapsAtMaxRetryDelay) {
   EXPECT_EQ(retry_backoff_delay(config, 30, rng), 300);
 }
 
+TEST(RetryBackoffTest, JitterNeverExceedsMaxRetryDelay) {
+  // The cap is a hard bound, jitter included: once the exponential curve
+  // saturates, an upward jitter draw must not push the pause past it.
+  SchedulerConfig config;
+  config.retry_delay = 100;
+  config.backoff_factor = 2.0;
+  config.backoff_jitter = 0.5;
+  config.max_retry_delay = 300;
+  Rng rng(2026);
+  bool saw_upward_draw = false;
+  for (int retry = 0; retry < 40; ++retry) {
+    const SimTime delay = retry_backoff_delay(config, retry, rng);
+    EXPECT_LE(delay, config.max_retry_delay) << "retry " << retry;
+    if (retry >= 2 && delay == config.max_retry_delay) saw_upward_draw = true;
+  }
+  // With jitter 0.5 over 40 saturated retries, some draw lands at or above
+  // the cap — otherwise this test never exercised the clamp.
+  EXPECT_TRUE(saw_upward_draw);
+}
+
 TEST(RetryBackoffTest, JitterIsBoundedAndSeedDeterministic) {
   SchedulerConfig config;
   config.retry_delay = 1000;

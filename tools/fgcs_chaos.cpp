@@ -183,10 +183,15 @@ int main_checked(int argc, char** argv) {
       print_outcome(j, outcome);
       completed += outcome.completed ? 1 : 0;
     }
+    // Only order-invariant counters belong in this line: with the batch
+    // fanned out over the thread pool, *which* request warms the cache (and
+    // so the hit/miss/partial split) depends on worker interleaving, while
+    // lookups, batches and invalidations are fixed by the scenario alone.
+    // Byte-identical replay from the same flags is this tool's contract.
     const ServiceStats service_stats = setup.service->stats();
-    std::printf("service: lookups=%llu hits=%llu invalidations=%llu\n",
+    std::printf("service: lookups=%llu batches=%llu invalidations=%llu\n",
                 static_cast<unsigned long long>(service_stats.lookups),
-                static_cast<unsigned long long>(service_stats.hits),
+                static_cast<unsigned long long>(service_stats.batches),
                 static_cast<unsigned long long>(service_stats.invalidations));
     std::printf("completed %d/%d\n", completed, jobs);
     status = completed == 0 ? 1 : 0;

@@ -136,5 +136,11 @@ int main() {
       static_cast<unsigned long long>(stats.pool.steals),
       static_cast<unsigned long long>(stats.pool.queue_depth_high_water),
       100.0 * stats.pool.utilization());
+
+  // The same numbers (plus scheduler/gateway series) as a scrape-ready
+  // Prometheus exposition — what tools/fgcs_metrics prints. Rendered while
+  // the service is alive so its attached instruments fold into the totals.
+  std::printf("\n=== metrics exposition (DESIGN.md §8) ===\n%s",
+              MetricsRegistry::global().render_text().c_str());
   return 0;
 }

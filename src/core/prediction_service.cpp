@@ -9,35 +9,16 @@
 #include "util/failpoint.hpp"
 #include "util/parallel.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace_span.hpp"
 
 namespace fgcs {
 
 namespace {
 
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-      .count();
-}
-
-std::uint64_t to_nanos(double seconds) {
-  // Nanosecond granularity: sub-microsecond estimate/solve costs — the
-  // common case on a warm cache — must not truncate to zero per call, or
-  // the accumulated ServiceStats timings systematically under-report.
-  return static_cast<std::uint64_t>(seconds * 1e9);
-}
-
 State resolve_initial(const PredictionRequest& request, State majority) {
   const State init = request.initial_state.value_or(majority);
   FGCS_REQUIRE_MSG(is_available(init), "initial state must be S1 or S2");
   return init;
-}
-
-void fetch_max(std::atomic<std::uint64_t>& target, std::uint64_t value) {
-  std::uint64_t previous = target.load(std::memory_order_relaxed);
-  while (previous < value &&
-         !target.compare_exchange_weak(previous, value,
-                                       std::memory_order_relaxed)) {
-  }
 }
 
 }  // namespace
@@ -61,6 +42,32 @@ PredictionService::PredictionService(ServiceConfig config)
       shards_(std::make_unique<Shard[]>(shard_count_)) {
   FGCS_REQUIRE_MSG(config.capacity_per_shard >= 1,
                    "cache capacity must be at least one entry per shard");
+  MetricsRegistry& registry = MetricsRegistry::global();
+  metrics_attachments_.push_back(
+      registry.attach("service.lookups.total", lookups_));
+  metrics_attachments_.push_back(registry.attach("service.hits.total", hits_));
+  metrics_attachments_.push_back(
+      registry.attach("service.partial_hits.total", partial_hits_));
+  metrics_attachments_.push_back(
+      registry.attach("service.misses.total", misses_));
+  metrics_attachments_.push_back(
+      registry.attach("service.evictions.total", evictions_));
+  metrics_attachments_.push_back(
+      registry.attach("service.invalidations.total", invalidations_));
+  metrics_attachments_.push_back(
+      registry.attach("service.stale_drops.total", stale_drops_));
+  metrics_attachments_.push_back(
+      registry.attach("service.batches.total", batches_));
+  metrics_attachments_.push_back(
+      registry.attach("service.batch_requests.total", batch_requests_));
+  metrics_attachments_.push_back(
+      registry.attach("service.max_batch", max_batch_));
+  metrics_attachments_.push_back(
+      registry.attach("service.estimate.seconds", estimate_hist_));
+  metrics_attachments_.push_back(
+      registry.attach("service.solve.seconds", solve_hist_));
+  metrics_attachments_.push_back(
+      registry.attach("service.batch.seconds", batch_hist_));
 }
 
 PredictionService::Shard& PredictionService::shard_for(const Key& key) const {
@@ -80,7 +87,7 @@ Prediction PredictionService::predict(const MachineTrace& trace,
   FGCS_REQUIRE_MSG(request.target_day >= 0 &&
                        request.target_day <= trace.day_count(),
                    "target day beyond recorded history + 1");
-  lookups_.fetch_add(1, std::memory_order_relaxed);
+  lookups_.add();
 
   if (Failpoints::enabled()) {
     // Chaos hooks, evaluated only while something is armed: hard estimation
@@ -119,14 +126,14 @@ Prediction PredictionService::predict(const MachineTrace& trace,
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
         const State init = resolve_initial(request, entry.majority_initial);
         if (entry.solved[index_of(init)]) {
-          hits_.fetch_add(1, std::memory_order_relaxed);
+          hits_.add();
           return *entry.solved[index_of(init)];
         }
         model = entry.model;
         majority = entry.majority_initial;
         estimate_seconds = entry.estimate_seconds;
       } else {
-        stale_drops_.fetch_add(1, std::memory_order_relaxed);
+        stale_drops_.add();
         shard.lru.erase(it->second);
         shard.index.erase(it);
       }
@@ -135,14 +142,12 @@ Prediction PredictionService::predict(const MachineTrace& trace,
 
   const bool model_was_cached = model != nullptr;
   if (!model_was_cached) {
-    const auto t0 = std::chrono::steady_clock::now();
+    TraceSpan span("service.estimate", &estimate_hist_);
     const TransitionCounts counts =
         estimator_.count_transitions(trace, days, request.window);
     model = std::make_shared<const SmpModel>(estimator_.build_model(counts));
     majority = estimator_.majority_initial_state(trace, days, request.window);
-    estimate_seconds = seconds_since(t0);
-    estimate_nanos_.fetch_add(to_nanos(estimate_seconds),
-                              std::memory_order_relaxed);
+    estimate_seconds = span.finish();
   }
 
   Prediction prediction;
@@ -151,17 +156,14 @@ Prediction PredictionService::predict(const MachineTrace& trace,
   prediction.initial_state = resolve_initial(request, majority);
   prediction.estimate_seconds = estimate_seconds;
 
-  const auto t1 = std::chrono::steady_clock::now();
+  TraceSpan solve_span("service.solve", &solve_hist_);
   const SparseTrSolver solver(*model);
   const SparseTrSolver::Result result =
       solver.solve(prediction.initial_state, steps);
-  prediction.solve_seconds = seconds_since(t1);
+  prediction.solve_seconds = solve_span.finish();
   prediction.temporal_reliability = result.temporal_reliability;
   prediction.p_absorb = result.p_absorb;
-  solve_nanos_.fetch_add(to_nanos(prediction.solve_seconds),
-                         std::memory_order_relaxed);
-  (model_was_cached ? partial_hits_ : misses_)
-      .fetch_add(1, std::memory_order_relaxed);
+  (model_was_cached ? partial_hits_ : misses_).add();
 
   // Chaos hook for the invalidate-vs-insert race below: forces an
   // invalidation to land exactly between the compute phase and the insert
@@ -176,7 +178,7 @@ Prediction PredictionService::predict(const MachineTrace& trace,
     // until capacity eviction. Skip the insert; the computed result is
     // still correct (training days were revalidated), just not cacheable.
     if (generation_of(trace.machine_id()) != key.generation) {
-      stale_drops_.fetch_add(1, std::memory_order_relaxed);
+      stale_drops_.add();
       return prediction;
     }
     auto it = shard.index.find(key);
@@ -204,7 +206,7 @@ Prediction PredictionService::predict(const MachineTrace& trace,
     while (shard.index.size() > config_.capacity_per_shard) {
       shard.index.erase(shard.lru.back().first);
       shard.lru.pop_back();
-      evictions_.fetch_add(1, std::memory_order_relaxed);
+      evictions_.add();
     }
   }
   return prediction;
@@ -212,9 +214,10 @@ Prediction PredictionService::predict(const MachineTrace& trace,
 
 std::vector<Prediction> PredictionService::predict_batch(
     std::span<const BatchRequest> requests) {
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  batch_requests_.fetch_add(requests.size(), std::memory_order_relaxed);
-  fetch_max(max_batch_, requests.size());
+  TraceSpan span("service.batch", &batch_hist_);
+  batches_.add();
+  batch_requests_.add(requests.size());
+  max_batch_.update_max(static_cast<double>(requests.size()));
   for (const BatchRequest& request : requests)
     FGCS_REQUIRE_MSG(request.trace != nullptr,
                      "batch request carries a null trace");
@@ -234,7 +237,7 @@ void PredictionService::invalidate(const std::string& machine_id) {
     const std::lock_guard<std::mutex> lock(generation_mutex_);
     ++generations_[machine_id];
   }
-  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  invalidations_.add();
   // The generation bump already makes the old keys unreachable; also drop
   // the machine's entries so dead models do not crowd the LRU.
   for (std::size_t s = 0; s < shard_count_; ++s) {
@@ -275,21 +278,18 @@ void PredictionService::clear() {
 
 ServiceStats PredictionService::stats() const {
   ServiceStats stats;
-  stats.lookups = lookups_.load(std::memory_order_relaxed);
-  stats.hits = hits_.load(std::memory_order_relaxed);
-  stats.partial_hits = partial_hits_.load(std::memory_order_relaxed);
-  stats.misses = misses_.load(std::memory_order_relaxed);
-  stats.evictions = evictions_.load(std::memory_order_relaxed);
-  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
-  stats.stale_drops = stale_drops_.load(std::memory_order_relaxed);
-  stats.batches = batches_.load(std::memory_order_relaxed);
-  stats.batch_requests = batch_requests_.load(std::memory_order_relaxed);
-  stats.max_batch = max_batch_.load(std::memory_order_relaxed);
-  stats.estimate_seconds =
-      static_cast<double>(estimate_nanos_.load(std::memory_order_relaxed)) /
-      1e9;
-  stats.solve_seconds =
-      static_cast<double>(solve_nanos_.load(std::memory_order_relaxed)) / 1e9;
+  stats.lookups = lookups_.value();
+  stats.hits = hits_.value();
+  stats.partial_hits = partial_hits_.value();
+  stats.misses = misses_.value();
+  stats.evictions = evictions_.value();
+  stats.invalidations = invalidations_.value();
+  stats.stale_drops = stale_drops_.value();
+  stats.batches = batches_.value();
+  stats.batch_requests = batch_requests_.value();
+  stats.max_batch = static_cast<std::uint64_t>(max_batch_.value());
+  stats.estimate_seconds = estimate_hist_.sum();
+  stats.solve_seconds = solve_hist_.sum();
   stats.pool = ThreadPool::default_pool().stats();
   return stats;
 }

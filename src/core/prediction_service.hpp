@@ -43,6 +43,7 @@
 #include "core/semi_markov.hpp"
 #include "core/states.hpp"
 #include "trace/machine_trace.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fgcs {
@@ -67,6 +68,10 @@ struct BatchRequest {
 
 /// Monotonic observability counters; snapshot via PredictionService::stats().
 /// Invariant: lookups == hits + partial_hits + misses.
+///
+/// This is a thin view over the service's metrics instruments — the same
+/// values every instance also reports into MetricsRegistry::global() under
+/// the `service.*` names (DESIGN.md §8), where multiple instances sum.
 struct ServiceStats {
   std::uint64_t lookups = 0;        ///< predict() calls (incl. batched ones)
   std::uint64_t hits = 0;           ///< fully cached Prediction returned
@@ -164,18 +169,26 @@ class PredictionService {
   mutable std::mutex generation_mutex_;
   std::unordered_map<std::string, std::uint64_t> generations_;
 
-  std::atomic<std::uint64_t> lookups_{0};
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> partial_hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> evictions_{0};
-  std::atomic<std::uint64_t> invalidations_{0};
-  std::atomic<std::uint64_t> stale_drops_{0};
-  std::atomic<std::uint64_t> batches_{0};
-  std::atomic<std::uint64_t> batch_requests_{0};
-  std::atomic<std::uint64_t> max_batch_{0};
-  std::atomic<std::uint64_t> estimate_nanos_{0};
-  std::atomic<std::uint64_t> solve_nanos_{0};
+  // Per-instance instruments: the single storage behind both ServiceStats
+  // (exact per-service snapshots, unpolluted by other instances) and the
+  // global `service.*` exposition (attachments below fold them in by name).
+  // The hot hit path therefore still costs exactly two relaxed atomic adds.
+  Counter lookups_;
+  Counter hits_;
+  Counter partial_hits_;
+  Counter misses_;
+  Counter evictions_;
+  Counter invalidations_;
+  Counter stale_drops_;
+  Counter batches_;
+  Counter batch_requests_;
+  Gauge max_batch_;
+  Histogram estimate_hist_{Histogram::default_latency_bounds()};
+  Histogram solve_hist_{Histogram::default_latency_bounds()};
+  Histogram batch_hist_{Histogram::default_latency_bounds()};
+  // Declared last: detaches from the global registry before the instruments
+  // above are destroyed.
+  std::vector<MetricsAttachment> metrics_attachments_;
 };
 
 }  // namespace fgcs

@@ -47,8 +47,11 @@
 #include "workload/trace_generator.hpp"
 
 // Utilities.
+#include "util/failpoint.hpp"
 #include "util/fft.hpp"
+#include "util/metrics.hpp"     // counters/gauges/histograms + render_text
 #include "util/parallel.hpp"
+#include "util/trace_span.hpp"  // FGCS_SPAN + the JSONL trace log
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"

@@ -5,9 +5,32 @@
 
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
+#include "util/metrics.hpp"
+#include "util/trace_span.hpp"
 #include "workload/replay.hpp"
 
 namespace fgcs {
+
+namespace {
+
+/// Per-failure-state execution counters (DESIGN.md §8): which absorbing
+/// state killed guests, fleet-wide. Registry-owned — gateways are one per
+/// machine and their events are per-execution, far from any hot loop.
+Counter& failure_counter(State state) {
+  static Counter& s3 =
+      MetricsRegistry::global().counter("gateway.failures.s3.total");
+  static Counter& s4 =
+      MetricsRegistry::global().counter("gateway.failures.s4.total");
+  static Counter& s5 =
+      MetricsRegistry::global().counter("gateway.failures.s5.total");
+  switch (state) {
+    case State::kS3: return s3;
+    case State::kS4: return s4;
+    default: return s5;
+  }
+}
+
+}  // namespace
 
 const char* to_string(CheckpointMode mode) {
   switch (mode) {
@@ -36,6 +59,10 @@ ExecutionResult Gateway::execute(const GuestJobSpec& job, SimTime start,
                                  const CheckpointConfig& checkpoint) const {
   FGCS_REQUIRE(job.cpu_seconds > 0);
   FGCS_REQUIRE(deadline > start);
+  FGCS_SPAN("gateway.execute");
+  static Counter& executions =
+      MetricsRegistry::global().counter("gateway.executions.total");
+  executions.add();
   const SimTime period = trace_.sampling_period();
   const SimTime trace_end = trace_.day_count() * kSecondsPerDay;
   const SimTime bound = std::min(deadline, trace_end);
@@ -109,6 +136,7 @@ ExecutionResult Gateway::execute(const GuestJobSpec& job, SimTime start,
     }
   }
 
+  if (result.failure) failure_counter(*result.failure).add();
   result.saved_progress_seconds = result.completed ? job.cpu_seconds : saved;
   result.checkpoints_taken = checkpoints;
   if (result.end_time == 0) result.end_time = first_tick;

@@ -6,8 +6,40 @@
 
 #include "ishare/state_manager.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace_span.hpp"
 
 namespace fgcs {
+
+namespace {
+
+/// Scheduler instruments (DESIGN.md §8), resolved once from the global
+/// registry. Scheduler events are per-placement, not per-sample, so the
+/// registry-owned (shared across scheduler instances) form is the simple
+/// right choice here.
+struct SchedulerMetrics {
+  Counter& selection_rounds;
+  Counter& selection_empty;
+  Counter& batch_fallbacks;
+  Counter& retries;
+  Histogram& backoff_seconds;
+
+  static SchedulerMetrics& get() {
+    static SchedulerMetrics metrics{
+        MetricsRegistry::global().counter("scheduler.selection.rounds.total"),
+        MetricsRegistry::global().counter("scheduler.selection.empty.total"),
+        MetricsRegistry::global().counter("scheduler.batch_fallbacks.total"),
+        MetricsRegistry::global().counter("scheduler.retries.total"),
+        // Sim-time delays, not wall latencies: bucket by the plausible
+        // retry-delay range (seconds to an hour) instead of µs decades.
+        MetricsRegistry::global().histogram(
+            "scheduler.backoff.seconds",
+            {1.0, 10.0, 60.0, 300.0, 900.0, 3600.0})};
+    return metrics;
+  }
+};
+
+}  // namespace
 
 JobScheduler::JobScheduler(const Registry& registry, SchedulerConfig config,
                            std::shared_ptr<PredictionService> service)
@@ -23,7 +55,11 @@ JobScheduler::JobScheduler(const Registry& registry, SchedulerConfig config,
 SimTime retry_backoff_delay(const SchedulerConfig& config, int retry,
                             Rng& rng) {
   FGCS_REQUIRE(retry >= 0);
-  if (config.backoff_factor == 1.0) return config.retry_delay;
+  if (config.backoff_factor == 1.0) {
+    SchedulerMetrics::get().backoff_seconds.observe(
+        static_cast<double>(config.retry_delay));
+    return config.retry_delay;
+  }
   double delay = static_cast<double>(config.retry_delay) *
                  std::pow(config.backoff_factor, retry);
   delay = std::min(delay, static_cast<double>(config.max_retry_delay));
@@ -33,7 +69,9 @@ SimTime retry_backoff_delay(const SchedulerConfig& config, int retry,
     // would otherwise exceed max_retry_delay — the cap is a hard bound.
     delay = std::min(delay, static_cast<double>(config.max_retry_delay));
   }
-  return static_cast<SimTime>(std::llround(delay));
+  const SimTime result = static_cast<SimTime>(std::llround(delay));
+  SchedulerMetrics::get().backoff_seconds.observe(static_cast<double>(result));
+  return result;
 }
 
 namespace {
@@ -62,6 +100,9 @@ Gateway* serial_select(const std::vector<Gateway*>& gateways, SimTime now,
 }  // namespace
 
 Gateway* JobScheduler::select_machine(SimTime now, SimTime duration) const {
+  FGCS_SPAN("scheduler.select");
+  SchedulerMetrics& metrics = SchedulerMetrics::get();
+  metrics.selection_rounds.add();
   const std::vector<Gateway*> gateways = registry_.gateways();
   if (service_ && !gateways.empty()) {
     // One batched probe over the whole fleet; ties resolve to the first
@@ -87,9 +128,12 @@ Gateway* JobScheduler::select_machine(SimTime now, SimTime duration) const {
     } catch (const DataError&) {
       // The batch died on one machine's failure; fall through to the serial
       // scan, which skips exactly the machines that cannot be predicted.
+      metrics.batch_fallbacks.add();
     }
   }
-  return serial_select(gateways, now, duration);
+  Gateway* selected = serial_select(gateways, now, duration);
+  if (selected == nullptr) metrics.selection_empty.add();
+  return selected;
 }
 
 JobOutcome JobScheduler::run_job(const GuestJobSpec& job, SimTime submit_time,
@@ -119,6 +163,7 @@ JobOutcome JobScheduler::run_job(const GuestJobSpec& job, SimTime submit_time,
       // outage; a registry that was empty at submission stays a hard
       // no-placement, matching legacy behaviour.
       if (outcome.attempts == 0 && registry_.size() == 0) break;
+      SchedulerMetrics::get().retries.add();
       now += std::max<SimTime>(
           1, retry_backoff_delay(config_, select_misses++, backoff_rng));
       continue;
@@ -143,6 +188,7 @@ JobOutcome JobScheduler::run_job(const GuestJobSpec& job, SimTime submit_time,
     // Resume from the last checkpoint (0 preserved without checkpointing);
     // the pause before resubmission backs off with the failure count.
     remaining = std::max(1.0, remaining - result.saved_progress_seconds);
+    SchedulerMetrics::get().retries.add();
     now = result.end_time +
           retry_backoff_delay(config_, outcome.attempts - 1, backoff_rng);
   }

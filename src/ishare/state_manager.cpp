@@ -5,8 +5,26 @@
 
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
+#include "util/metrics.hpp"
 
 namespace fgcs {
+
+namespace {
+
+struct StateManagerMetrics {
+  Counter& predictions;
+  Counter& predict_failures;
+
+  static StateManagerMetrics& get() {
+    static StateManagerMetrics metrics{
+        MetricsRegistry::global().counter("state_manager.predictions.total"),
+        MetricsRegistry::global().counter(
+            "state_manager.predict_failures.total")};
+    return metrics;
+  }
+};
+
+}  // namespace
 
 StateManager::StateManager(const MachineTrace& history, EstimatorConfig config,
                            std::shared_ptr<PredictionService> service)
@@ -16,11 +34,15 @@ Prediction StateManager::predict(std::int64_t target_day,
                                  const TimeWindow& window) const {
   // Chaos hook: the estimation pipeline fails (history log unreadable,
   // estimator daemon down). Consumers must degrade, not crash (DESIGN.md §7).
-  if (FGCS_FAILPOINT("state_manager.predict.fail"))
+  StateManagerMetrics& metrics = StateManagerMetrics::get();
+  if (FGCS_FAILPOINT("state_manager.predict.fail")) {
+    metrics.predict_failures.add();
     throw DataError("injected: state manager prediction failure");
+  }
   const PredictionRequest request{.target_day = target_day,
                                   .window = window,
                                   .initial_state = std::nullopt};
+  metrics.predictions.add();
   if (service_) return service_->predict(history_, request);
   return predictor_.predict(history_, request);
 }

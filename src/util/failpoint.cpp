@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace fgcs {
 
@@ -186,6 +187,20 @@ bool Failpoints::evaluate_locked(Point& point, std::string_view name) {
     ++point.armed_fires;
     if (fired_sequence_.size() < kMaxFiredLog)
       fired_sequence_.emplace_back(name);
+    // Surface fires as metrics (DESIGN.md §8): one aggregate counter plus a
+    // per-point series. Instrument refs are resolved once per point and
+    // cached — fires are rare (armed chaos runs only), so the registry
+    // lookup cost is off every hot path. Lock order is failpoint mutex_ →
+    // registry mutex; the registry never evaluates failpoints, so the order
+    // is acyclic.
+    static Counter& total_fires =
+        MetricsRegistry::global().counter("failpoint.fires.total");
+    total_fires.add();
+    if (point.fires_metric == nullptr) {
+      point.fires_metric = &MetricsRegistry::global().counter(
+          "failpoint.fire." + std::string(name));
+    }
+    point.fires_metric->add();
   }
   return fired;
 }

@@ -47,6 +47,8 @@
 
 namespace fgcs {
 
+class Counter;
+
 struct FailpointSpec {
   enum class Trigger : std::uint8_t {
     kOff,          ///< registered but never fires (counts evaluations)
@@ -151,6 +153,9 @@ class Failpoints {
     /// once/every-Nth cycle fresh.
     std::uint64_t armed_evaluations = 0;
     std::uint64_t armed_fires = 0;
+    /// Cached `failpoint.fire.<name>` instrument (global registry), resolved
+    /// on the point's first fire.
+    Counter* fires_metric = nullptr;
   };
 
   /// Maximum entries retained in the fired-sequence log.

@@ -1,0 +1,401 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+
+namespace {
+
+void atomic_add_double(std::atomic<double>& target, double delta) {
+  double previous = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(previous, previous + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+const char* kind_name(MetricsRegistry::Kind kind) {
+  switch (kind) {
+    case MetricsRegistry::Kind::kCounter: return "counter";
+    case MetricsRegistry::Kind::kGauge: return "gauge";
+    case MetricsRegistry::Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+/// `service.lookups.total` → `fgcs_service_lookups_total`. Prometheus metric
+/// names admit [a-zA-Z0-9_:]; anything else becomes '_'.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "fgcs_";
+  out.reserve(name.size() + 5);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Shortest round-trip-exact decimal; integers render without exponent so the
+/// common counter-as-double case stays human-readable.
+std::string format_value(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buffer[64];
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  }
+  return buffer;
+}
+
+/// Bucket upper bounds are configured constants (1e-6, 0.01, 60, …), not
+/// measured values — render them short and readable.
+std::string format_bound(double value) {
+  if (std::isinf(value)) return "+Inf";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+std::string format_count(std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  return buffer;
+}
+
+}  // namespace
+
+void Gauge::update_max(double candidate) {
+  double previous = value_.load(std::memory_order_relaxed);
+  while (previous < candidate &&
+         !value_.compare_exchange_weak(previous, candidate,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::add(double delta) { atomic_add_double(value_, delta); }
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  FGCS_REQUIRE_MSG(!bounds_.empty(),
+                   "Histogram needs at least one bucket bound");
+  FGCS_REQUIRE_MSG(std::is_sorted(bounds_.begin(), bounds_.end(),
+                                  [](double a, double b) { return a <= b; }),
+                   "Histogram bounds must be strictly increasing");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+std::vector<double> Histogram::default_latency_bounds() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, value);
+}
+
+std::uint64_t Histogram::bucket(std::size_t index) const {
+  FGCS_REQUIRE_MSG(index < bucket_count(),
+                   "Histogram bucket index out of range");
+  return buckets_[index].load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < bucket_count(); ++i)
+    total += buckets_[i].load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i < bucket_count(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.upper_bounds = bounds_;
+  snap.buckets.resize(bucket_count());
+  for (std::size_t i = 0; i < bucket_count(); ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+MetricsAttachment::MetricsAttachment(MetricsAttachment&& other) noexcept
+    : registry_(other.registry_), id_(other.id_) {
+  other.registry_ = nullptr;
+  other.id_ = 0;
+}
+
+MetricsAttachment& MetricsAttachment::operator=(
+    MetricsAttachment&& other) noexcept {
+  if (this != &other) {
+    detach();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+MetricsAttachment::~MetricsAttachment() { detach(); }
+
+void MetricsAttachment::detach() {
+  if (registry_ != nullptr) {
+    registry_->detach(id_);
+    registry_ = nullptr;
+    id_ = 0;
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: static-lifetime components (default_pool, function-
+  // local instrument refs) may record during static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Owned& MetricsRegistry::owned_slot(std::string_view name,
+                                                    Kind kind) {
+  const auto it = owned_.find(name);
+  if (it != owned_.end()) {
+    if (it->second.kind != kind) {
+      throw PreconditionError("metric '" + std::string(name) +
+                              "' already registered as " +
+                              kind_name(it->second.kind) + ", requested " +
+                              kind_name(kind));
+    }
+    return it->second;
+  }
+  Owned slot;
+  slot.kind = kind;
+  return owned_.emplace(std::string(name), std::move(slot)).first->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Owned& slot = owned_slot(name, Kind::kCounter);
+  if (!slot.counter) slot.counter = std::make_unique<Counter>();
+  return *slot.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Owned& slot = owned_slot(name, Kind::kGauge);
+  if (!slot.gauge) slot.gauge = std::make_unique<Gauge>();
+  return *slot.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Owned& slot = owned_slot(name, Kind::kHistogram);
+  if (!slot.histogram)
+    slot.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot.histogram;
+}
+
+Histogram& MetricsRegistry::latency_histogram(std::string_view name) {
+  return histogram(name, Histogram::default_latency_bounds());
+}
+
+MetricsAttachment MetricsRegistry::attach(std::string_view name,
+                                          const Counter& counter) {
+  Attached attached;
+  attached.name = std::string(name);
+  attached.kind = Kind::kCounter;
+  attached.value = [&counter] { return static_cast<double>(counter.value()); };
+  return attach_impl(std::move(attached));
+}
+
+MetricsAttachment MetricsRegistry::attach(std::string_view name,
+                                          const Gauge& gauge) {
+  Attached attached;
+  attached.name = std::string(name);
+  attached.kind = Kind::kGauge;
+  attached.value = [&gauge] { return gauge.value(); };
+  return attach_impl(std::move(attached));
+}
+
+MetricsAttachment MetricsRegistry::attach(std::string_view name,
+                                          const Histogram& histogram) {
+  Attached attached;
+  attached.name = std::string(name);
+  attached.kind = Kind::kHistogram;
+  attached.histogram = &histogram;
+  return attach_impl(std::move(attached));
+}
+
+MetricsAttachment MetricsRegistry::attach_callback(std::string_view name,
+                                                   Kind kind,
+                                                   std::function<double()> fn) {
+  FGCS_REQUIRE_MSG(kind != Kind::kHistogram,
+               "attach_callback supports counters and gauges only");
+  Attached attached;
+  attached.name = std::string(name);
+  attached.kind = kind;
+  attached.value = std::move(fn);
+  return attach_impl(std::move(attached));
+}
+
+MetricsAttachment MetricsRegistry::attach_impl(Attached attached) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = owned_.find(attached.name);
+  if (it != owned_.end() && it->second.kind != attached.kind) {
+    throw PreconditionError("metric '" + attached.name +
+                            "' already registered as " +
+                            kind_name(it->second.kind) + ", attachment is " +
+                            kind_name(attached.kind));
+  }
+  for (const auto& [id, existing] : attached_) {
+    if (existing.name == attached.name && existing.kind != attached.kind) {
+      throw PreconditionError("metric '" + attached.name +
+                              "' already attached as " +
+                              kind_name(existing.kind) + ", attachment is " +
+                              kind_name(attached.kind));
+    }
+  }
+  const std::uint64_t id = next_attachment_id_++;
+  attached_.emplace(id, std::move(attached));
+  return MetricsAttachment(this, id);
+}
+
+void MetricsRegistry::detach(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  attached_.erase(id);
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  const auto it = owned_.find(name);
+  if (it != owned_.end() && it->second.counter) total += it->second.counter->value();
+  for (const auto& [id, attached] : attached_) {
+    if (attached.name == name && attached.kind == Kind::kCounter &&
+        attached.value) {
+      total += static_cast<std::uint64_t>(attached.value());
+    }
+  }
+  return total;
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  double total = 0.0;
+  const auto it = owned_.find(name);
+  if (it != owned_.end() && it->second.gauge) total += it->second.gauge->value();
+  for (const auto& [id, attached] : attached_) {
+    if (attached.name == name && attached.kind == Kind::kGauge && attached.value)
+      total += attached.value();
+  }
+  return total;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, slot] : owned_) {
+    if (slot.counter) slot.counter->reset();
+    if (slot.gauge) slot.gauge->reset();
+    if (slot.histogram) slot.histogram->reset();
+  }
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(owned_.size() + attached_.size());
+  for (const auto& [name, slot] : owned_) out.push_back(name);
+  for (const auto& [id, attached] : attached_) out.push_back(attached.name);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string MetricsRegistry::render_text() const {
+  // Merge owned + attachments into per-name series, then render in map
+  // (lexicographic) order so output is byte-stable for a given set of values.
+  struct Series {
+    Kind kind = Kind::kCounter;
+    double scalar = 0.0;
+    bool has_histogram = false;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;  // per-bucket, overflow last
+    double sum = 0.0;
+  };
+  std::map<std::string, Series> merged;
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto merge_histogram = [](Series& series, const Histogram& histogram,
+                                  const std::string& name) {
+    const Histogram::Snapshot snap = histogram.snapshot();
+    if (!series.has_histogram) {
+      series.has_histogram = true;
+      series.bounds = snap.upper_bounds;
+      series.buckets.assign(snap.buckets.size(), 0);
+    } else if (series.bounds != snap.upper_bounds) {
+      throw PreconditionError("metric '" + name +
+                              "': histogram bucket bounds differ between "
+                              "instances sharing the name");
+    }
+    for (std::size_t i = 0; i < snap.buckets.size(); ++i)
+      series.buckets[i] += snap.buckets[i];
+    series.sum += snap.sum;
+  };
+
+  for (const auto& [name, slot] : owned_) {
+    Series& series = merged[name];
+    series.kind = slot.kind;
+    if (slot.counter) series.scalar += static_cast<double>(slot.counter->value());
+    if (slot.gauge) series.scalar += slot.gauge->value();
+    if (slot.histogram) merge_histogram(series, *slot.histogram, name);
+  }
+  for (const auto& [id, attached] : attached_) {
+    Series& series = merged[attached.name];
+    series.kind = attached.kind;
+    if (attached.histogram != nullptr) {
+      merge_histogram(series, *attached.histogram, attached.name);
+    } else if (attached.value) {
+      series.scalar += attached.value();
+    }
+  }
+
+  std::string out;
+  for (const auto& [name, series] : merged) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " " + kind_name(series.kind) + "\n";
+    if (series.kind == Kind::kHistogram) {
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < series.buckets.size(); ++i) {
+        cumulative += series.buckets[i];
+        const std::string le = i < series.bounds.size()
+                                   ? format_bound(series.bounds[i])
+                                   : "+Inf";
+        out += prom + "_bucket{le=\"" + le + "\"} " +
+               format_count(cumulative) + "\n";
+      }
+      out += prom + "_sum " + format_value(series.sum) + "\n";
+      out += prom + "_count " + format_count(cumulative) + "\n";
+    } else {
+      out += prom + " " + format_value(series.scalar) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace fgcs

@@ -1,0 +1,231 @@
+// Process-wide observability instruments (DESIGN.md §8).
+//
+// Every serving component in the stack — PredictionService, ThreadPool,
+// JobScheduler, the ishare daemons, the failpoint registry — feeds named
+// counters, gauges, and fixed-bucket latency histograms into one
+// MetricsRegistry, so a binary can answer "what is the fleet doing?" with a
+// single Prometheus-style text dump (tools/fgcs_metrics,
+// `fgcs_predict --batch --metrics`, examples/fleet_simulation) instead of
+// one ad-hoc stats struct per subsystem.
+//
+// Cost contract (bench_obs_overhead is the regression guard): the hot path
+// of every instrument is lock-free —
+//
+//   Counter::add        one relaxed atomic fetch-add, nothing else
+//   Gauge::set          one relaxed atomic store
+//   Gauge::update_max   one relaxed load + CAS only when the value grows
+//   Histogram::observe  one bucket fetch-add + one CAS-loop sum add
+//
+// The registry mutex is taken only at instrument *registration*
+// (get-or-create by name, attachment, detachment) and at render time, never
+// per recorded value. Components therefore resolve their instruments once —
+// at construction or via a function-local static — and record through the
+// returned reference.
+//
+// Two ways to surface a value:
+//
+//  1. Registry-owned instruments (`counter(name)` / `gauge(name)` /
+//     `histogram(name, bounds)`): get-or-create, shared by every caller
+//     using the name. References stay valid for the registry's lifetime
+//     (the global registry is never destroyed).
+//
+//  2. Attachments: a component that keeps per-instance instruments (so its
+//     own snapshot struct, e.g. ServiceStats, stays exact) registers them
+//     with `attach(name, instrument)`; render_text() folds attached values
+//     into the named series, summing across instances. The returned RAII
+//     handle detaches on destruction, so a dying component simply drops out
+//     of the exposition. This is what keeps the PredictionService /
+//     ThreadPool hot paths at *exactly* the instrument cost above — no
+//     double-write into a second, registry-owned copy.
+//
+// Naming convention: `subsystem.what.unit` with unit one of `total`
+// (monotone counts), `seconds` (histograms / durations), or a bare noun for
+// gauges (e.g. `pool.queue_depth.high_water`). render_text() maps names to
+// Prometheus form: `service.lookups.total` → `fgcs_service_lookups_total`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fgcs {
+
+/// Monotone event count. Hot path: one relaxed atomic add.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written (or running-max / running-sum) double value.
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  /// Atomic `value = max(value, candidate)`; CAS only when it would grow.
+  void update_max(double candidate);
+  /// Atomic accumulate (CAS loop).
+  void add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with Prometheus `le` (≤ upper bound) semantics.
+/// There is no separate total count: count() is the sum of the bucket
+/// counts (including the overflow bucket), so `count == Σ buckets` holds in
+/// every snapshot by construction, even one racing concurrent observes.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing; an implicit
+  /// +Inf overflow bucket is appended.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// Default decade buckets for wall-time seconds: 1 µs … 10 s.
+  static std::vector<double> default_latency_bounds();
+
+  void observe(double value);
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Buckets including the overflow bucket (index bounds().size()).
+  std::size_t bucket_count() const { return bounds_.size() + 1; }
+  std::uint64_t bucket(std::size_t index) const;
+  std::uint64_t count() const;
+  double sum() const;
+  void reset();
+
+  struct Snapshot {
+    std::vector<double> upper_bounds;
+    std::vector<std::uint64_t> buckets;  ///< per-bucket (non-cumulative)
+    std::uint64_t count = 0;             ///< Σ buckets
+    double sum = 0.0;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry;
+
+/// RAII registration of an external instrument (or value callback) into a
+/// registry; detaches on destruction. Move-only.
+class MetricsAttachment {
+ public:
+  MetricsAttachment() = default;
+  MetricsAttachment(MetricsAttachment&& other) noexcept;
+  MetricsAttachment& operator=(MetricsAttachment&& other) noexcept;
+  MetricsAttachment(const MetricsAttachment&) = delete;
+  MetricsAttachment& operator=(const MetricsAttachment&) = delete;
+  ~MetricsAttachment();
+
+  void detach();
+
+ private:
+  friend class MetricsRegistry;
+  MetricsAttachment(MetricsRegistry* registry, std::uint64_t id)
+      : registry_(registry), id_(id) {}
+
+  MetricsRegistry* registry_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry. Intentionally never destroyed, so references
+  /// to its instruments and attachments held by static-lifetime components
+  /// (e.g. the default thread pool) stay valid through static destruction.
+  static MetricsRegistry& global();
+
+  /// Get-or-create. Throws PreconditionError when the name already exists
+  /// with a different instrument kind. References stay valid as long as the
+  /// registry lives (instruments are never removed).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `upper_bounds` is used only on first creation; later calls return the
+  /// existing histogram unchanged.
+  Histogram& histogram(std::string_view name, std::vector<double> upper_bounds);
+  /// histogram(name) with default_latency_bounds().
+  Histogram& latency_histogram(std::string_view name);
+
+  /// Folds an external instrument into the exposition under `name` (summed
+  /// with the owned instrument and other attachments of the same name, which
+  /// must all share the kind — and, for histograms, the bucket bounds). The
+  /// instrument must outlive the returned handle.
+  [[nodiscard]] MetricsAttachment attach(std::string_view name,
+                                         const Counter& counter);
+  [[nodiscard]] MetricsAttachment attach(std::string_view name,
+                                         const Gauge& gauge);
+  [[nodiscard]] MetricsAttachment attach(std::string_view name,
+                                         const Histogram& histogram);
+  /// Callback form for derived values (e.g. nanosecond counters exposed in
+  /// seconds). The callback is invoked under the registry mutex at render
+  /// time; it must not call back into the registry.
+  [[nodiscard]] MetricsAttachment attach_callback(std::string_view name,
+                                                  Kind kind,
+                                                  std::function<double()> fn);
+
+  /// Prometheus-style text exposition: stable order (lexicographic by name),
+  /// `# TYPE` line per metric, histogram rendered as cumulative
+  /// `_bucket{le="…"}` series plus `_sum` and `_count`. Values merge owned
+  /// instruments with all live attachments of the same name.
+  std::string render_text() const;
+
+  /// Current value helpers for tests and assertions (0 / empty when absent).
+  std::uint64_t counter_value(std::string_view name) const;
+  double gauge_value(std::string_view name) const;
+
+  /// Zeroes every owned instrument (attachments are not touched — their
+  /// owners' values are theirs). Registered names survive, so references
+  /// handed out earlier stay valid.
+  void reset();
+
+  /// Registered (owned or attached) metric names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  friend class MetricsAttachment;
+
+  struct Owned {
+    Kind kind = Kind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Attached {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    std::function<double()> value;     // counters / gauges / callbacks
+    const Histogram* histogram = nullptr;  // histogram attachments
+  };
+
+  Owned& owned_slot(std::string_view name, Kind kind);
+  MetricsAttachment attach_impl(Attached attached);
+  void detach(std::uint64_t id);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Owned, std::less<>> owned_;
+  std::map<std::uint64_t, Attached> attached_;
+  std::uint64_t next_attachment_id_ = 1;
+};
+
+}  // namespace fgcs

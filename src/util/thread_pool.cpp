@@ -242,6 +242,36 @@ PoolStats ThreadPool::stats() const {
   return stats;
 }
 
+void ThreadPool::attach_metrics(MetricsRegistry& registry) {
+  const std::lock_guard<std::mutex> lock(metrics_mutex_);
+  if (!metrics_attachments_.empty()) return;
+  using Kind = MetricsRegistry::Kind;
+  const auto count_of = [](const std::atomic<std::uint64_t>& source) {
+    return [&source] {
+      return static_cast<double>(source.load(std::memory_order_relaxed));
+    };
+  };
+  metrics_attachments_.push_back(registry.attach_callback(
+      "pool.tasks_submitted.total", Kind::kCounter, count_of(submitted_)));
+  metrics_attachments_.push_back(registry.attach_callback(
+      "pool.tasks_executed.total", Kind::kCounter, count_of(executed_)));
+  metrics_attachments_.push_back(registry.attach_callback(
+      "pool.steals.total", Kind::kCounter, count_of(steals_)));
+  metrics_attachments_.push_back(registry.attach_callback(
+      "pool.parallel_fors.total", Kind::kCounter, count_of(parallel_fors_)));
+  metrics_attachments_.push_back(registry.attach_callback(
+      "pool.queue_depth.high_water", Kind::kGauge, count_of(high_water_)));
+  metrics_attachments_.push_back(registry.attach_callback(
+      "pool.busy.seconds", Kind::kGauge, [this] {
+        return static_cast<double>(
+                   busy_nanos_.load(std::memory_order_relaxed)) /
+               1e9;
+      }));
+  metrics_attachments_.push_back(registry.attach_callback(
+      "pool.workers", Kind::kGauge,
+      [this] { return static_cast<double>(worker_target_); }));
+}
+
 ThreadPool& ThreadPool::default_pool() {
   // FGCS_THREADS pins the worker count; FGCS_MAX_THREADS caps autodetection.
   // Read once — the pool outlives any knob change.
@@ -251,6 +281,9 @@ ThreadPool& ThreadPool::default_pool() {
         std::min(detected, env_thread_count("FGCS_MAX_THREADS", detected));
     return env_thread_count("FGCS_THREADS", capped);
   }());
+  static const bool attached =
+      (pool.attach_metrics(MetricsRegistry::global()), true);
+  (void)attached;
   return pool;
 }
 

@@ -56,6 +56,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/metrics.hpp"
+
 namespace fgcs {
 
 /// Monotonic pool counters; snapshot via ThreadPool::stats().
@@ -114,6 +116,13 @@ class ThreadPool {
 
   PoolStats stats() const;
 
+  /// Reports this pool's counters into `registry` under the `pool.*` names
+  /// (DESIGN.md §8) via callback attachments — the worker hot path is
+  /// untouched; values are read only at render time. Idempotent; the
+  /// attachments detach when the pool is destroyed. default_pool() calls
+  /// this on the global registry automatically.
+  void attach_metrics(MetricsRegistry& registry);
+
   /// The process-wide pool parallel_for runs on. Created on first use, sized
   /// by hardware_concurrency clamped by FGCS_THREADS / FGCS_MAX_THREADS, and
   /// shut down cleanly at static destruction.
@@ -151,6 +160,9 @@ class ThreadPool {
   std::atomic<std::uint64_t> parallel_fors_{0};
   std::atomic<std::uint64_t> high_water_{0};
   std::atomic<std::uint64_t> busy_nanos_{0};
+
+  std::mutex metrics_mutex_;
+  std::vector<MetricsAttachment> metrics_attachments_;  // guarded by above
 };
 
 }  // namespace fgcs

@@ -1,0 +1,91 @@
+#include "util/trace_span.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+
+namespace {
+
+/// Small dense per-thread id for the "tid" field — stable within a process,
+/// readable in a timeline (unlike hashed native handles).
+unsigned current_trace_tid() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+TraceLog::TraceLog() : epoch_(std::chrono::steady_clock::now()) {
+  const char* path = std::getenv("FGCS_TRACE_FILE");
+  if (path != nullptr && *path != '\0') {
+    std::FILE* file = std::fopen(path, "w");
+    // A bad env path shouldn't take the process down; tracing simply stays
+    // off (open() is the throwing, programmatic route).
+    if (file != nullptr) {
+      file_ = file;
+      enabled_.store(true, std::memory_order_release);
+    }
+  }
+}
+
+TraceLog& TraceLog::instance() {
+  static TraceLog* log = new TraceLog();
+  return *log;
+}
+
+void TraceLog::open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr)
+    throw DataError("cannot open trace file: " + path);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = file;
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceLog::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  enabled_.store(false, std::memory_order_release);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void TraceLog::emit(std::string_view name, double start_us,
+                    double duration_us) {
+  if (!enabled()) return;
+  const unsigned tid = current_trace_tid();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return;  // closed between the enabled() check and here
+  std::fprintf(file_, "{\"name\":\"%.*s\",\"ts\":%.3f,\"dur\":%.3f,\"tid\":%u}\n",
+               static_cast<int>(name.size()), name.data(), start_us,
+               duration_us, tid);
+  // Flush per event: traces exist to debug hangs and crashes, where buffered
+  // tail events would be the ones lost.
+  std::fflush(file_);
+}
+
+double TraceSpan::finish() {
+  if (finished_) return elapsed_seconds_;
+  finished_ = true;
+  const auto end = std::chrono::steady_clock::now();
+  elapsed_seconds_ = std::chrono::duration<double>(end - start_).count();
+  if (histogram_ != nullptr) histogram_->observe(elapsed_seconds_);
+  TraceLog& log = TraceLog::instance();
+  if (log.enabled())
+    log.emit(name_, log.to_trace_us(start_), elapsed_seconds_ * 1e6);
+  return elapsed_seconds_;
+}
+
+double TraceSpan::elapsed_seconds() const {
+  if (finished_) return elapsed_seconds_;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+}  // namespace fgcs

@@ -1,0 +1,128 @@
+// RAII wall-time tracing spans (DESIGN.md §8).
+//
+// A TraceSpan measures one timed region. On finish (explicit or at scope
+// exit) it does two things:
+//
+//   1. observes the elapsed seconds into an optional Histogram, feeding the
+//      `*.seconds` latency metrics in the MetricsRegistry;
+//   2. if tracing is enabled, appends one JSON event to the process trace
+//      log for offline timeline analysis.
+//
+// Tracing is off unless the FGCS_TRACE_FILE environment variable names a
+// writable path at first use (or a test calls TraceLog::instance().open()).
+// Disabled, a span costs two steady_clock reads plus one relaxed atomic
+// load — that is why the prediction-service *hit* path carries no span at
+// all (a warm hit is ~0.4 µs; see prediction_service.cpp) while the
+// estimate/solve/batch phases, each ≥ tens of µs, do.
+//
+// The log format is JSON Lines, one complete event per line:
+//
+//   {"name":"service.solve","ts":123.456,"dur":78.9,"tid":3}
+//
+// `ts` is microseconds since the process trace epoch (first TraceLog use),
+// `dur` is microseconds, `tid` is a small dense id assigned per thread.
+// Lines are written under a mutex, so concurrent spans interleave whole
+// lines, never bytes.
+//
+// Usage:
+//
+//   void Service::solve_phase() {
+//     FGCS_SPAN("service.solve");      // histogram service.solve.seconds
+//     ...                              // timed to end of scope
+//   }
+//
+//   TraceSpan span("service.estimate", &histogram);
+//   ...
+//   double seconds = span.finish();    // also usable as a plain timer
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/metrics.hpp"
+
+namespace fgcs {
+
+/// Process-wide JSONL trace sink. All methods are thread-safe.
+class TraceLog {
+ public:
+  /// Never destroyed, same rationale as MetricsRegistry::global(). Reads
+  /// FGCS_TRACE_FILE once on first call.
+  static TraceLog& instance();
+
+  /// Cheap disabled-check: one relaxed atomic load.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// (Re)directs events to `path`, truncating it. Throws DataError when the
+  /// file cannot be opened. Mostly for tests; production use is the env var.
+  void open(const std::string& path);
+  void close();
+
+  /// Appends one event line. No-op when disabled.
+  void emit(std::string_view name, double start_us, double duration_us);
+
+  /// Microseconds from the trace epoch to `t`.
+  double to_trace_us(std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration<double, std::micro>(t - epoch_).count();
+  }
+
+ private:
+  TraceLog();
+  ~TraceLog() = default;  // never runs: the instance is intentionally leaked
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;  // guarded by mutex_
+};
+
+/// One timed region. Not copyable or movable: it is meant to live on the
+/// stack for exactly the region it measures.
+class TraceSpan {
+ public:
+  /// `name` must outlive the span (string literals in practice). `histogram`
+  /// may be null (trace-event-only span).
+  explicit TraceSpan(const char* name, Histogram* histogram = nullptr)
+      : name_(name),
+        histogram_(histogram),
+        start_(std::chrono::steady_clock::now()) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { finish(); }
+
+  /// Stops the span (idempotent: first call wins), records the histogram
+  /// observation and the trace event, and returns the elapsed seconds — so
+  /// callers can reuse the measurement instead of timing twice.
+  double finish();
+
+  /// Elapsed seconds so far (or final value once finished). Does not stop.
+  double elapsed_seconds() const;
+
+ private:
+  const char* name_;
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+  bool finished_ = false;
+  double elapsed_seconds_ = 0.0;
+};
+
+}  // namespace fgcs
+
+#define FGCS_SPAN_CONCAT2(a, b) a##b
+#define FGCS_SPAN_CONCAT(a, b) FGCS_SPAN_CONCAT2(a, b)
+
+/// Times the rest of the enclosing scope into the latency histogram
+/// `<name>.seconds` (global registry) and, when tracing is on, the trace
+/// log. `name` must be a string literal. The histogram lookup is a
+/// function-local static: the registry mutex is paid once per call site.
+#define FGCS_SPAN(name)                                                        \
+  static ::fgcs::Histogram& FGCS_SPAN_CONCAT(fgcs_span_hist_, __LINE__) =      \
+      ::fgcs::MetricsRegistry::global().latency_histogram(name ".seconds");    \
+  const ::fgcs::TraceSpan FGCS_SPAN_CONCAT(fgcs_span_, __LINE__)(              \
+      name, &FGCS_SPAN_CONCAT(fgcs_span_hist_, __LINE__))

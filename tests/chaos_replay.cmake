@@ -30,3 +30,34 @@ if(NOT first_out STREQUAL second_out)
     "--- first run ---\n${first_out}\n--- second run ---\n${second_out}")
 endif()
 message(STATUS "chaos service scenario replayed byte-identically (pool x4)")
+
+# Observability leg: the same scenario with FGCS_TRACE_FILE set must produce
+# the *same* bytes — metrics and tracing are pure observers, never allowed to
+# perturb the replayed report.
+if(DEFINED TRACE_FILE)
+  set(ENV{FGCS_TRACE_FILE} ${TRACE_FILE})
+  execute_process(
+    COMMAND ${CHAOS_BIN} --scenario service --seed 11 --machines 4 --days 9
+            --jobs 6
+    OUTPUT_VARIABLE traced_out
+    ERROR_VARIABLE traced_err
+    RESULT_VARIABLE traced_rc)
+  if(NOT traced_rc EQUAL 0)
+    message(FATAL_ERROR
+      "fgcs_chaos traced run failed (rc=${traced_rc}):\n${traced_err}")
+  endif()
+  if(NOT traced_out STREQUAL first_out)
+    message(FATAL_ERROR
+      "fgcs_chaos output changed when FGCS_TRACE_FILE was set\n"
+      "--- untraced ---\n${first_out}\n--- traced ---\n${traced_out}")
+  endif()
+  if(NOT EXISTS ${TRACE_FILE})
+    message(FATAL_ERROR "traced run wrote no trace file at ${TRACE_FILE}")
+  endif()
+  file(SIZE ${TRACE_FILE} trace_size)
+  if(trace_size EQUAL 0)
+    message(FATAL_ERROR "trace file ${TRACE_FILE} is empty")
+  endif()
+  message(STATUS
+    "chaos replay byte-identical with tracing on (${trace_size} trace bytes)")
+endif()

@@ -58,6 +58,60 @@ TEST(EmpiricalTrTest, NoEligibleDaysGivesEmptyTr) {
   EXPECT_FALSE(empirical_tr(trace, days, w, classifier).tr.has_value());
 }
 
+TEST(EmpiricalTrTest, EmptyHistoryHasNoEligibleDays) {
+  // A trace with zero recorded days: every requested day is out of range, so
+  // the result is "no data", not a crash or a 0/0.
+  const MachineTrace trace("m", Calendar(0), 60, 512);
+  const StateClassifier classifier(test::test_thresholds(), 60);
+  const TimeWindow w{.start_of_day = 0, .length = kSecondsPerHour};
+  const std::vector<std::int64_t> days{0, 1};
+  const EmpiricalTr result = empirical_tr(trace, days, w, classifier);
+  EXPECT_EQ(result.eligible_days, 0u);
+  EXPECT_EQ(result.surviving_days, 0u);
+  EXPECT_FALSE(result.tr.has_value());
+}
+
+TEST(EmpiricalTrTest, SingleDayTraceCoversWholeDayWindow) {
+  const MachineTrace trace = test::constant_trace(1, 10, 60);
+  const StateClassifier classifier(test::test_thresholds(), 60);
+  const TimeWindow w{.start_of_day = 0, .length = kSecondsPerDay};
+  const std::vector<std::int64_t> days{0};
+  const EmpiricalTr result = empirical_tr(trace, days, w, classifier);
+  EXPECT_EQ(result.eligible_days, 1u);
+  EXPECT_EQ(result.surviving_days, 1u);
+  ASSERT_TRUE(result.tr.has_value());
+  EXPECT_DOUBLE_EQ(*result.tr, 1.0);
+}
+
+TEST(EmpiricalTrTest, WindowPastMidnightRequiresNextDay) {
+  const StateClassifier classifier(test::test_thresholds(), 60);
+  const TimeWindow w{.start_of_day = 23 * kSecondsPerHour,
+                     .length = 2 * kSecondsPerHour};
+  const std::vector<std::int64_t> day_zero{0};
+
+  // Single-day history: the wrapped window runs off the recorded data, so
+  // the day is skipped rather than classified against missing samples.
+  const MachineTrace single = test::constant_trace(1, 10, 60);
+  const EmpiricalTr truncated = empirical_tr(single, day_zero, w, classifier);
+  EXPECT_EQ(truncated.eligible_days, 0u);
+  EXPECT_FALSE(truncated.tr.has_value());
+
+  // With day 1 recorded, day 0's window wraps into it — and a revocation in
+  // day 1's first half hour kills the window even though day 0 is spotless.
+  MachineTrace trace("m", Calendar(0), 60, 512);
+  trace.append_day(constant_day(60, 10));
+  {
+    auto day = constant_day(60, 10);
+    for (std::size_t i = 0; i < 30; ++i) day[i] = sample(0, 400, false);
+    trace.append_day(std::move(day));
+  }
+  const EmpiricalTr wrapped = empirical_tr(trace, day_zero, w, classifier);
+  EXPECT_EQ(wrapped.eligible_days, 1u);
+  EXPECT_EQ(wrapped.surviving_days, 0u);
+  ASSERT_TRUE(wrapped.tr.has_value());
+  EXPECT_DOUBLE_EQ(*wrapped.tr, 0.0);
+}
+
 TEST(EmpiricalTrTest, OutOfRangeDaysAreSkipped) {
   const MachineTrace trace = test::constant_trace(2, 10, 60);
   const StateClassifier classifier(test::test_thresholds(), 60);
@@ -92,6 +146,13 @@ TEST(UnavailabilityStatsTest, CountsMaximalRunsPerFailureType) {
   EXPECT_EQ(stats.memory_thrash, 1u);
   EXPECT_EQ(stats.revocation, 1u);
   EXPECT_EQ(stats.total(), 4u);
+}
+
+TEST(UnavailabilityStatsTest, EmptyTraceCountsNothing) {
+  const MachineTrace trace("m", Calendar(0), 60, 512);
+  const StateClassifier classifier(test::test_thresholds(), 60);
+  const UnavailabilityStats stats = count_unavailability(trace, classifier);
+  EXPECT_EQ(stats.total(), 0u);
 }
 
 TEST(UnavailabilityStatsTest, RunsSpanningMidnightCountOnce) {

@@ -53,6 +53,57 @@ TEST(RenewalSolverTest, MatchesDirectSolveOnRandomInput) {
     EXPECT_NEAR(fast[m], direct[m], 1e-9) << m;
 }
 
+TEST(RenewalSolverTest, RejectsEmptyInput) {
+  const std::vector<double> empty;
+  EXPECT_THROW(solve_renewal(empty, empty), PreconditionError);
+}
+
+TEST(RenewalSolverTest, ZeroLagOnlyKernelIsIdentity) {
+  // A kernel of just the (mandatory zero) lag-0 tap contributes nothing.
+  const std::vector<double> b{3.0, -1.0, 2.0};
+  const std::vector<double> k{0.0};
+  EXPECT_EQ(solve_renewal(b, k), b);
+}
+
+TEST(RenewalSolverTest, SingleElementInputIgnoresLongerKernel) {
+  // x[0] has no earlier terms to feed back, whatever the kernel length.
+  const std::vector<double> b{2.5};
+  const std::vector<double> k{0.0, 9.9, -3.0};
+  const std::vector<double> x = solve_renewal(b, k);
+  ASSERT_EQ(x.size(), 1u);
+  EXPECT_DOUBLE_EQ(x[0], 2.5);
+}
+
+TEST(RenewalSolverTest, KernelLongerThanInputMatchesDirectSolve) {
+  Rng rng(11);
+  const std::size_t n = 6;
+  std::vector<double> b(n), k(n + 10, 0.0);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  for (std::size_t l = 1; l < k.size(); ++l) k[l] = rng.uniform(-0.1, 0.1);
+  const std::vector<double> fast = solve_renewal(b, k);
+  std::vector<double> direct = b;
+  for (std::size_t m = 0; m < n; ++m)
+    for (std::size_t l = 1; l <= m; ++l) direct[m] += k[l] * direct[m - l];
+  for (std::size_t m = 0; m < n; ++m)
+    EXPECT_NEAR(fast[m], direct[m], 1e-12) << m;
+}
+
+TEST(RenewalSolverTest, CrossesTwoRecursionLevels) {
+  // n > 2·512 exercises two divide-and-conquer splits and the FFT cross-term
+  // push on both halves.
+  Rng rng(17);
+  const std::size_t n = 1100;
+  std::vector<double> b(n), k(n, 0.0);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  for (std::size_t l = 1; l < n; ++l) k[l] = rng.uniform(-0.01, 0.01);
+  const std::vector<double> fast = solve_renewal(b, k);
+  std::vector<double> direct = b;
+  for (std::size_t m = 0; m < n; ++m)
+    for (std::size_t l = 1; l <= m; ++l) direct[m] += k[l] * direct[m - l];
+  for (std::size_t m = 0; m < n; ++m)
+    EXPECT_NEAR(fast[m], direct[m], 1e-9) << m;
+}
+
 TEST(RenewalSolverTest, RejectsNonCausalKernel) {
   const std::vector<double> b{1.0};
   const std::vector<double> k{0.5};
@@ -62,6 +113,26 @@ TEST(RenewalSolverTest, RejectsNonCausalKernel) {
 TEST(FastTrSolverTest, RequiresFgcsLayout) {
   SmpModel model(3, 4);
   EXPECT_THROW(FastTrSolver{model}, PreconditionError);
+}
+
+TEST(FastTrSolverTest, ZeroStepsIsPerfectlyReliable) {
+  // A zero-length window absorbs nothing: TR = 1 from either transient state.
+  Rng rng(23);
+  const SmpModel model = test::random_fgcs_model(12, rng);
+  const FastTrSolver fast(model);
+  for (const State init : {State::kS1, State::kS2}) {
+    const SparseTrSolver::Result result = fast.solve(init, 0);
+    EXPECT_DOUBLE_EQ(result.temporal_reliability, 1.0);
+    for (const double p : result.p_absorb) EXPECT_DOUBLE_EQ(p, 0.0);
+  }
+}
+
+TEST(FastTrSolverTest, RejectsUnavailableInitialState) {
+  Rng rng(29);
+  const SmpModel model = test::random_fgcs_model(8, rng);
+  const FastTrSolver fast(model);
+  EXPECT_THROW(fast.solve(State::kS3, 4), PreconditionError);
+  EXPECT_THROW(fast.solve(State::kS5, 4), PreconditionError);
 }
 
 class FastVsSparseTest : public ::testing::TestWithParam<int> {};

@@ -1,0 +1,406 @@
+// Property tests for the observability instruments (DESIGN.md §8):
+//
+//  - Histogram: count() == Σ bucket counts in *every* snapshot, including
+//    ones racing concurrent observes (the invariant holds by construction —
+//    there is no separate total that could drift).
+//  - Counter: values are exact and monotone under concurrent hammering.
+//  - render_text(): parseable Prometheus text format, byte-stable ordering,
+//    owned instruments and attachments merged by name.
+//
+// Tests use local MetricsRegistry instances so the process-global registry
+// (which accumulates across every test in this binary) stays out of the
+// assertions.
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+namespace {
+
+TEST(MetricsCounterTest, AddValueReset) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(MetricsCounterTest, MonotoneAndExactUnderConcurrentHammering) {
+  Counter counter;
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 20000;
+  std::atomic<bool> done{false};
+  bool monotone = true;
+  std::thread reader([&] {
+    std::uint64_t last = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      const std::uint64_t v = counter.value();
+      if (v < last) monotone = false;
+      last = v;
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter.add();
+    });
+  for (std::thread& thread : writers) thread.join();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(MetricsGaugeTest, SetAddUpdateMax) {
+  Gauge gauge;
+  gauge.set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.add(0.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.0);
+  gauge.update_max(1.0);  // smaller: no change
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.0);
+  gauge.update_max(7.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 7.0);
+  gauge.reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(MetricsGaugeTest, ConcurrentAddSumsExactly) {
+  // Small-integer increments are exact in doubles, so the CAS loop must
+  // account for every single one.
+  Gauge gauge;
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&gauge] {
+      for (int i = 0; i < kAddsPerThread; ++i) gauge.add(1.0);
+    });
+  for (std::thread& thread : writers) thread.join();
+  EXPECT_DOUBLE_EQ(gauge.value(), double(kThreads) * kAddsPerThread);
+}
+
+TEST(MetricsGaugeTest, ConcurrentUpdateMaxKeepsGlobalMax) {
+  Gauge gauge;
+  constexpr int kThreads = 4;
+  constexpr int kSteps = 5000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&gauge, t] {
+      for (int i = 0; i < kSteps; ++i)
+        gauge.update_max(double(t) * kSteps + i);
+    });
+  for (std::thread& thread : writers) thread.join();
+  EXPECT_DOUBLE_EQ(gauge.value(), double(kThreads - 1) * kSteps + (kSteps - 1));
+}
+
+TEST(MetricsHistogramTest, RejectsBadBounds) {
+  EXPECT_THROW(Histogram(std::vector<double>{}), PreconditionError);
+  EXPECT_THROW(Histogram({1.0, 1.0}), PreconditionError);
+  EXPECT_THROW(Histogram({2.0, 1.0}), PreconditionError);
+}
+
+TEST(MetricsHistogramTest, LeBucketSemantics) {
+  // Prometheus `le`: a value lands in the first bucket whose bound is >= it;
+  // values above every bound land in the implicit +Inf overflow bucket.
+  Histogram hist({1.0, 2.0, 4.0});
+  hist.observe(0.5);  // bucket 0
+  hist.observe(1.0);  // bucket 0 (le is inclusive)
+  hist.observe(1.5);  // bucket 1
+  hist.observe(4.0);  // bucket 2
+  hist.observe(9.0);  // overflow
+  ASSERT_EQ(hist.bucket_count(), 4u);
+  EXPECT_EQ(hist.bucket(0), 2u);
+  EXPECT_EQ(hist.bucket(1), 1u);
+  EXPECT_EQ(hist.bucket(2), 1u);
+  EXPECT_EQ(hist.bucket(3), 1u);
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 16.0);
+  EXPECT_THROW(hist.bucket(4), PreconditionError);
+}
+
+TEST(MetricsHistogramTest, CountEqualsBucketSumEvenWhileRacingObserves) {
+  // The load-bearing invariant: every snapshot satisfies count == Σ buckets,
+  // even one taken mid-hammering, because the count *is* the bucket sum.
+  Histogram hist({0.25, 0.5, 0.75});
+  constexpr int kThreads = 4;
+  constexpr int kObservesPerThread = 5000;
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const Histogram::Snapshot snap = hist.snapshot();
+      std::uint64_t total = 0;
+      for (const std::uint64_t b : snap.buckets) total += b;
+      if (snap.count != total) violations.fetch_add(1);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&hist, t] {
+      for (int i = 0; i < kObservesPerThread; ++i)
+        hist.observe(double((t + i) % 10) / 10.0);
+    });
+  for (std::thread& thread : writers) thread.join();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(hist.count(),
+            static_cast<std::uint64_t>(kThreads) * kObservesPerThread);
+}
+
+TEST(MetricsHistogramTest, ResetZeroesEverything) {
+  Histogram hist({1.0});
+  hist.observe(0.5);
+  hist.observe(2.0);
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.0);
+  for (std::size_t i = 0; i < hist.bucket_count(); ++i)
+    EXPECT_EQ(hist.bucket(i), 0u);
+}
+
+TEST(MetricsHistogramTest, DefaultLatencyBoundsAreStrictlyIncreasing) {
+  const std::vector<double> bounds = Histogram::default_latency_bounds();
+  ASSERT_FALSE(bounds.empty());
+  for (std::size_t i = 1; i < bounds.size(); ++i)
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  // Micro to multi-second coverage for wall-time metrics.
+  EXPECT_LE(bounds.front(), 1e-6);
+  EXPECT_GE(bounds.back(), 10.0);
+}
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x.total");
+  Counter& b = registry.counter("x.total");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = registry.gauge("x.depth");
+  Gauge& g2 = registry.gauge("x.depth");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = registry.latency_histogram("x.seconds");
+  // Later bounds are ignored: the first creation wins.
+  Histogram& h2 = registry.histogram("x.seconds", {99.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.upper_bounds(), Histogram::default_latency_bounds());
+}
+
+TEST(MetricsRegistryTest, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("strict.total");
+  EXPECT_THROW(registry.gauge("strict.total"), PreconditionError);
+  EXPECT_THROW(registry.latency_histogram("strict.total"), PreconditionError);
+  registry.gauge("strict.depth");
+  EXPECT_THROW(registry.counter("strict.depth"), PreconditionError);
+}
+
+TEST(MetricsRegistryTest, ValueHelpersDefaultToZeroWhenAbsent) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.counter_value("no.such.metric"), 0u);
+  EXPECT_DOUBLE_EQ(registry.gauge_value("no.such.metric"), 0.0);
+}
+
+TEST(MetricsRegistryTest, AttachmentsSumWithOwnedAndDetachOnDrop) {
+  MetricsRegistry registry;
+  registry.counter("dual.total").add(2);
+  Counter external;
+  external.add(5);
+  {
+    const MetricsAttachment attachment =
+        registry.attach("dual.total", external);
+    EXPECT_EQ(registry.counter_value("dual.total"), 7u);
+  }
+  // Attachment dropped: only the owned instrument remains.
+  EXPECT_EQ(registry.counter_value("dual.total"), 2u);
+}
+
+TEST(MetricsRegistryTest, AttachmentMoveTransfersOwnership) {
+  MetricsRegistry registry;
+  Counter external;
+  external.add(3);
+  MetricsAttachment first = registry.attach("moved.total", external);
+  MetricsAttachment second = std::move(first);
+  EXPECT_EQ(registry.counter_value("moved.total"), 3u);
+  second.detach();
+  EXPECT_EQ(registry.counter_value("moved.total"), 0u);
+  second.detach();  // idempotent
+}
+
+TEST(MetricsRegistryTest, AttachmentKindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("clash.total");
+  Gauge gauge;
+  EXPECT_THROW((void)registry.attach("clash.total", gauge), PreconditionError);
+  Counter counter;
+  const MetricsAttachment ok = registry.attach("clash.other", counter);
+  EXPECT_THROW((void)registry.attach("clash.other", gauge), PreconditionError);
+}
+
+TEST(MetricsRegistryTest, CallbackAttachmentsReportDerivedValues) {
+  MetricsRegistry registry;
+  double backing = 1.5;
+  const MetricsAttachment attachment = registry.attach_callback(
+      "derived.depth", MetricsRegistry::Kind::kGauge, [&] { return backing; });
+  EXPECT_DOUBLE_EQ(registry.gauge_value("derived.depth"), 1.5);
+  backing = 9.0;  // callbacks are read at query time, not attach time
+  EXPECT_DOUBLE_EQ(registry.gauge_value("derived.depth"), 9.0);
+  EXPECT_THROW((void)registry.attach_callback("derived.hist",
+                                              MetricsRegistry::Kind::kHistogram,
+                                              [] { return 0.0; }),
+               PreconditionError);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesOwnedButNotAttachments) {
+  MetricsRegistry registry;
+  registry.counter("mix.total").add(4);
+  Counter external;
+  external.add(6);
+  const MetricsAttachment attachment = registry.attach("mix.total", external);
+  registry.reset();
+  // Owned value dropped to 0; the external owner's value is its own business.
+  EXPECT_EQ(registry.counter_value("mix.total"), 6u);
+  EXPECT_EQ(external.value(), 6u);
+}
+
+TEST(MetricsRegistryTest, NamesAreSortedAndUnique) {
+  MetricsRegistry registry;
+  registry.counter("b.total");
+  registry.gauge("a.depth");
+  Counter external;
+  const MetricsAttachment attachment = registry.attach("b.total", external);
+  const std::vector<std::string> names = registry.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a.depth");
+  EXPECT_EQ(names[1], "b.total");
+}
+
+/// Minimal Prometheus text-format parser: every line is either a
+/// `# TYPE <name> <kind>` comment or `name[{le="bound"}] value` with a
+/// numeric value that strtod consumes completely.
+void expect_parseable_exposition(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(stream, line)) {
+    ++lines;
+    ASSERT_FALSE(line.empty()) << "blank line " << lines;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line);
+      std::string hash, type, name, kind;
+      fields >> hash >> type >> name >> kind;
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+          << line;
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    std::size_t i = 0;
+    const auto name_char = [](char c) {
+      return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+             c == ':';
+    };
+    while (i < name.size() && name_char(name[i])) ++i;
+    EXPECT_GT(i, 0u) << line;
+    if (i < name.size()) {  // histogram bucket label
+      EXPECT_EQ(name.compare(i, 5, "{le=\""), 0) << line;
+      EXPECT_EQ(name.back(), '}') << line;
+    }
+    char* end = nullptr;
+    (void)std::strtod(value.c_str(), &end);  // accepts "+Inf" too
+    EXPECT_NE(end, value.c_str()) << line;
+    EXPECT_EQ(*end, '\0') << line;
+  }
+  EXPECT_GT(lines, 0u);
+}
+
+TEST(MetricsRenderTest, ExpositionIsParseableAndStableOrdered) {
+  MetricsRegistry registry;
+  // Registered deliberately out of alphabetical order.
+  registry.gauge("zeta.depth").set(3.25);
+  registry.counter("service.lookups.total").add(17);
+  registry.latency_histogram("alpha.seconds").observe(0.002);
+
+  const std::string first = registry.render_text();
+  expect_parseable_exposition(first);
+  // Byte-stable: a second render with unchanged values is identical.
+  EXPECT_EQ(registry.render_text(), first);
+  // Lexicographic metric order, independent of registration order.
+  const std::size_t alpha = first.find("fgcs_alpha_seconds");
+  const std::size_t service = first.find("fgcs_service_lookups_total");
+  const std::size_t zeta = first.find("fgcs_zeta_depth");
+  ASSERT_NE(alpha, std::string::npos);
+  ASSERT_NE(service, std::string::npos);
+  ASSERT_NE(zeta, std::string::npos);
+  EXPECT_LT(alpha, service);
+  EXPECT_LT(service, zeta);
+  // Dots sanitize to underscores under the fgcs_ prefix.
+  EXPECT_NE(first.find("fgcs_service_lookups_total 17\n"), std::string::npos);
+}
+
+TEST(MetricsRenderTest, HistogramRendersCumulativeBucketsSumAndCount) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("solve.seconds", {1.0, 2.0});
+  hist.observe(0.5);
+  hist.observe(1.5);
+  hist.observe(7.0);
+  const std::string text = registry.render_text();
+  EXPECT_NE(text.find("# TYPE fgcs_solve_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fgcs_solve_seconds_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fgcs_solve_seconds_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fgcs_solve_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fgcs_solve_seconds_sum 9\n"), std::string::npos);
+  EXPECT_NE(text.find("fgcs_solve_seconds_count 3\n"), std::string::npos);
+}
+
+TEST(MetricsRenderTest, AttachedHistogramsMergeBucketwise) {
+  MetricsRegistry registry;
+  registry.histogram("merge.seconds", {1.0}).observe(0.5);
+  Histogram external({1.0});
+  external.observe(0.25);
+  external.observe(5.0);
+  const MetricsAttachment attachment =
+      registry.attach("merge.seconds", external);
+  const std::string text = registry.render_text();
+  EXPECT_NE(text.find("fgcs_merge_seconds_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fgcs_merge_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fgcs_merge_seconds_count 3\n"), std::string::npos);
+}
+
+TEST(MetricsRenderTest, MergedHistogramsMustShareBounds) {
+  MetricsRegistry registry;
+  registry.histogram("clash.seconds", {1.0});
+  Histogram external({2.0});
+  const MetricsAttachment attachment =
+      registry.attach("clash.seconds", external);
+  EXPECT_THROW((void)registry.render_text(), PreconditionError);
+}
+
+TEST(MetricsRegistryTest, GlobalRegistryIsASingleton) {
+  MetricsRegistry& a = MetricsRegistry::global();
+  MetricsRegistry& b = MetricsRegistry::global();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace fgcs

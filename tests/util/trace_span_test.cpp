@@ -1,0 +1,141 @@
+// RAII tracing spans and the JSONL trace log (DESIGN.md §8): spans feed
+// their histogram exactly once, finish() is idempotent and returns the same
+// elapsed time the histogram saw, and an opened TraceLog writes one complete
+// JSON event per line.
+#include "util/trace_span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+
+namespace fgcs {
+namespace {
+
+Histogram make_latency_histogram() {
+  return Histogram(Histogram::default_latency_bounds());
+}
+
+TEST(TraceSpanTest, FeedsHistogramOnScopeExit) {
+  Histogram hist = make_latency_histogram();
+  {
+    const TraceSpan span("test.span.scope", &hist);
+  }
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_GE(hist.sum(), 0.0);
+}
+
+TEST(TraceSpanTest, FinishIsIdempotentAndReturnsElapsed) {
+  Histogram hist = make_latency_histogram();
+  TraceSpan span("test.span.finish", &hist);
+  const double first = span.finish();
+  const double second = span.finish();
+  EXPECT_GE(first, 0.0);
+  EXPECT_EQ(first, second);            // first call wins, value is frozen
+  EXPECT_EQ(span.elapsed_seconds(), first);
+  EXPECT_EQ(hist.count(), 1u);         // one observation despite two finishes
+  EXPECT_DOUBLE_EQ(hist.sum(), first); // the histogram saw that exact value
+}
+
+TEST(TraceSpanTest, DestructorAfterExplicitFinishDoesNotDoubleCount) {
+  Histogram hist = make_latency_histogram();
+  {
+    TraceSpan span("test.span.double", &hist);
+    (void)span.finish();
+  }
+  EXPECT_EQ(hist.count(), 1u);
+}
+
+TEST(TraceSpanTest, ElapsedSecondsIsMonotoneWhileRunning) {
+  const TraceSpan span("test.span.monotone");
+  const double a = span.elapsed_seconds();
+  const double b = span.elapsed_seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(TraceSpanTest, NullHistogramIsFine) {
+  TraceSpan span("test.span.nullhist");
+  EXPECT_GE(span.finish(), 0.0);
+}
+
+TEST(TraceSpanTest, SpanMacroObservesGlobalLatencyHistogram) {
+  // FGCS_SPAN("x") records into the global registry's `x.seconds` histogram.
+  // The global registry accumulates across this whole binary, so assert on
+  // the delta, not the absolute count.
+  Histogram& hist =
+      MetricsRegistry::global().latency_histogram("test.span.macro.seconds");
+  const std::uint64_t before = hist.count();
+  {
+    FGCS_SPAN("test.span.macro");
+  }
+  EXPECT_EQ(hist.count(), before + 1);
+}
+
+TEST(TraceLogTest, DisabledByDefaultWithoutEnvVar) {
+  // The test harness never sets FGCS_TRACE_FILE, so the lazily-created
+  // instance must come up disabled (spans then skip emit() entirely).
+  EXPECT_FALSE(TraceLog::instance().enabled());
+}
+
+TEST(TraceLogTest, OpenEmitCloseWritesOneJsonEventPerLine) {
+  const std::string path = ::testing::TempDir() + "fgcs_trace_span_test.jsonl";
+  TraceLog::instance().open(path);
+  EXPECT_TRUE(TraceLog::instance().enabled());
+  {
+    const TraceSpan span("test.trace.one");
+  }
+  TraceSpan two("test.trace.two");
+  (void)two.finish();
+  TraceLog::instance().close();
+  EXPECT_FALSE(TraceLog::instance().enabled());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"name\":\"test.trace.one\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"name\":\"test.trace.two\""), std::string::npos);
+  for (const std::string& event : lines) {
+    EXPECT_EQ(event.front(), '{') << event;
+    EXPECT_EQ(event.back(), '}') << event;
+    EXPECT_NE(event.find("\"ts\":"), std::string::npos) << event;
+    EXPECT_NE(event.find("\"dur\":"), std::string::npos) << event;
+    EXPECT_NE(event.find("\"tid\":"), std::string::npos) << event;
+  }
+}
+
+TEST(TraceLogTest, SpansAfterCloseAppendNothing) {
+  const std::string path = ::testing::TempDir() + "fgcs_trace_span_closed.jsonl";
+  TraceLog::instance().open(path);
+  {
+    const TraceSpan span("test.trace.before");
+  }
+  TraceLog::instance().close();
+  {
+    const TraceSpan span("test.trace.after");
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 1u);
+}
+
+TEST(TraceLogTest, OpenOnUnwritablePathThrows) {
+  EXPECT_THROW(
+      TraceLog::instance().open("/nonexistent-fgcs-dir/trace.jsonl"),
+      DataError);
+  // A failed open must not leave tracing half-enabled.
+  EXPECT_FALSE(TraceLog::instance().enabled());
+}
+
+}  // namespace
+}  // namespace fgcs

@@ -10,21 +10,23 @@
 // Q/H estimation, thread-pool fan-out) and prints one TR line per request —
 // identical values to running the per-call path on each line:
 //
-//   fgcs_predict --batch FILE [--training-days N] [--threads N]
+//   fgcs_predict --batch FILE [--training-days N] [--threads N] [--metrics]
 //
 // where each non-empty, non-'#' line of FILE reads
 //
 //   TRACE_FILE HH:MM HOURS [DAY] [S1|S2]
+//
+// --metrics appends the process-wide Prometheus-style exposition
+// (MetricsRegistry::render_text(), DESIGN.md §8) after the batch report.
 #include <cstdio>
-#include <fstream>
-#include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "batch_file.hpp"
 #include "core/analysis.hpp"
 #include "fgcs.hpp"
 #include "util/cli.hpp"
+#include "util/metrics.hpp"
 
 namespace {
 
@@ -36,75 +38,16 @@ int run_batch(const fgcs::ArgParser& args) {
   config.estimator.training_days =
       static_cast<std::size_t>(args.get_int_or("training-days", 15));
   config.max_threads = static_cast<unsigned>(args.get_int_or("threads", 0));
+  const bool want_metrics = args.has("metrics");
   args.check_all_consumed();
 
-  std::ifstream file(path);
-  if (!file) {
-    std::fprintf(stderr, "fgcs_predict: cannot open batch file %s\n",
-                 path.c_str());
-    return 1;
-  }
-
-  // Each distinct trace file is loaded once; map nodes give the requests
-  // stable MachineTrace addresses.
-  std::map<std::string, MachineTrace> traces;
-  std::vector<BatchRequest> requests;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(file, line)) {
-    ++line_no;
-    std::istringstream fields(line);
-    std::string trace_path;
-    if (!(fields >> trace_path) || trace_path.front() == '#') continue;
-
-    std::string start;
-    std::int64_t hours = 0;
-    if (!(fields >> start >> hours)) {
-      std::fprintf(stderr, "fgcs_predict: %s:%zu: expected TRACE HH:MM HOURS\n",
-                   path.c_str(), line_no);
-      return 1;
-    }
-    auto it = traces.find(trace_path);
-    if (it == traces.end())
-      it = traces.emplace(trace_path, MachineTrace::load_file(trace_path))
-               .first;
-    const MachineTrace& trace = it->second;
-
-    PredictionRequest request;
-    request.window.start_of_day = parse_time_of_day(start);
-    request.window.length = hours * kSecondsPerHour;
-    request.target_day = trace.day_count();
-    const auto parse_state = [&](const std::string& token) {
-      if (token == "S1") return State::kS1;
-      if (token == "S2") return State::kS2;
-      std::fprintf(stderr, "fgcs_predict: %s:%zu: initial state must be S1 "
-                           "or S2, got '%s'\n",
-                   path.c_str(), line_no, token.c_str());
-      std::exit(1);
-    };
-    std::string token;
-    if (fields >> token) {
-      if (token == "S1" || token == "S2") {
-        request.initial_state = parse_state(token);
-      } else {
-        try {
-          request.target_day = std::stoll(token);
-        } catch (const std::exception&) {
-          std::fprintf(stderr, "fgcs_predict: %s:%zu: expected a day number "
-                               "or S1/S2, got '%s'\n",
-                       path.c_str(), line_no, token.c_str());
-          return 1;
-        }
-        if (fields >> token) request.initial_state = parse_state(token);
-      }
-    }
-    requests.push_back(BatchRequest{.trace = &trace, .request = request});
-  }
+  const tools::BatchFile batch = tools::load_batch_file(path);
 
   PredictionService service(config);
-  const std::vector<Prediction> predictions = service.predict_batch(requests);
+  const std::vector<Prediction> predictions =
+      service.predict_batch(batch.requests);
   for (std::size_t i = 0; i < predictions.size(); ++i) {
-    const BatchRequest& request = requests[i];
+    const BatchRequest& request = batch.requests[i];
     std::printf("%-12s day %-4lld %-12s TR %.4f\n",
                 request.trace->machine_id().c_str(),
                 static_cast<long long>(request.request.target_day),
@@ -126,6 +69,10 @@ int run_batch(const fgcs::ArgParser& args) {
               static_cast<unsigned long long>(stats.pool.steals),
               static_cast<unsigned long long>(stats.pool.queue_depth_high_water),
               100.0 * stats.pool.utilization());
+  if (want_metrics) {
+    // Dump while `service` is alive so its attachments are still folded in.
+    std::printf("\n%s", MetricsRegistry::global().render_text().c_str());
+  }
   return 0;
 }
 
@@ -134,7 +81,7 @@ int run_batch(const fgcs::ArgParser& args) {
 int main(int argc, char** argv) {
   using namespace fgcs;
   try {
-    const ArgParser args(argc, argv, {"analysis"});
+    const ArgParser args(argc, argv, {"analysis", "metrics"});
     if (args.has("batch")) return run_batch(args);
     const MachineTrace trace = MachineTrace::load_file(args.get("trace"));
 

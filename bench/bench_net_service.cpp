@@ -1,0 +1,142 @@
+// Extension — prediction serving over the wire (DESIGN.md §9).
+//
+// What does shipping the batch through the loopback socket stack cost on top
+// of calling PredictionService in-process? A placement scheduler probing a
+// 20-machine fleet round-trips one request frame per decision, so the number
+// that matters is the warm batch-of-20 round-trip: encode → frame → epoll
+// server → memoized service → frame → decode. This bench measures, for a
+// fleet of 20 machines with warm caches on both sides,
+//
+//   inproc : PredictionService::predict_batch, median over many reps
+//   net    : PredictionClient::predict_batch over 127.0.0.1, same batch
+//
+// plus the cold (first-contact) round-trip for context, and verifies every
+// served TR is bit-identical to the in-process value. Acceptance targets:
+// net warm median ≤ 5× the in-process warm median, and net warm throughput
+// ≥ 10k predictions/s.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "harness.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+
+using namespace fgcs;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  return n % 2 ? samples[n / 2] : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout,
+               "network serving overhead: loopback round-trip vs in-process");
+
+  constexpr int kMachines = 20;
+  constexpr int kDays = 28;
+  constexpr int kReps = 200;
+  const EstimatorConfig estimator = bench::bench_estimator_config();
+  const std::vector<MachineTrace> fleet = bench::lab_fleet(kMachines, kDays);
+
+  // One probe per machine: tomorrow, 09:00–11:00 — the batch a scheduler
+  // sends per placement decision.
+  std::vector<BatchRequest> requests;
+  std::vector<net::WireRequestItem> items;
+  for (const MachineTrace& trace : fleet) {
+    const PredictionRequest request{
+        .target_day = trace.day_count(),
+        .window = {.start_of_day = 9 * kSecondsPerHour,
+                   .length = 2 * kSecondsPerHour}};
+    requests.push_back(BatchRequest{.trace = &trace, .request = request});
+    items.push_back(net::WireRequestItem{.machine_key = trace.machine_id(),
+                                         .request = request});
+  }
+
+  // In-process reference path, warmed then sampled.
+  PredictionService inproc(ServiceConfig{.estimator = estimator});
+  std::vector<Prediction> expected = inproc.predict_batch(requests);
+  std::vector<double> inproc_samples;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    expected = inproc.predict_batch(requests);
+    inproc_samples.push_back(seconds_since(t0));
+  }
+  const double inproc_s = median(inproc_samples);
+
+  // Network path: loopback server over its own (initially cold) service.
+  net::PredictionServer server(
+      net::ServerConfig{},
+      std::make_shared<PredictionService>(ServiceConfig{.estimator = estimator}));
+  for (const MachineTrace& trace : fleet) server.add_trace(trace);
+  server.start();
+  net::ClientConfig client_config;
+  client_config.port = server.port();
+  net::PredictionClient client(client_config);
+
+  const auto tc = std::chrono::steady_clock::now();
+  std::vector<Prediction> served = client.predict_batch(items);
+  const double cold_s = seconds_since(tc);
+
+  std::vector<double> net_samples;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    served = client.predict_batch(items);
+    net_samples.push_back(seconds_since(t0));
+  }
+  const double net_s = median(net_samples);
+
+  bool identical = served.size() == expected.size();
+  for (std::size_t i = 0; identical && i < served.size(); ++i)
+    identical = same_bits(served[i].temporal_reliability,
+                          expected[i].temporal_reliability);
+
+  server.stop();  // join before reading the transfer counters
+  const net::ServerStats stats = server.stats();
+
+  Table table({"path", "batch", "median_ms", "per_pred_us", "preds_per_s"});
+  const auto row = [&](const char* path, double seconds) {
+    table.add_row({path, std::to_string(items.size()),
+                   Table::num(1e3 * seconds),
+                   Table::num(1e6 * seconds / static_cast<double>(items.size())),
+                   Table::num(static_cast<double>(items.size()) / seconds, 0)});
+  };
+  row("inproc_warm", inproc_s);
+  row("net_cold", cold_s);
+  row("net_warm", net_s);
+  table.print(std::cout);
+
+  const double ratio = net_s / inproc_s;
+  const double throughput = static_cast<double>(items.size()) / net_s;
+  std::cout << "\nwire traffic: " << stats.frames << " frames, rx "
+            << stats.rx_bytes << " B, tx " << stats.tx_bytes << " B ("
+            << Table::num(static_cast<double>(stats.tx_bytes) /
+                              static_cast<double>(stats.responses))
+            << " B/response)\n";
+  std::cout << "served TR bit-identical to in-process: "
+            << (identical ? "yes" : "NO") << "\n";
+  std::cout << "net/inproc warm ratio: " << Table::num(ratio, 1)
+            << "x (target <= 5x): " << (ratio <= 5.0 ? "PASS" : "FAIL")
+            << "\n";
+  std::cout << "net warm throughput: " << Table::num(throughput, 0)
+            << " predictions/s (target >= 10000): "
+            << (throughput >= 10000.0 ? "PASS" : "FAIL") << "\n";
+  return identical && ratio <= 5.0 && throughput >= 10000.0 ? 0 : 1;
+}

@@ -20,6 +20,9 @@
 
 // Substrates.
 #include "ishare/gateway.hpp"
+#include "net/client.hpp"       // networked prediction serving (client)
+#include "net/server.hpp"       // networked prediction serving (server)
+#include "net/wire.hpp"         // framed binary wire protocol
 #include "ishare/registry.hpp"
 #include "ishare/replication.hpp"
 #include "ishare/resource_monitor.hpp"

@@ -1,0 +1,202 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace fgcs::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                            Clock::now())
+          .count();
+  return left <= 0 ? 0 : static_cast<int>(std::min<long long>(left, 60'000));
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw DataError("net client: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+PredictionClient::PredictionClient(ClientConfig config)
+    : config_(std::move(config)), backoff_rng_(config_.backoff.backoff_seed) {
+  FGCS_REQUIRE(config_.port != 0);
+  FGCS_REQUIRE(config_.max_attempts >= 1);
+  FGCS_REQUIRE(config_.connect_timeout > 0.0 && config_.request_timeout > 0.0);
+}
+
+PredictionClient::~PredictionClient() { close(); }
+
+void PredictionClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Prediction PredictionClient::predict(const WireRequestItem& item) {
+  return predict_batch({&item, 1}).front();
+}
+
+std::vector<Prediction> PredictionClient::predict_batch(
+    std::span<const WireRequestItem> items) {
+  ++stats_.batches;
+  std::string last_failure = "no attempts made";
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      // The scheduler helper computes min(cap, base·factor^retry) with
+      // seeded jitter; its SimTime result is read here as milliseconds.
+      const SimTime pause_ms =
+          retry_backoff_delay(config_.backoff, attempt - 1, backoff_rng_);
+      std::this_thread::sleep_for(std::chrono::milliseconds(pause_ms));
+    }
+    ++stats_.attempts;
+    try {
+      return attempt_once(items);
+    } catch (const DataError& error) {
+      // Every wire-level failure is retryable: the batch is idempotent and
+      // the server's memoized cache makes the retry cheap and bit-stable.
+      last_failure = error.what();
+      close();
+    }
+  }
+  throw DataError("net client: batch of " + std::to_string(items.size()) +
+                  " failed after " + std::to_string(config_.max_attempts) +
+                  " attempts; last: " + last_failure);
+}
+
+std::vector<Prediction> PredictionClient::attempt_once(
+    std::span<const WireRequestItem> items) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(config_.request_timeout));
+  ensure_connected();
+  send_all(encode_frame(FrameType::kRequest, encode_request(items)), deadline);
+  const Frame frame = read_frame(deadline);
+  switch (frame.type) {
+    case FrameType::kResponse: {
+      std::vector<Prediction> results = decode_response(frame.payload);
+      if (results.size() != items.size())
+        throw DataError("net client: response carries " +
+                        std::to_string(results.size()) + " predictions for " +
+                        std::to_string(items.size()) + " requests");
+      return results;
+    }
+    case FrameType::kError:
+      ++stats_.server_errors;
+      throw DataError("net client: server error: " +
+                      decode_error(frame.payload));
+    case FrameType::kRequest:
+      break;
+  }
+  throw DataError("net client: unexpected request frame from server");
+}
+
+void PredictionClient::ensure_connected() {
+  if (fd_ >= 0) return;
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+  ++stats_.reconnects;
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &address.sin_addr) != 1)
+    throw DataError("net client: invalid server address " + config_.host);
+
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(config_.connect_timeout));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    if (errno != EINPROGRESS) throw_errno("connect");
+    wait_io(/*for_write=*/true, deadline, "connect");
+    int error = 0;
+    socklen_t error_len = sizeof(error);
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &error, &error_len) != 0 ||
+        error != 0)
+      throw DataError("net client: connect failed: " +
+                      std::string(std::strerror(error ? error : errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void PredictionClient::send_all(std::span<const std::uint8_t> bytes,
+                                Clock::time_point deadline) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_io(/*for_write=*/true, deadline, "send");
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw_errno("send");
+  }
+}
+
+Frame PredictionClient::read_frame(Clock::time_point deadline) {
+  FrameDecoder decoder;
+  std::uint8_t buffer[64 * 1024];
+  for (;;) {
+    if (std::optional<Frame> frame = decoder.next()) return *frame;
+    wait_io(/*for_write=*/false, deadline, "response");
+    const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+    if (n == 0) throw DataError("net client: connection closed by server");
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      throw_errno("read");
+    }
+    decoder.feed({buffer, static_cast<std::size_t>(n)});
+  }
+}
+
+void PredictionClient::wait_io(bool for_write, Clock::time_point deadline,
+                               const char* what) {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = static_cast<short>(for_write ? POLLOUT : POLLIN);
+  for (;;) {
+    const int timeout = remaining_ms(deadline);
+    if (timeout == 0)
+      throw DataError(std::string("net client: timed out waiting for ") +
+                      what);
+    const int ready = ::poll(&pfd, 1, timeout);
+    if (ready > 0) {
+      if (pfd.revents & (POLLERR | POLLNVAL))
+        throw DataError(std::string("net client: socket error during ") +
+                        what);
+      return;  // readable/writable (POLLHUP still lets read() see EOF)
+    }
+    if (ready == 0)
+      throw DataError(std::string("net client: timed out waiting for ") +
+                      what);
+    if (errno != EINTR) throw_errno("poll");
+  }
+}
+
+}  // namespace fgcs::net

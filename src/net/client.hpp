@@ -1,0 +1,103 @@
+// PredictionClient — the remote counterpart of PredictionService
+// (DESIGN.md §9).
+//
+// predict_batch() ships a request frame to a PredictionServer and returns
+// the decoded Predictions, bit-identical to calling the service in-process
+// (the wire carries IEEE-754 bit patterns, net/wire.hpp). The call is
+// synchronous and *self-healing*: any failure of an attempt — connect or
+// request timeout, connection reset, an error frame from the server, a
+// corrupt or desynced stream — closes the socket and retries the whole
+// (idempotent) batch, pacing attempts with the scheduler's jittered
+// capped-exponential-backoff helper (retry_backoff_delay, with
+// SchedulerConfig delay fields interpreted in milliseconds). Only after
+// max_attempts consecutive failures does the client throw DataError,
+// carrying the last attempt's failure.
+//
+// The retry/backoff stream is seeded (backoff.backoff_seed), so a chaos run
+// with pinned failpoints replays its exact retry schedule.
+//
+// Thread-safety: a client is a single connection and is NOT thread-safe;
+// use one client per thread (the server multiplexes them).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "ishare/scheduler.hpp"
+#include "net/wire.hpp"
+#include "util/rng.hpp"
+
+namespace fgcs::net {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// TCP connect deadline per attempt, seconds.
+  double connect_timeout = 5.0;
+  /// Send-request-to-full-response deadline per attempt, seconds.
+  double request_timeout = 30.0;
+  /// Total attempts per predict_batch call (first try included).
+  int max_attempts = 5;
+  /// Pause between attempts, computed by retry_backoff_delay with these
+  /// fields read in MILLISECONDS (the scheduler uses simulated seconds; a
+  /// network client backs off on a thousandfold finer clock).
+  SchedulerConfig backoff{.retry_delay = 10,
+                          .backoff_factor = 2.0,
+                          .max_retry_delay = 2000,
+                          .backoff_jitter = 0.1,
+                          .backoff_seed = 0x5eedc11e};
+};
+
+/// Monotonic per-client counters (single-threaded, like the client itself).
+struct ClientStats {
+  std::uint64_t batches = 0;      ///< predict_batch calls
+  std::uint64_t attempts = 0;     ///< wire attempts (≥ batches)
+  std::uint64_t retries = 0;      ///< attempts after the first of a batch
+  std::uint64_t reconnects = 0;   ///< sockets opened
+  std::uint64_t server_errors = 0;///< error frames received
+};
+
+class PredictionClient {
+ public:
+  explicit PredictionClient(ClientConfig config);
+  ~PredictionClient();
+
+  PredictionClient(const PredictionClient&) = delete;
+  PredictionClient& operator=(const PredictionClient&) = delete;
+
+  /// Round-trips one batch. Returns results aligned with `items`. Throws
+  /// DataError after max_attempts failed attempts (or PreconditionError on
+  /// an unencodable request).
+  std::vector<Prediction> predict_batch(
+      std::span<const WireRequestItem> items);
+
+  /// Convenience single-request form.
+  Prediction predict(const WireRequestItem& item);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  const ClientStats& stats() const { return stats_; }
+  const ClientConfig& config() const { return config_; }
+
+ private:
+  std::vector<Prediction> attempt_once(std::span<const WireRequestItem> items);
+  void ensure_connected();
+  void send_all(std::span<const std::uint8_t> bytes,
+                std::chrono::steady_clock::time_point deadline);
+  Frame read_frame(std::chrono::steady_clock::time_point deadline);
+  void wait_io(bool for_write,
+               std::chrono::steady_clock::time_point deadline,
+               const char* what);
+
+  ClientConfig config_;
+  Rng backoff_rng_;
+  int fd_ = -1;
+  ClientStats stats_{};
+};
+
+}  // namespace fgcs::net

@@ -1,0 +1,118 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace fgcs::net {
+
+namespace {
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw DataError("event_loop: " + what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw_errno("eventfd");
+  }
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = wake_fd_;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event) != 0) {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    throw_errno("epoll_ctl(wake fd)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void EventLoop::add(int fd, std::uint32_t events, Handler handler) {
+  FGCS_REQUIRE(fd >= 0);
+  FGCS_REQUIRE_MSG(!contains(fd), "fd already registered");
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0)
+    throw_errno("epoll_ctl(add)");
+  handlers_.emplace(fd, std::make_shared<Handler>(std::move(handler)));
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+  FGCS_REQUIRE_MSG(contains(fd), "fd not registered");
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0)
+    throw_errno("epoll_ctl(mod)");
+}
+
+void EventLoop::remove(int fd) {
+  const auto it = handlers_.find(fd);
+  if (it == handlers_.end()) return;
+  // The fd may already be closed by the caller; ignore ctl errors.
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(it);
+}
+
+void EventLoop::drain_wake_fd() {
+  std::uint64_t value = 0;
+  while (::read(wake_fd_, &value, sizeof(value)) > 0) {
+  }
+}
+
+int EventLoop::poll(int timeout_ms) {
+  std::array<epoll_event, 64> events{};
+  int ready = 0;
+  do {
+    ready = epoll_wait(epoll_fd_, events.data(),
+                       static_cast<int>(events.size()), timeout_ms);
+  } while (ready < 0 && errno == EINTR);
+  if (ready < 0) throw_errno("epoll_wait");
+
+  int dispatched = 0;
+  for (int i = 0; i < ready; ++i) {
+    const int fd = events[static_cast<std::size_t>(i)].data.fd;
+    if (fd == wake_fd_) {
+      drain_wake_fd();
+      continue;
+    }
+    // A handler earlier in this batch may have removed this fd — re-check,
+    // and pin the handler so self-removal inside the call stays safe.
+    const auto it = handlers_.find(fd);
+    if (it == handlers_.end()) continue;
+    const std::shared_ptr<Handler> handler = it->second;
+    (*handler)(events[static_cast<std::size_t>(i)].events);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void EventLoop::run() {
+  while (!stop_requested_.load(std::memory_order_acquire)) poll(-1);
+  stop_requested_.store(false, std::memory_order_release);
+}
+
+void EventLoop::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  // Best effort: a full eventfd counter still wakes the poller.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+}  // namespace fgcs::net

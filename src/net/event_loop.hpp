@@ -1,0 +1,76 @@
+// Minimal epoll event loop — the single-threaded reactor under
+// PredictionServer (DESIGN.md §9).
+//
+// One EventLoop owns one epoll instance plus an eventfd used only to wake a
+// blocked poll. Registered fds carry a callback invoked with the ready
+// event mask; all registration and dispatch happen on the loop's thread
+// (or before run() starts) — the *only* cross-thread entry point is stop(),
+// which is async-signal-light: it writes the eventfd and sets an atomic.
+//
+// Dispatch is level-triggered. That choice is load-bearing for the
+// fault-injection story: when net.read.short caps a connection's reads to a
+// few bytes per event, the remaining buffered bytes re-arm the fd
+// immediately, so progress continues without any explicit re-queue logic.
+//
+// A callback may remove its own fd (or any other) mid-dispatch: the loop
+// re-checks registration before invoking each callback of the batch and
+// holds a shared_ptr to the one it is running, so removal is safe at any
+// point.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+namespace fgcs::net {
+
+class EventLoop {
+ public:
+  /// Called with the epoll event mask (EPOLLIN | EPOLLOUT | EPOLLHUP | …).
+  using Handler = std::function<void(std::uint32_t)>;
+
+  /// Throws DataError when the epoll or wake fd cannot be created.
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for `events` (EPOLLIN etc.). The fd is not owned: the
+  /// caller closes it after remove(). Throws DataError on epoll failure.
+  void add(int fd, std::uint32_t events, Handler handler);
+
+  /// Changes the interest mask of a registered fd.
+  void modify(int fd, std::uint32_t events);
+
+  /// Unregisters; no-op when the fd is not registered.
+  void remove(int fd);
+
+  bool contains(int fd) const { return handlers_.count(fd) > 0; }
+
+  /// Registered fds (excluding the internal wake fd).
+  std::size_t size() const { return handlers_.size(); }
+
+  /// Waits up to `timeout_ms` (-1 = forever) and dispatches ready handlers.
+  /// Returns the number of handlers invoked (0 on timeout or wake-only).
+  int poll(int timeout_ms);
+
+  /// poll(-1) until stop() is called.
+  void run();
+
+  /// Thread-safe: wakes a blocked poll and makes run() return. A stopped
+  /// loop can be run() again after the flag is observed (run() clears it).
+  void stop();
+
+ private:
+  void drain_wake_fd();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_requested_{false};
+  std::unordered_map<int, std::shared_ptr<Handler>> handlers_;
+};
+
+}  // namespace fgcs::net

@@ -1,0 +1,328 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/trace_span.hpp"
+
+namespace fgcs::net {
+
+namespace {
+
+/// Per-event read cap when net.read.short fired at accept: small enough to
+/// split the 16-byte header across reads (exercising FrameDecoder
+/// reassembly), large enough that a golden batch still completes quickly.
+constexpr std::size_t kShortReadBytes = 3;
+/// Per-event write cap when net.write.stall fired at accept.
+constexpr std::size_t kStallWriteBytes = 16;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw DataError("net server: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+PredictionServer::PredictionServer(ServerConfig config,
+                                   std::shared_ptr<PredictionService> service)
+    : config_(std::move(config)), service_(std::move(service)) {
+  FGCS_REQUIRE(service_ != nullptr);
+  FGCS_REQUIRE(config_.backlog >= 1);
+  FGCS_REQUIRE(config_.max_connections >= 1);
+  MetricsRegistry& registry = MetricsRegistry::global();
+  metrics_attachments_.push_back(
+      registry.attach("net.rx.bytes.total", rx_bytes_));
+  metrics_attachments_.push_back(
+      registry.attach("net.tx.bytes.total", tx_bytes_));
+  metrics_attachments_.push_back(registry.attach("net.frames.total", frames_));
+  metrics_attachments_.push_back(
+      registry.attach("net.requests.total", requests_));
+  metrics_attachments_.push_back(registry.attach("net.errors.total", errors_));
+  metrics_attachments_.push_back(
+      registry.attach("net.request.seconds", request_hist_));
+}
+
+PredictionServer::~PredictionServer() { stop(); }
+
+void PredictionServer::add_trace(MachineTrace trace) {
+  FGCS_REQUIRE_MSG(!running(), "add_trace must precede start()");
+  std::string id = trace.machine_id();
+  traces_.insert_or_assign(std::move(id), std::move(trace));
+}
+
+void PredictionServer::start() {
+  FGCS_REQUIRE_MSG(!running() && listen_fd_ < 0,
+                   "server already started (one start/stop cycle per server)");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &address.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw DataError("net server: invalid listen address " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listen_fd_, config_.backlog) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("bind/listen on " + config_.host + ":" +
+                std::to_string(config_.port));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  bound_port_ = ntohs(bound.sin_port);
+
+  loop_ = std::make_unique<EventLoop>();
+  loop_->add(listen_fd_, EPOLLIN,
+             [this](std::uint32_t events) { handle_accept(events); });
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_thread_main(); });
+}
+
+void PredictionServer::stop() {
+  if (thread_.joinable()) {
+    loop_->stop();
+    thread_.join();
+  }
+  running_.store(false, std::memory_order_release);
+  for (auto& [fd, conn] : connections_) ::close(fd);
+  connections_.clear();
+  active_.store(0, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  loop_.reset();
+}
+
+void PredictionServer::serve_thread_main() { loop_->run(); }
+
+void PredictionServer::handle_accept(std::uint32_t) {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN (or transient error): wait for next event
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    // The failpoint is evaluated exactly once per accept — before the
+    // capacity check, so its evaluation count replays deterministically.
+    const bool drop = FGCS_FAILPOINT("net.accept.drop");
+    if (drop || connections_.size() >= config_.max_connections) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Connection conn;
+    conn.fd = fd;
+    conn.short_reads = FGCS_FAILPOINT("net.read.short");
+    conn.stalled_writes = FGCS_FAILPOINT("net.write.stall");
+    connections_.emplace(fd, std::move(conn));
+    active_.store(connections_.size(), std::memory_order_relaxed);
+    loop_->add(fd, EPOLLIN,
+               [this, fd](std::uint32_t events) {
+                 handle_connection(fd, events);
+               });
+  }
+}
+
+void PredictionServer::handle_connection(int fd, std::uint32_t events) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close_connection(fd);
+    return;
+  }
+  if (events & EPOLLOUT) {
+    flush_outbox(it->second);
+    update_write_interest(it->second);
+  }
+  if (!(events & EPOLLIN)) return;
+
+  Connection& conn = it->second;
+  std::uint8_t buffer[64 * 1024];
+  const std::size_t cap = conn.short_reads ? kShortReadBytes : sizeof(buffer);
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, cap);
+    if (n == 0) {
+      close_connection(fd);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      close_connection(fd);
+      return;
+    }
+    rx_bytes_.add(static_cast<std::uint64_t>(n));
+    try {
+      conn.decoder.feed({buffer, static_cast<std::size_t>(n)});
+      while (std::optional<Frame> frame = conn.decoder.next())
+        process_frame(conn, *frame);
+    } catch (const DataError& error) {
+      // Framing desync: answer best-effort (the outbox may never drain on a
+      // desynced peer, so write the error frame directly) and close.
+      errors_.add(1);
+      const std::vector<std::uint8_t> frame =
+          encode_frame(FrameType::kError, encode_error(error.what()));
+      const ssize_t written = ::write(fd, frame.data(), frame.size());
+      if (written > 0) tx_bytes_.add(static_cast<std::uint64_t>(written));
+      close_connection(fd);
+      return;
+    }
+    // Level-triggered epoll re-arms the fd while bytes remain buffered, so
+    // a capped connection keeps making progress one nibble per event.
+    if (conn.short_reads) break;
+  }
+  update_write_interest(conn);
+}
+
+void PredictionServer::process_frame(Connection& conn, const Frame& frame) {
+  frames_.add(1);
+  if (frame.type != FrameType::kRequest) {
+    // Only clients send responses/errors; answer and keep the connection —
+    // framing is still intact.
+    errors_.add(1);
+    send_frame(conn, FrameType::kError,
+               encode_error("unexpected frame type on server"));
+    return;
+  }
+  TraceSpan span("net.request", &request_hist_);
+  // Deterministically injectable "the bytes lied": treat this frame as
+  // corrupt without decoding it. Evaluated once per received frame.
+  if (FGCS_FAILPOINT("net.frame.corrupt")) {
+    errors_.add(1);
+    send_frame(conn, FrameType::kError,
+               encode_error("injected: net.frame.corrupt"));
+    return;
+  }
+  try {
+    const std::vector<Prediction> results = serve_request(frame.payload);
+    responses_.fetch_add(1, std::memory_order_relaxed);
+    predictions_.fetch_add(results.size(), std::memory_order_relaxed);
+    send_frame(conn, FrameType::kResponse, encode_response(results));
+  } catch (const std::exception& error) {
+    // Undecodable payload, unknown machine, or a semantic precondition the
+    // prediction stack rejected: the *connection* is fine, the request is
+    // not. Error frame, keep serving.
+    errors_.add(1);
+    send_frame(conn, FrameType::kError, encode_error(error.what()));
+  }
+}
+
+std::vector<Prediction> PredictionServer::serve_request(
+    std::span<const std::uint8_t> payload) {
+  const std::vector<WireRequestItem> items = decode_request(payload);
+  requests_.add(1);
+  std::vector<BatchRequest> batch;
+  batch.reserve(items.size());
+  for (const WireRequestItem& item : items)
+    batch.push_back(BatchRequest{.trace = resolve_trace(item.machine_key),
+                                 .request = item.request});
+  return service_->predict_batch(batch);
+}
+
+const MachineTrace* PredictionServer::resolve_trace(const std::string& key) {
+  if (const auto it = traces_.find(key); it != traces_.end())
+    return &it->second;
+  if (const auto it = loaded_paths_.find(key); it != loaded_paths_.end())
+    return &it->second;
+  if (!config_.allow_trace_loading)
+    throw DataError("net server: unknown machine key '" + key + "'");
+  // Loading throws DataError itself when the key is not a readable trace.
+  const auto [it, inserted] =
+      loaded_paths_.emplace(key, MachineTrace::load_file(key));
+  return &it->second;
+}
+
+void PredictionServer::send_frame(Connection& conn, FrameType type,
+                                  std::span<const std::uint8_t> payload) {
+  const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+  // Compact the outbox before growing it so a long-lived connection's
+  // buffer stays proportional to unsent bytes.
+  if (conn.outbox_sent > 0) {
+    conn.outbox.erase(conn.outbox.begin(),
+                      conn.outbox.begin() +
+                          static_cast<std::ptrdiff_t>(conn.outbox_sent));
+    conn.outbox_sent = 0;
+  }
+  conn.outbox.insert(conn.outbox.end(), frame.begin(), frame.end());
+  flush_outbox(conn);
+  update_write_interest(conn);
+}
+
+void PredictionServer::flush_outbox(Connection& conn) {
+  while (conn.outbox_sent < conn.outbox.size()) {
+    const std::size_t remaining = conn.outbox.size() - conn.outbox_sent;
+    const std::size_t chunk =
+        conn.stalled_writes ? std::min(kStallWriteBytes, remaining)
+                            : remaining;
+    const ssize_t n =
+        ::write(conn.fd, conn.outbox.data() + conn.outbox_sent, chunk);
+    if (n < 0) {
+      // EAGAIN: wait for EPOLLOUT. Hard errors surface as EPOLLERR/HUP on
+      // the next poll, which closes the connection.
+      return;
+    }
+    tx_bytes_.add(static_cast<std::uint64_t>(n));
+    conn.outbox_sent += static_cast<std::size_t>(n);
+    // A stalled connection sends one capped chunk per event and yields; the
+    // EPOLLOUT interest registered by the caller paces the rest.
+    if (conn.stalled_writes) break;
+  }
+  if (conn.outbox_sent == conn.outbox.size()) {
+    conn.outbox.clear();
+    conn.outbox_sent = 0;
+  }
+}
+
+void PredictionServer::update_write_interest(Connection& conn) {
+  const bool want = conn.outbox_sent < conn.outbox.size();
+  if (want == conn.want_writable) return;
+  loop_->modify(conn.fd, EPOLLIN | (want ? EPOLLOUT : 0u));
+  conn.want_writable = want;
+}
+
+void PredictionServer::close_connection(int fd) {
+  loop_->remove(fd);
+  ::close(fd);
+  connections_.erase(fd);
+  active_.store(connections_.size(), std::memory_order_relaxed);
+}
+
+ServerStats PredictionServer::stats() const {
+  ServerStats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.dropped = dropped_.load(std::memory_order_relaxed);
+  stats.active = active_.load(std::memory_order_relaxed);
+  stats.frames = frames_.value();
+  stats.requests = requests_.value();
+  stats.predictions = predictions_.load(std::memory_order_relaxed);
+  stats.responses = responses_.load(std::memory_order_relaxed);
+  stats.errors = errors_.value();
+  stats.rx_bytes = rx_bytes_.value();
+  stats.tx_bytes = tx_bytes_.value();
+  return stats;
+}
+
+}  // namespace fgcs::net

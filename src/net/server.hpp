@@ -1,0 +1,177 @@
+// PredictionServer — networked serving front-end over PredictionService
+// (DESIGN.md §9).
+//
+// One server owns one listening TCP socket, one epoll EventLoop, and one
+// serving thread. Connections are plain length-prefixed wire frames
+// (net/wire.hpp): a request frame names machines by key, the server
+// resolves each key against its registered traces (falling back to loading
+// the key as a trace file path when allow_trace_loading is set), fans the
+// whole batch into PredictionService::predict_batch — which parallelizes
+// over the persistent ThreadPool — and answers with one response frame
+// whose Predictions are bit-identical to the in-process call.
+//
+// Failure semantics: a malformed *payload* (undecodable request, unknown
+// machine key, unloadable trace) earns an error frame and the connection
+// keeps serving; a malformed *frame* (bad magic/version/length/checksum)
+// means the stream is desynced, so the server sends a best-effort error
+// frame and closes that connection — other connections are unaffected, and
+// the server keeps accepting (tests/net/wire_fuzz_test.cpp holds it to
+// this under a mutation corpus).
+//
+// Fault injection (tests/chaos/net_chaos_test.cpp): four failpoints cover
+// the distinct network failure modes, each evaluated at a point whose
+// count is deterministic for a deterministic client — per accepted
+// connection or per received frame, never per read()/write() call, so
+// FailpointStats replay exactly:
+//
+//   net.accept.drop    per accept: connection closed immediately
+//   net.read.short     per accept: connection reads capped to 3 bytes/event
+//   net.write.stall    per accept: connection writes capped to 16 bytes/event
+//   net.frame.corrupt  per frame: frame treated as corrupt (error frame)
+//
+// Observability: per-instance counters fold into the global registry as
+// net.rx.bytes.total, net.tx.bytes.total, net.frames.total,
+// net.requests.total, net.errors.total, plus the net.request.seconds
+// latency histogram (DESIGN.md §8 naming).
+//
+// Threading: start() spawns the serving thread; all connection state lives
+// on it. add_trace() must happen before start(). stats() and stop() are
+// safe from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/prediction_service.hpp"
+#include "net/event_loop.hpp"
+#include "net/wire.hpp"
+#include "trace/machine_trace.hpp"
+#include "util/metrics.hpp"
+
+namespace fgcs::net {
+
+struct ServerConfig {
+  /// Listen address; loopback by default (this is a trusted-fleet protocol).
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the actual one back with port().
+  std::uint16_t port = 0;
+  int backlog = 128;
+  /// Connections beyond this are accepted and immediately closed.
+  std::size_t max_connections = 256;
+  /// Resolve unknown machine keys as trace file paths on the server's
+  /// filesystem (loaded once, then cached). Registered ids win.
+  bool allow_trace_loading = true;
+};
+
+/// Monotonic serving counters; snapshot via PredictionServer::stats().
+struct ServerStats {
+  std::uint64_t accepted = 0;      ///< connections accepted
+  std::uint64_t dropped = 0;       ///< closed at accept (failpoint/capacity)
+  std::uint64_t active = 0;        ///< currently open connections
+  std::uint64_t frames = 0;        ///< complete frames received
+  std::uint64_t requests = 0;      ///< request frames decoded
+  std::uint64_t predictions = 0;   ///< predictions served
+  std::uint64_t responses = 0;     ///< response frames sent
+  std::uint64_t errors = 0;        ///< error frames sent
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_bytes = 0;
+};
+
+class PredictionServer {
+ public:
+  /// `service` must be non-null; sharing one service between the server and
+  /// in-process callers shares its memoized cache (and its invalidate()).
+  PredictionServer(ServerConfig config,
+                   std::shared_ptr<PredictionService> service);
+  ~PredictionServer();
+
+  PredictionServer(const PredictionServer&) = delete;
+  PredictionServer& operator=(const PredictionServer&) = delete;
+
+  /// Registers a trace the server owns, keyed by its machine_id. Must be
+  /// called before start().
+  void add_trace(MachineTrace trace);
+
+  /// Binds, listens, and spawns the serving thread. Throws DataError when
+  /// the socket cannot be set up.
+  void start();
+
+  /// Stops the loop, joins the thread, and closes every connection.
+  /// Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (valid after start(); resolves port 0 to the real one).
+  std::uint16_t port() const { return bound_port_; }
+  const std::string& host() const { return config_.host; }
+
+  const std::shared_ptr<PredictionService>& service() const {
+    return service_;
+  }
+
+  /// Safe from any thread while serving. For an exact (replayable) snapshot
+  /// call after stop(): the join orders every loop-thread increment — a
+  /// live read may trail the serving thread by a few relaxed adds even for
+  /// traffic the caller has already observed.
+  ServerStats stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    FrameDecoder decoder;
+    std::vector<std::uint8_t> outbox;
+    std::size_t outbox_sent = 0;
+    bool short_reads = false;   ///< net.read.short fired at accept
+    bool stalled_writes = false;///< net.write.stall fired at accept
+    bool want_writable = false; ///< EPOLLOUT currently registered
+  };
+
+  void serve_thread_main();
+  void handle_accept(std::uint32_t events);
+  void handle_connection(int fd, std::uint32_t events);
+  void process_frame(Connection& conn, const Frame& frame);
+  std::vector<Prediction> serve_request(
+      std::span<const std::uint8_t> payload);
+  const MachineTrace* resolve_trace(const std::string& key);
+  void send_frame(Connection& conn, FrameType type,
+                  std::span<const std::uint8_t> payload);
+  void flush_outbox(Connection& conn);
+  void update_write_interest(Connection& conn);
+  void close_connection(int fd);
+
+  ServerConfig config_;
+  std::shared_ptr<PredictionService> service_;
+
+  std::map<std::string, MachineTrace> traces_;       // by machine_id
+  std::map<std::string, MachineTrace> loaded_paths_; // by request key (path)
+
+  std::unique_ptr<EventLoop> loop_;
+  std::unordered_map<int, Connection> connections_;  // loop thread only
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> active_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> responses_{0};
+  std::atomic<std::uint64_t> predictions_{0};
+  // Instruments shared with the global exposition (attachments below).
+  Counter rx_bytes_;
+  Counter tx_bytes_;
+  Counter frames_;
+  Counter requests_;
+  Counter errors_;
+  Histogram request_hist_{Histogram::default_latency_bounds()};
+  std::vector<MetricsAttachment> metrics_attachments_;
+};
+
+}  // namespace fgcs::net

@@ -1,0 +1,330 @@
+#include "net/wire.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+#include "core/states.hpp"
+#include "util/error.hpp"
+
+namespace fgcs::net {
+
+namespace {
+
+// All multi-byte fields are explicit little-endian so traces served across
+// heterogeneous fleets stay bit-identical regardless of host endianness.
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked sequential reader. Every read validates the remaining
+/// byte count *before* touching memory, so a lying length field can only
+/// ever produce a DataError, never an over-read.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  std::uint8_t u8() {
+    need(1, "u8");
+    return bytes_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    need(2, "u16");
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        bytes_[pos_] | (static_cast<std::uint16_t>(bytes_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    need(4, "u32");
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | bytes_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8, "u64");
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | bytes_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 8;
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str(std::size_t length) {
+    need(length, "string body");
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), length);
+    pos_ += length;
+    return s;
+  }
+
+  void expect_done(const char* what) const {
+    if (pos_ != bytes_.size())
+      throw DataError(std::string("wire: ") + what + ": " +
+                      std::to_string(bytes_.size() - pos_) +
+                      " trailing payload byte(s)");
+  }
+
+ private:
+  void need(std::size_t n, const char* what) const {
+    if (remaining() < n)
+      throw DataError(std::string("wire: truncated payload reading ") + what);
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::uint32_t read_u32_at(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint16_t read_u16_at(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+}  // namespace
+
+std::uint32_t wire_checksum(std::span<const std::uint8_t> payload) {
+  // FNV-1a 32-bit: cheap, stateless, and plenty to catch the torn/corrupt
+  // frames the chaos failpoints inject (integrity, not authentication).
+  std::uint32_t hash = 0x811c9dc5u;
+  for (const std::uint8_t byte : payload) {
+    hash ^= byte;
+    hash *= 0x01000193u;
+  }
+  return hash;
+}
+
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       std::span<const std::uint8_t> payload) {
+  FGCS_REQUIRE_MSG(payload.size() <= kMaxPayloadBytes,
+                   "frame payload exceeds kMaxPayloadBytes");
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  put_u32(frame, kWireMagic);
+  put_u16(frame, kWireVersion);
+  put_u16(frame, static_cast<std::uint16_t>(type));
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, wire_checksum(payload));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_request(
+    std::span<const WireRequestItem> items) {
+  FGCS_REQUIRE_MSG(items.size() <= kMaxBatchItems,
+                   "request batch exceeds kMaxBatchItems");
+  std::vector<std::uint8_t> payload;
+  payload.reserve(16 + items.size() * 48);
+  put_u32(payload, static_cast<std::uint32_t>(items.size()));
+  for (const WireRequestItem& item : items) {
+    FGCS_REQUIRE_MSG(item.machine_key.size() <= kMaxKeyBytes,
+                     "machine key exceeds kMaxKeyBytes");
+    put_u16(payload, static_cast<std::uint16_t>(item.machine_key.size()));
+    payload.insert(payload.end(), item.machine_key.begin(),
+                   item.machine_key.end());
+    put_i64(payload, item.request.target_day);
+    put_i64(payload, item.request.window.start_of_day);
+    put_i64(payload, item.request.window.length);
+    payload.push_back(
+        item.request.initial_state
+            ? static_cast<std::uint8_t>(
+                  1 + index_of(*item.request.initial_state))
+            : std::uint8_t{0});
+  }
+  return payload;
+}
+
+std::vector<WireRequestItem> decode_request(
+    std::span<const std::uint8_t> payload) {
+  Reader reader(payload);
+  const std::uint32_t count = reader.u32();
+  if (count > kMaxBatchItems)
+    throw DataError("wire: request batch count " + std::to_string(count) +
+                    " exceeds limit " + std::to_string(kMaxBatchItems));
+  // Even an empty item costs 27 bytes; reject absurd counts before reserving.
+  if (static_cast<std::size_t>(count) * 27 > reader.remaining())
+    throw DataError("wire: request batch count " + std::to_string(count) +
+                    " does not fit the payload");
+  std::vector<WireRequestItem> items;
+  items.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    WireRequestItem item;
+    const std::uint16_t key_length = reader.u16();
+    if (key_length > kMaxKeyBytes)
+      throw DataError("wire: machine key length " +
+                      std::to_string(key_length) + " exceeds limit");
+    item.machine_key = reader.str(key_length);
+    item.request.target_day = reader.i64();
+    item.request.window.start_of_day = reader.i64();
+    item.request.window.length = reader.i64();
+    const std::uint8_t init = reader.u8();
+    if (init > kStateCount)
+      throw DataError("wire: invalid initial-state byte " +
+                      std::to_string(init));
+    if (init != 0) item.request.initial_state = state_from_index(init - 1);
+    items.push_back(std::move(item));
+  }
+  reader.expect_done("request");
+  return items;
+}
+
+std::vector<std::uint8_t> encode_response(std::span<const Prediction> results) {
+  FGCS_REQUIRE_MSG(results.size() <= kMaxBatchItems,
+                   "response batch exceeds kMaxBatchItems");
+  std::vector<std::uint8_t> payload;
+  payload.reserve(4 + results.size() * 65);
+  put_u32(payload, static_cast<std::uint32_t>(results.size()));
+  for (const Prediction& p : results) {
+    put_f64(payload, p.temporal_reliability);
+    payload.push_back(static_cast<std::uint8_t>(index_of(p.initial_state)));
+    for (const double absorb : p.p_absorb) put_f64(payload, absorb);
+    put_u64(payload, p.training_days_used);
+    put_u64(payload, p.steps);
+    put_f64(payload, p.estimate_seconds);
+    put_f64(payload, p.solve_seconds);
+  }
+  return payload;
+}
+
+std::vector<Prediction> decode_response(std::span<const std::uint8_t> payload) {
+  Reader reader(payload);
+  const std::uint32_t count = reader.u32();
+  if (count > kMaxBatchItems)
+    throw DataError("wire: response batch count " + std::to_string(count) +
+                    " exceeds limit " + std::to_string(kMaxBatchItems));
+  if (static_cast<std::size_t>(count) * 65 != reader.remaining())
+    throw DataError("wire: response batch count " + std::to_string(count) +
+                    " does not match the payload size");
+  std::vector<Prediction> results;
+  results.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Prediction p;
+    p.temporal_reliability = reader.f64();
+    const std::uint8_t state = reader.u8();
+    if (state >= kStateCount)
+      throw DataError("wire: invalid prediction state byte " +
+                      std::to_string(state));
+    p.initial_state = state_from_index(state);
+    for (double& absorb : p.p_absorb) absorb = reader.f64();
+    p.training_days_used = static_cast<std::size_t>(reader.u64());
+    p.steps = static_cast<std::size_t>(reader.u64());
+    p.estimate_seconds = reader.f64();
+    p.solve_seconds = reader.f64();
+    results.push_back(p);
+  }
+  reader.expect_done("response");
+  return results;
+}
+
+std::vector<std::uint8_t> encode_error(std::string_view message) {
+  // Truncate rather than reject: error frames are a best-effort diagnostic.
+  const std::size_t length = std::min<std::size_t>(message.size(), 0xffff);
+  std::vector<std::uint8_t> payload;
+  payload.reserve(2 + length);
+  put_u16(payload, static_cast<std::uint16_t>(length));
+  payload.insert(payload.end(), message.begin(), message.begin() + length);
+  return payload;
+}
+
+std::string decode_error(std::span<const std::uint8_t> payload) {
+  Reader reader(payload);
+  const std::uint16_t length = reader.u16();
+  std::string message = reader.str(length);
+  reader.expect_done("error");
+  return message;
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  if (poisoned_) throw DataError("wire: decoder poisoned by earlier error");
+  // Compact lazily: drop consumed prefix once it dominates the buffer, so a
+  // long-lived connection doesn't grow its buffer with every frame.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (poisoned_) throw DataError("wire: decoder poisoned by earlier error");
+  if (buffered() < kHeaderBytes) return std::nullopt;
+  const std::uint8_t* header = buffer_.data() + consumed_;
+
+  // Validate the header as soon as it is complete, *before* waiting for the
+  // payload: a desynced stream must fail fast, not stall on a garbage
+  // length.
+  const std::uint32_t magic = read_u32_at(header);
+  if (magic != kWireMagic) {
+    poisoned_ = true;
+    throw DataError("wire: bad magic 0x" + [magic] {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%08x", magic);
+      return std::string(buf);
+    }());
+  }
+  const std::uint16_t version = read_u16_at(header + 4);
+  if (version != kWireVersion) {
+    poisoned_ = true;
+    throw DataError("wire: unsupported version " + std::to_string(version));
+  }
+  const std::uint16_t type = read_u16_at(header + 6);
+  if (type < static_cast<std::uint16_t>(FrameType::kRequest) ||
+      type > static_cast<std::uint16_t>(FrameType::kError)) {
+    poisoned_ = true;
+    throw DataError("wire: unknown frame type " + std::to_string(type));
+  }
+  const std::uint32_t length = read_u32_at(header + 8);
+  if (length > kMaxPayloadBytes) {
+    poisoned_ = true;
+    throw DataError("wire: payload length " + std::to_string(length) +
+                    " exceeds limit " + std::to_string(kMaxPayloadBytes));
+  }
+
+  if (buffered() < kHeaderBytes + length) return std::nullopt;
+
+  const std::uint32_t checksum = read_u32_at(header + 12);
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.assign(header + kHeaderBytes, header + kHeaderBytes + length);
+  if (wire_checksum(frame.payload) != checksum) {
+    poisoned_ = true;
+    throw DataError("wire: payload checksum mismatch");
+  }
+  consumed_ += kHeaderBytes + length;
+  return frame;
+}
+
+}  // namespace fgcs::net

@@ -1,0 +1,120 @@
+// Length-prefixed binary wire protocol for networked prediction serving
+// (DESIGN.md §9).
+//
+// A frame is a fixed 16-byte little-endian header followed by a payload:
+//
+//   offset  size  field
+//        0     4  magic     0x46474353 ("FGCS")
+//        4     2  version   kWireVersion (1)
+//        6     2  type      1 request | 2 response | 3 error
+//        8     4  payload length in bytes (≤ kMaxPayloadBytes)
+//       12     4  FNV-1a 32-bit checksum of the payload bytes
+//
+// Payloads encode BatchRequest spans and Prediction results losslessly:
+// every double travels as its IEEE-754 bit pattern (std::bit_cast to
+// uint64), so a served Prediction is bit-identical to the in-process one —
+// stronger than %.17g text round-tripping, with no parsing ambiguity.
+// Integers are fixed-width little-endian; strings are u16-length-prefixed.
+//
+// Decoding is defensive by contract: every length is validated against both
+// the hard limits below and the actual bytes available before any
+// allocation or read, trailing bytes are rejected, and malformed input of
+// any kind throws DataError — never UB, a crash, or an over-read
+// (tests/net/wire_fuzz_test.cpp holds the decoder to this under ASan/UBSan
+// with a seeded mutation corpus). FrameDecoder reassembles frames from an
+// arbitrarily-chunked byte stream (short reads are the epoll server's
+// normal diet), throwing DataError on the first sign of desync (bad magic,
+// version, oversized length, checksum mismatch) — framing cannot be
+// trusted after that, so the connection must be closed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/predictor.hpp"
+
+namespace fgcs::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x46474353u;  // "FGCS"
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 16;
+/// Hard cap on a frame payload; a length field above this is a protocol
+/// error, not an allocation request (fuzz case: length overflow).
+inline constexpr std::uint32_t kMaxPayloadBytes = 16u << 20;  // 16 MiB
+/// Hard cap on requests/predictions per frame.
+inline constexpr std::uint32_t kMaxBatchItems = 1u << 16;
+/// Hard cap on a machine-key string.
+inline constexpr std::uint32_t kMaxKeyBytes = 4096;
+
+enum class FrameType : std::uint16_t {
+  kRequest = 1,
+  kResponse = 2,
+  kError = 3,
+};
+
+/// One request item as it travels on the wire: the machine is named by a
+/// key (a machine id registered on the server, or — when the server allows
+/// it — a trace file path the server can load) instead of a local pointer.
+struct WireRequestItem {
+  std::string machine_key;
+  PredictionRequest request{};
+};
+
+/// A reassembled frame: validated header + raw payload bytes.
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  std::vector<std::uint8_t> payload;
+};
+
+/// FNV-1a 32-bit over the payload (the header checksum field).
+std::uint32_t wire_checksum(std::span<const std::uint8_t> payload);
+
+/// Wraps a payload in a framed header (magic, version, type, length,
+/// checksum). Throws PreconditionError when the payload exceeds
+/// kMaxPayloadBytes.
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       std::span<const std::uint8_t> payload);
+
+/// Request payload: u32 count, then per item a u16-length machine key,
+/// i64 target_day, i64 window start-of-day, i64 window length, and one
+/// initial-state byte (0 = none, 1 + index_of(state) otherwise).
+std::vector<std::uint8_t> encode_request(
+    std::span<const WireRequestItem> items);
+std::vector<WireRequestItem> decode_request(
+    std::span<const std::uint8_t> payload);
+
+/// Response payload: u32 count, then per Prediction the TR bits, initial
+/// state byte, three absorption-probability bit patterns, u64 training days
+/// used, u64 steps, and the estimate/solve second bit patterns.
+std::vector<std::uint8_t> encode_response(std::span<const Prediction> results);
+std::vector<Prediction> decode_response(std::span<const std::uint8_t> payload);
+
+/// Error payload: u16-length UTF-8 message.
+std::vector<std::uint8_t> encode_error(std::string_view message);
+std::string decode_error(std::span<const std::uint8_t> payload);
+
+/// Incremental frame reassembly over a byte stream. feed() appends whatever
+/// the socket produced; next() returns one complete frame at a time (nullopt
+/// when more bytes are needed) and throws DataError when the stream cannot
+/// be a valid frame sequence. After a throw the decoder is poisoned — every
+/// further call throws, mirroring "close the connection".
+class FrameDecoder {
+ public:
+  void feed(std::span<const std::uint8_t> bytes);
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace fgcs::net

@@ -31,6 +31,32 @@ if(NOT first_out STREQUAL second_out)
 endif()
 message(STATUS "chaos service scenario replayed byte-identically (pool x4)")
 
+# Network leg: the net scenario drives real loopback sockets through a
+# failpoint storm (frame corruption, short reads, stalled writes, dropped
+# accepts). Its report prints only deterministic values — per-accept and
+# per-frame injection points plus post-stop() counter snapshots — so the same
+# flags must replay to the same bytes even though the transport underneath is
+# being actively damaged.
+foreach(run net_first net_second)
+  execute_process(
+    COMMAND ${CHAOS_BIN} --scenario net --seed 11 --machines 3 --days 9
+            --jobs 5
+    OUTPUT_VARIABLE ${run}_out
+    ERROR_VARIABLE ${run}_err
+    RESULT_VARIABLE ${run}_rc)
+  if(NOT ${run}_rc EQUAL 0)
+    message(FATAL_ERROR
+      "fgcs_chaos net ${run} run failed (rc=${${run}_rc}):\n${${run}_err}")
+  endif()
+endforeach()
+
+if(NOT net_first_out STREQUAL net_second_out)
+  message(FATAL_ERROR
+    "fgcs_chaos net scenario is not replay-stable with FGCS_THREADS=4\n"
+    "--- first run ---\n${net_first_out}\n--- second run ---\n${net_second_out}")
+endif()
+message(STATUS "chaos net scenario replayed byte-identically (loopback storm)")
+
 # Observability leg: the same scenario with FGCS_TRACE_FILE set must produce
 # the *same* bytes — metrics and tracing are pure observers, never allowed to
 # perturb the replayed report.

@@ -1,0 +1,198 @@
+// Wire protocol unit tests: lossless payload round-trips (doubles travel as
+// IEEE-754 bit patterns — exact, not approximate), header framing, and
+// FrameDecoder stream reassembly under arbitrary chunking.
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fgcs::net {
+namespace {
+
+WireRequestItem item(std::string key, std::int64_t day, SimTime start,
+                     SimTime length,
+                     std::optional<State> init = std::nullopt) {
+  return WireRequestItem{
+      .machine_key = std::move(key),
+      .request = {.target_day = day,
+                  .window = {.start_of_day = start, .length = length},
+                  .initial_state = init}};
+}
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+TEST(WireRequest, RoundTripsEveryField) {
+  const std::vector<WireRequestItem> items{
+      item("lab-42", 30, 9 * 3600, 2 * 3600),
+      item("m", 0, 0, 1, State::kS1),
+      item("a long key with spaces / and: punctuation", -5, 86399, 12 * 3600,
+           State::kS2),
+  };
+  const std::vector<WireRequestItem> back =
+      decode_request(encode_request(items));
+  ASSERT_EQ(back.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(back[i].machine_key, items[i].machine_key);
+    EXPECT_EQ(back[i].request.target_day, items[i].request.target_day);
+    EXPECT_EQ(back[i].request.window.start_of_day,
+              items[i].request.window.start_of_day);
+    EXPECT_EQ(back[i].request.window.length, items[i].request.window.length);
+    EXPECT_EQ(back[i].request.initial_state, items[i].request.initial_state);
+  }
+}
+
+TEST(WireRequest, EmptyBatchRoundTrips) {
+  const std::vector<WireRequestItem> none;
+  EXPECT_TRUE(decode_request(encode_request(none)).empty());
+}
+
+TEST(WireResponse, DoublesAreBitExact) {
+  // Values chosen to break text round-trips that bit patterns survive:
+  // negative zero, subnormals, an irrational at full precision, infinity.
+  Prediction a;
+  a.temporal_reliability = 0.1 + 0.2;  // the classic 0.30000000000000004
+  a.initial_state = State::kS2;
+  a.p_absorb = {std::nextafter(0.0, 1.0), -0.0, 1.0 / 3.0};
+  a.training_days_used = 15;
+  a.steps = 720;
+  a.estimate_seconds = 1e-9;
+  a.solve_seconds = std::numeric_limits<double>::min();
+  Prediction b;
+  b.temporal_reliability = std::nextafter(1.0, 0.0);
+  b.p_absorb = {0.25, 0.5, std::numeric_limits<double>::epsilon()};
+
+  const std::vector<Prediction> sent{a, b};
+  const std::vector<Prediction> back = decode_response(encode_response(sent));
+  ASSERT_EQ(back.size(), 2u);
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_TRUE(same_bits(back[i].temporal_reliability,
+                          sent[i].temporal_reliability));
+    EXPECT_EQ(back[i].initial_state, sent[i].initial_state);
+    for (int k = 0; k < 3; ++k)
+      EXPECT_TRUE(same_bits(back[i].p_absorb[static_cast<std::size_t>(k)],
+                            sent[i].p_absorb[static_cast<std::size_t>(k)]));
+    EXPECT_EQ(back[i].training_days_used, sent[i].training_days_used);
+    EXPECT_EQ(back[i].steps, sent[i].steps);
+    EXPECT_TRUE(same_bits(back[i].estimate_seconds, sent[i].estimate_seconds));
+    EXPECT_TRUE(same_bits(back[i].solve_seconds, sent[i].solve_seconds));
+  }
+}
+
+TEST(WireError, MessageRoundTrips) {
+  EXPECT_EQ(decode_error(encode_error("boom: détails")), "boom: détails");
+  EXPECT_EQ(decode_error(encode_error("")), "");
+}
+
+TEST(WireFrame, HeaderLayoutMatchesSpec) {
+  const std::vector<std::uint8_t> payload{1, 2, 3};
+  const std::vector<std::uint8_t> frame =
+      encode_frame(FrameType::kError, payload);
+  ASSERT_EQ(frame.size(), kHeaderBytes + payload.size());
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, frame.data(), 4);
+  EXPECT_EQ(magic, kWireMagic);
+  std::uint16_t version = 0;
+  std::memcpy(&version, frame.data() + 4, 2);
+  EXPECT_EQ(version, kWireVersion);
+  std::uint16_t type = 0;
+  std::memcpy(&type, frame.data() + 6, 2);
+  EXPECT_EQ(type, static_cast<std::uint16_t>(FrameType::kError));
+  std::uint32_t length = 0;
+  std::memcpy(&length, frame.data() + 8, 4);
+  EXPECT_EQ(length, payload.size());
+  std::uint32_t checksum = 0;
+  std::memcpy(&checksum, frame.data() + 12, 4);
+  EXPECT_EQ(checksum, wire_checksum(payload));
+}
+
+TEST(WireChecksum, IsFnv1aStable) {
+  // Pinned values so an accidental checksum change breaks loudly (it would
+  // desync every deployed peer).
+  EXPECT_EQ(wire_checksum({}), 0x811c9dc5u);  // FNV-1a offset basis
+  const std::vector<std::uint8_t> abc{'a', 'b', 'c'};
+  EXPECT_EQ(wire_checksum(abc), 0x1a47e90bu);
+}
+
+TEST(FrameDecoder, ReassemblesByteAtATime) {
+  const std::vector<WireRequestItem> items{item("k", 7, 3600, 1800)};
+  const std::vector<std::uint8_t> bytes =
+      encode_frame(FrameType::kRequest, encode_request(items));
+
+  FrameDecoder decoder;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    decoder.feed({&bytes[i], 1});
+    EXPECT_FALSE(decoder.next().has_value()) << "frame complete too early";
+  }
+  decoder.feed({&bytes[bytes.size() - 1], 1});
+  const std::optional<Frame> frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kRequest);
+  EXPECT_EQ(decode_request(frame->payload).at(0).machine_key, "k");
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoder, SplitsBackToBackFrames) {
+  std::vector<std::uint8_t> stream =
+      encode_frame(FrameType::kError, encode_error("first"));
+  const std::vector<std::uint8_t> second =
+      encode_frame(FrameType::kError, encode_error("second"));
+  stream.insert(stream.end(), second.begin(), second.end());
+
+  FrameDecoder decoder;
+  decoder.feed(stream);
+  const std::optional<Frame> one = decoder.next();
+  const std::optional<Frame> two = decoder.next();
+  ASSERT_TRUE(one && two);
+  EXPECT_EQ(decode_error(one->payload), "first");
+  EXPECT_EQ(decode_error(two->payload), "second");
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(FrameDecoder, RejectsBadMagicBeforePayloadArrives) {
+  std::vector<std::uint8_t> bytes =
+      encode_frame(FrameType::kError, encode_error("x"));
+  bytes[0] ^= 0xff;
+  FrameDecoder decoder;
+  // Header alone (16 bytes) must already trip the desync — fail fast, don't
+  // wait for a payload that may never come.
+  decoder.feed({bytes.data(), kHeaderBytes});
+  EXPECT_THROW(decoder.next(), DataError);
+  // Poisoned: every further use throws.
+  EXPECT_THROW(decoder.next(), DataError);
+  EXPECT_THROW(decoder.feed({bytes.data(), 1}), DataError);
+}
+
+TEST(FrameDecoder, RejectsChecksumMismatch) {
+  std::vector<std::uint8_t> bytes =
+      encode_frame(FrameType::kRequest,
+                   encode_request(std::vector<WireRequestItem>{
+                       item("m", 3, 0, 600)}));
+  bytes.back() ^= 0x01;  // corrupt payload, header checksum now wrong
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  EXPECT_THROW(decoder.next(), DataError);
+}
+
+TEST(WireFrame, OversizedPayloadIsPreconditionError) {
+  // encode side: refuse to build an unsendable frame.
+  std::vector<std::uint8_t> big(kMaxPayloadBytes + 1);
+  EXPECT_THROW(encode_frame(FrameType::kError, big), PreconditionError);
+}
+
+TEST(WireRequest, OversizedKeyIsRejectedAtEncode) {
+  const std::vector<WireRequestItem> items{
+      item(std::string(kMaxKeyBytes + 1, 'k'), 1, 0, 60)};
+  EXPECT_THROW(encode_request(items), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fgcs::net

@@ -1,6 +1,6 @@
 // fgcs_chaos — replay named fault-injection scenarios deterministically.
 //
-//   fgcs_chaos --scenario revocation|churn|registry|service
+//   fgcs_chaos --scenario revocation|churn|registry|service|net
 //              [--seed S] [--machines N] [--days D] [--jobs J]
 //              [--failpoints SPEC]
 //
@@ -118,6 +118,94 @@ int run_churn(std::uint64_t seed, int machines, int days, int jobs) {
   return completed == 0 ? 1 : 0;
 }
 
+/// Loopback prediction serving under a failpoint storm: dropped accepts,
+/// 3-byte reads, 16-byte writes, and corrupt-flagged frames. The client's
+/// whole-batch retry must drive every job to completion with Predictions
+/// bit-identical to an in-process service, and — because every net failpoint
+/// is evaluated per connection or per frame, never per read()/write() — the
+/// printed counters and FailpointStats replay byte-identically.
+int run_net(std::uint64_t seed, int machines, int days, int jobs) {
+  WorkloadParams params;
+  const std::vector<MachineTrace> traces =
+      generate_fleet(params, seed, machines, days, "chaos");
+
+  net::PredictionServer server(net::ServerConfig{},
+                               std::make_shared<PredictionService>());
+  for (const MachineTrace& trace : traces) server.add_trace(trace);
+  server.start();
+
+  net::ClientConfig client_config;
+  client_config.port = server.port();
+  client_config.max_attempts = 10;
+  client_config.backoff.retry_delay = 2;      // ms: keep the replay quick
+  client_config.backoff.max_retry_delay = 50; // ms
+  net::PredictionClient client(client_config);
+
+  // Independent in-process reference for the bit-identity verdicts.
+  PredictionService reference;
+
+  int completed = 0;
+  for (int j = 0; j < jobs; ++j) {
+    std::vector<net::WireRequestItem> items;
+    std::vector<const MachineTrace*> item_traces;
+    for (int k = 0; k < 2; ++k) {
+      const MachineTrace& trace =
+          traces[static_cast<std::size_t>(j + k) % traces.size()];
+      net::WireRequestItem item;
+      item.machine_key = trace.machine_id();
+      item.request.target_day = trace.day_count();
+      item.request.window.start_of_day =
+          (8 + (j + 5 * k) % 10) * kSecondsPerHour;
+      item.request.window.length = (1 + j % 4) * kSecondsPerHour;
+      items.push_back(std::move(item));
+      item_traces.push_back(&trace);
+    }
+    const std::vector<Prediction> served = client.predict_batch(items);
+    bool identical = true;
+    for (std::size_t i = 0; i < served.size(); ++i) {
+      const Prediction expected =
+          reference.predict(*item_traces[i], items[i].request);
+      identical = identical &&
+                  served[i].temporal_reliability ==
+                      expected.temporal_reliability &&
+                  served[i].p_absorb == expected.p_absorb;
+      std::printf("job %02d.%zu: %-12s TR %.17g %s\n", j, i,
+                  items[i].machine_key.c_str(),
+                  served[i].temporal_reliability,
+                  identical ? "bit-identical" : "MISMATCH");
+    }
+    completed += identical ? 1 : 0;
+  }
+
+  // stop() joins the serving thread, so the snapshot below can't race the
+  // loop's final counter increments (the last write lands before the join).
+  server.stop();
+  const net::ServerStats stats = server.stats();
+  // `active` and timing-derived values stay out of this line; everything
+  // printed is pinned by the failpoint spec + seed alone.
+  std::printf("server: accepted=%llu dropped=%llu frames=%llu requests=%llu "
+              "predictions=%llu responses=%llu errors=%llu rx=%llu tx=%llu\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.dropped),
+              static_cast<unsigned long long>(stats.frames),
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.predictions),
+              static_cast<unsigned long long>(stats.responses),
+              static_cast<unsigned long long>(stats.errors),
+              static_cast<unsigned long long>(stats.rx_bytes),
+              static_cast<unsigned long long>(stats.tx_bytes));
+  const net::ClientStats& client_stats = client.stats();
+  std::printf("client: batches=%llu attempts=%llu retries=%llu "
+              "reconnects=%llu server_errors=%llu\n",
+              static_cast<unsigned long long>(client_stats.batches),
+              static_cast<unsigned long long>(client_stats.attempts),
+              static_cast<unsigned long long>(client_stats.retries),
+              static_cast<unsigned long long>(client_stats.reconnects),
+              static_cast<unsigned long long>(client_stats.server_errors));
+  std::printf("completed %d/%d\n", completed, jobs);
+  return completed == jobs ? 0 : 1;
+}
+
 int main_checked(int argc, char** argv) {
   const ArgParser args(argc, argv);
   const std::string scenario = args.get("scenario");
@@ -147,6 +235,13 @@ int main_checked(int argc, char** argv) {
     else if (scenario == "service")
       spec = "service.cache.invalidate=every:5;service.estimate.slow=every:9," +
              std::string("latency=0.0005");
+    else if (scenario == "net")
+      // frame.corrupt is the storm's driver (it forces reconnects, which
+      // feed the per-accept points); the reconnect stream then hits capped
+      // reads/writes every other connection and a dropped accept every 3rd.
+      spec = "net.frame.corrupt=prob:0.4:" + s +
+             ";net.read.short=every:2;net.write.stall=every:2;"
+             "net.accept.drop=every:3";
   }
 
   Failpoints::instance().reset();
@@ -195,10 +290,12 @@ int main_checked(int argc, char** argv) {
                 static_cast<unsigned long long>(service_stats.invalidations));
     std::printf("completed %d/%d\n", completed, jobs);
     status = completed == 0 ? 1 : 0;
+  } else if (scenario == "net") {
+    status = run_net(seed, machines, days, jobs);
   } else {
     std::fprintf(stderr,
                  "unknown scenario '%s' "
-                 "(use revocation|churn|registry|service)\n",
+                 "(use revocation|churn|registry|service|net)\n",
                  scenario.c_str());
     return 1;
   }

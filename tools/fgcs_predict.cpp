@@ -18,9 +18,18 @@
 //
 // --metrics appends the process-wide Prometheus-style exposition
 // (MetricsRegistry::render_text(), DESIGN.md §8) after the batch report.
+//
+// Remote mode ships the same batch file to a running fgcs_serve instead of
+// predicting in-process (DESIGN.md §9); machines are named over the wire by
+// their trace file path exactly as written in the batch file, so against a
+// server sharing this filesystem the output TR lines are identical:
+//
+//   fgcs_predict --batch FILE --connect HOST:PORT [--timeout SECONDS]
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "net/client.hpp"
 
 #include "batch_file.hpp"
 #include "core/analysis.hpp"
@@ -29,6 +38,59 @@
 #include "util/metrics.hpp"
 
 namespace {
+
+int run_connect(const fgcs::ArgParser& args) {
+  using namespace fgcs;
+  const std::string endpoint = args.get("connect");
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    std::fprintf(stderr, "fgcs_predict: --connect wants HOST:PORT, got %s\n",
+                 endpoint.c_str());
+    return 1;
+  }
+
+  net::ClientConfig config;
+  config.host = endpoint.substr(0, colon);
+  config.port = static_cast<std::uint16_t>(std::stoi(endpoint.substr(colon + 1)));
+  config.request_timeout = args.get_double_or("timeout", 30.0);
+  const std::string path = args.get("batch");
+  args.check_all_consumed();
+
+  // The batch file is parsed locally for the same reason it is parsed by
+  // --batch: per-line defaults (target day = day after the trace's history)
+  // come from the trace itself. The wire request then names each machine by
+  // the trace *path* as written, which the server resolves on its side.
+  const tools::BatchFile batch = tools::load_batch_file(path);
+  std::map<const MachineTrace*, std::string> paths;
+  for (const auto& [trace_path, trace] : batch.traces)
+    paths[&trace] = trace_path;
+
+  std::vector<net::WireRequestItem> items;
+  items.reserve(batch.requests.size());
+  for (const BatchRequest& request : batch.requests)
+    items.push_back(net::WireRequestItem{.machine_key = paths[request.trace],
+                                         .request = request.request});
+
+  net::PredictionClient client(config);
+  const std::vector<Prediction> predictions = client.predict_batch(items);
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const BatchRequest& request = batch.requests[i];
+    std::printf("%-12s day %-4lld %-12s TR %.4f\n",
+                request.trace->machine_id().c_str(),
+                static_cast<long long>(request.request.target_day),
+                request.request.window.describe().c_str(),
+                predictions[i].temporal_reliability);
+  }
+  const net::ClientStats& stats = client.stats();
+  std::printf("# net: %s:%u, %llu attempts (%llu retries), "
+              "%llu server errors\n",
+              config.host.c_str(), config.port,
+              static_cast<unsigned long long>(stats.attempts),
+              static_cast<unsigned long long>(stats.retries),
+              static_cast<unsigned long long>(stats.server_errors));
+  return 0;
+}
 
 int run_batch(const fgcs::ArgParser& args) {
   using namespace fgcs;
@@ -82,6 +144,7 @@ int main(int argc, char** argv) {
   using namespace fgcs;
   try {
     const ArgParser args(argc, argv, {"analysis", "metrics"});
+    if (args.has("connect")) return run_connect(args);
     if (args.has("batch")) return run_batch(args);
     const MachineTrace trace = MachineTrace::load_file(args.get("trace"));
 

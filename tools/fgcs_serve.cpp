@@ -1,0 +1,178 @@
+// fgcs_serve — serve TR predictions over the binary wire protocol.
+//
+//   fgcs_serve [--host H] [--port P] [--training-days N] [--threads N]
+//              [--no-load] [--max-requests N] [--metrics] TRACE...
+//
+// Loads each positional trace file into a PredictionServer backed by one
+// memoized PredictionService and serves request frames (see DESIGN.md §9)
+// until interrupted or until --max-requests request frames have been
+// answered. Clients name machines either by the loaded machine id or —
+// unless --no-load is given — by a trace file path readable by the server.
+//
+//   fgcs_serve --selfcheck [--port P]
+//
+// Self-check mode: binds an ephemeral (or given) port, serves a synthetic
+// fleet to an in-process PredictionClient, and verifies the served
+// Predictions are bit-identical to the same service called in-process —
+// cold and warm. Exits 0 on success; this is the tool's smoke test.
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fgcs.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace fgcs;
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void handle_signal(int) { g_interrupted = 1; }
+
+int selfcheck(std::uint16_t port) {
+  WorkloadParams params;
+  params.sampling_period = 60;
+  const std::vector<MachineTrace> fleet =
+      generate_fleet(params, /*seed=*/20060619, /*count=*/2, /*days=*/12,
+                     "selfcheck");
+
+  const auto service = std::make_shared<PredictionService>();
+  net::ServerConfig server_config;
+  server_config.port = port;
+  net::PredictionServer server(server_config, service);
+  for (const MachineTrace& trace : fleet) server.add_trace(trace);
+  server.start();
+  std::printf("fgcs_serve: selfcheck listening on %s:%u\n",
+              server.host().c_str(), server.port());
+
+  net::ClientConfig client_config;
+  client_config.port = server.port();
+  net::PredictionClient client(client_config);
+
+  std::vector<net::WireRequestItem> items;
+  for (const MachineTrace& trace : fleet)
+    for (const SimTime start_hour : {9, 14})
+      items.push_back(net::WireRequestItem{
+          .machine_key = trace.machine_id(),
+          .request = {.target_day = trace.day_count(),
+                      .window = {.start_of_day = start_hour * kSecondsPerHour,
+                                 .length = 2 * kSecondsPerHour}}});
+
+  // In-process reference through a *separate* service instance, so the
+  // comparison crosses the wire plus an independent cache.
+  PredictionService reference;
+  std::vector<Prediction> expected;
+  for (const net::WireRequestItem& item : items) {
+    const MachineTrace* trace = nullptr;
+    for (const MachineTrace& t : fleet)
+      if (t.machine_id() == item.machine_key) trace = &t;
+    expected.push_back(reference.predict(*trace, item.request));
+  }
+
+  for (const char* pass : {"cold", "warm"}) {
+    const std::vector<Prediction> served = client.predict_batch(items);
+    for (std::size_t i = 0; i < served.size(); ++i) {
+      if (served[i].temporal_reliability != expected[i].temporal_reliability ||
+          served[i].initial_state != expected[i].initial_state ||
+          served[i].p_absorb != expected[i].p_absorb ||
+          served[i].steps != expected[i].steps) {
+        std::fprintf(stderr,
+                     "fgcs_serve: selfcheck FAILED (%s pass, request %zu): "
+                     "served TR %.17g != in-process %.17g\n",
+                     pass, i, served[i].temporal_reliability,
+                     expected[i].temporal_reliability);
+        return 1;
+      }
+    }
+    std::printf("fgcs_serve: selfcheck %s pass OK (%zu predictions, "
+                "bit-identical)\n",
+                pass, served.size());
+  }
+  server.stop();  // join first: quiesces the counters the report reads
+  const net::ServerStats stats = server.stats();
+  std::printf("fgcs_serve: selfcheck served %llu frames, %llu predictions, "
+              "rx %llu tx %llu bytes\n",
+              static_cast<unsigned long long>(stats.frames),
+              static_cast<unsigned long long>(stats.predictions),
+              static_cast<unsigned long long>(stats.rx_bytes),
+              static_cast<unsigned long long>(stats.tx_bytes));
+  return 0;
+}
+
+int main_checked(int argc, char** argv) {
+  const ArgParser args(argc, argv, {"selfcheck", "no-load", "metrics"});
+  if (args.has("selfcheck")) {
+    const auto port = static_cast<std::uint16_t>(args.get_int_or("port", 0));
+    args.check_all_consumed();
+    return selfcheck(port);
+  }
+
+  ServiceConfig service_config;
+  service_config.estimator.training_days =
+      static_cast<std::size_t>(args.get_int_or("training-days", 15));
+  service_config.max_threads =
+      static_cast<unsigned>(args.get_int_or("threads", 0));
+
+  net::ServerConfig server_config;
+  server_config.host = args.get_or("host", "127.0.0.1");
+  server_config.port = static_cast<std::uint16_t>(args.get_int_or("port", 7070));
+  server_config.allow_trace_loading = !args.has("no-load");
+  const std::int64_t max_requests = args.get_int_or("max-requests", 0);
+  const bool want_metrics = args.has("metrics");
+  args.check_all_consumed();
+
+  const auto service = std::make_shared<PredictionService>(service_config);
+  net::PredictionServer server(server_config, service);
+  for (const std::string& path : args.positional()) {
+    server.add_trace(MachineTrace::load_file(path));
+    std::printf("fgcs_serve: loaded %s\n", path.c_str());
+  }
+  if (args.positional().empty() && !server_config.allow_trace_loading) {
+    std::fprintf(stderr,
+                 "fgcs_serve: --no-load with no traces would serve nothing\n");
+    return 1;
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  server.start();
+  // Unbuffered so a parent process piping our stdout sees the port line
+  // immediately (tests/net/net_tools_test.cpp parses it).
+  std::printf("fgcs_serve: listening on %s:%u (%zu traces)\n",
+              server.host().c_str(), server.port(), args.positional().size());
+  std::fflush(stdout);
+
+  while (!g_interrupted) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (max_requests > 0 &&
+        server.stats().requests >= static_cast<std::uint64_t>(max_requests))
+      break;
+  }
+
+  server.stop();
+  const net::ServerStats stats = server.stats();
+  std::printf("fgcs_serve: served %llu requests (%llu predictions, "
+              "%llu errors), rx %llu tx %llu bytes\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.predictions),
+              static_cast<unsigned long long>(stats.errors),
+              static_cast<unsigned long long>(stats.rx_bytes),
+              static_cast<unsigned long long>(stats.tx_bytes));
+  if (want_metrics)
+    std::printf("\n%s", MetricsRegistry::global().render_text().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return main_checked(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "fgcs_serve: %s\n", error.what());
+    return 1;
+  }
+}

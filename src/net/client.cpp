@@ -71,8 +71,13 @@ std::vector<Prediction> PredictionClient::predict_batch(
     ++stats_.attempts;
     try {
       return attempt_once(items);
+    } catch (const RemoteError&) {
+      // The server rejected the request itself — retrying identical bytes
+      // cannot succeed, so surface it now.
+      close();
+      throw;
     } catch (const DataError& error) {
-      // Every wire-level failure is retryable: the batch is idempotent and
+      // Transport-level failures are retryable: the batch is idempotent and
       // the server's memoized cache makes the retry cheap and bit-stable.
       last_failure = error.what();
       close();
@@ -100,10 +105,14 @@ std::vector<Prediction> PredictionClient::attempt_once(
                         std::to_string(items.size()) + " requests");
       return results;
     }
-    case FrameType::kError:
+    case FrameType::kError: {
       ++stats_.server_errors;
-      throw DataError("net client: server error: " +
-                      decode_error(frame.payload));
+      const WireError error = decode_error(frame.payload);
+      if (!error.retryable)
+        throw RemoteError("net client: server rejected request: " +
+                          error.message);
+      throw DataError("net client: server error: " + error.message);
+    }
     case FrameType::kRequest:
       break;
   }

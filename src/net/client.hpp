@@ -4,14 +4,17 @@
 // predict_batch() ships a request frame to a PredictionServer and returns
 // the decoded Predictions, bit-identical to calling the service in-process
 // (the wire carries IEEE-754 bit patterns, net/wire.hpp). The call is
-// synchronous and *self-healing*: any failure of an attempt — connect or
-// request timeout, connection reset, an error frame from the server, a
+// synchronous and *self-healing*: any transport failure of an attempt —
+// connect or request timeout, connection reset, a retryable error frame, a
 // corrupt or desynced stream — closes the socket and retries the whole
 // (idempotent) batch, pacing attempts with the scheduler's jittered
 // capped-exponential-backoff helper (retry_backoff_delay, with
 // SchedulerConfig delay fields interpreted in milliseconds). Only after
 // max_attempts consecutive failures does the client throw DataError,
-// carrying the last attempt's failure.
+// carrying the last attempt's failure. A *non-retryable* error frame —
+// the server rejected the request itself (unknown machine key, undecodable
+// payload), so every retry would fail identically — fails fast instead,
+// throwing RemoteError from the first attempt with no backoff burned.
 //
 // The retry/backoff stream is seeded (backoff.backoff_seed), so a chaos run
 // with pinned failpoints replays its exact retry schedule.
@@ -29,9 +32,20 @@
 #include "core/predictor.hpp"
 #include "ishare/scheduler.hpp"
 #include "net/wire.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace fgcs::net {
+
+/// The server rejected the request itself (error frame with retryable=0):
+/// identical bytes would be rejected identically, so predict_batch throws
+/// this immediately instead of burning max_attempts round-trips + backoff.
+/// Derives from DataError, so callers that only care about "the call
+/// failed" keep working unchanged.
+class RemoteError : public DataError {
+ public:
+  using DataError::DataError;
+};
 
 struct ClientConfig {
   std::string host = "127.0.0.1";
@@ -70,8 +84,9 @@ class PredictionClient {
   PredictionClient& operator=(const PredictionClient&) = delete;
 
   /// Round-trips one batch. Returns results aligned with `items`. Throws
-  /// DataError after max_attempts failed attempts (or PreconditionError on
-  /// an unencodable request).
+  /// DataError after max_attempts failed transport attempts, RemoteError
+  /// immediately on a non-retryable server rejection (or PreconditionError
+  /// on an unencodable request).
   std::vector<Prediction> predict_batch(
       std::span<const WireRequestItem> items);
 

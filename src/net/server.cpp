@@ -1,6 +1,7 @@
 #include "net/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
@@ -10,6 +11,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
 #include <utility>
 
 #include "util/error.hpp"
@@ -93,6 +95,8 @@ void PredictionServer::start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
   bound_port_ = ntohs(bound.sin_port);
 
+  spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+
   loop_ = std::make_unique<EventLoop>();
   loop_->add(listen_fd_, EPOLLIN,
              [this](std::uint32_t events) { handle_accept(events); });
@@ -113,6 +117,10 @@ void PredictionServer::stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  if (spare_fd_ >= 0) {
+    ::close(spare_fd_);
+    spare_fd_ = -1;
+  }
   loop_.reset();
 }
 
@@ -122,7 +130,24 @@ void PredictionServer::handle_accept(std::uint32_t) {
   for (;;) {
     const int fd =
         ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) return;  // EAGAIN (or transient error): wait for next event
+    if (fd < 0) {
+      if ((errno == EMFILE || errno == ENFILE) && spare_fd_ >= 0) {
+        // Out of descriptors with a connection still pending: the
+        // level-triggered listen fd would re-fire forever. Spend the spare
+        // fd to drain and refuse the connection, then reopen the reserve.
+        ::close(spare_fd_);
+        const int drained = ::accept4(listen_fd_, nullptr, nullptr,
+                                      SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (drained >= 0) {
+          accepted_.fetch_add(1, std::memory_order_relaxed);
+          dropped_.fetch_add(1, std::memory_order_relaxed);
+          ::close(drained);
+        }
+        spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+        continue;
+      }
+      return;  // EAGAIN (or transient error): wait for next event
+    }
     accepted_.fetch_add(1, std::memory_order_relaxed);
     // The failpoint is evaluated exactly once per accept — before the
     // capacity check, so its evaluation count replays deterministically.
@@ -182,10 +207,13 @@ void PredictionServer::handle_connection(int fd, std::uint32_t events) {
     } catch (const DataError& error) {
       // Framing desync: answer best-effort (the outbox may never drain on a
       // desynced peer, so write the error frame directly) and close.
+      // MSG_NOSIGNAL: a peer that already hung up must cost this
+      // connection, not a process-killing SIGPIPE.
       errors_.add(1);
-      const std::vector<std::uint8_t> frame =
-          encode_frame(FrameType::kError, encode_error(error.what()));
-      const ssize_t written = ::write(fd, frame.data(), frame.size());
+      const std::vector<std::uint8_t> frame = encode_frame(
+          FrameType::kError, encode_error(error.what(), /*retryable=*/true));
+      const ssize_t written =
+          ::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
       if (written > 0) tx_bytes_.add(static_cast<std::uint64_t>(written));
       close_connection(fd);
       return;
@@ -204,7 +232,8 @@ void PredictionServer::process_frame(Connection& conn, const Frame& frame) {
     // framing is still intact.
     errors_.add(1);
     send_frame(conn, FrameType::kError,
-               encode_error("unexpected frame type on server"));
+               encode_error("unexpected frame type on server",
+                            /*retryable=*/false));
     return;
   }
   TraceSpan span("net.request", &request_hist_);
@@ -213,7 +242,8 @@ void PredictionServer::process_frame(Connection& conn, const Frame& frame) {
   if (FGCS_FAILPOINT("net.frame.corrupt")) {
     errors_.add(1);
     send_frame(conn, FrameType::kError,
-               encode_error("injected: net.frame.corrupt"));
+               encode_error("injected: net.frame.corrupt",
+                            /*retryable=*/true));
     return;
   }
   try {
@@ -224,9 +254,11 @@ void PredictionServer::process_frame(Connection& conn, const Frame& frame) {
   } catch (const std::exception& error) {
     // Undecodable payload, unknown machine, or a semantic precondition the
     // prediction stack rejected: the *connection* is fine, the request is
-    // not. Error frame, keep serving.
+    // not — and resending the same bytes cannot change the outcome, so the
+    // error frame is marked non-retryable. Keep serving.
     errors_.add(1);
-    send_frame(conn, FrameType::kError, encode_error(error.what()));
+    send_frame(conn, FrameType::kError,
+               encode_error(error.what(), /*retryable=*/false));
   }
 }
 
@@ -234,6 +266,10 @@ std::vector<Prediction> PredictionServer::serve_request(
     std::span<const std::uint8_t> payload) {
   const std::vector<WireRequestItem> items = decode_request(payload);
   requests_.add(1);
+  // Trim the loaded-trace cache *between* batches only: pointers resolved
+  // below must stay valid until predict_batch returns, so a batch may
+  // transiently overshoot max_loaded_traces by its own (bounded) size.
+  evict_loaded_traces();
   std::vector<BatchRequest> batch;
   batch.reserve(items.size());
   for (const WireRequestItem& item : items)
@@ -242,17 +278,49 @@ std::vector<Prediction> PredictionServer::serve_request(
   return service_->predict_batch(batch);
 }
 
+void PredictionServer::evict_loaded_traces() {
+  while (loaded_paths_.size() > config_.max_loaded_traces) {
+    auto victim = loaded_paths_.begin();
+    for (auto it = loaded_paths_.begin(); it != loaded_paths_.end(); ++it)
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    loaded_paths_.erase(victim);
+  }
+  loaded_count_.store(loaded_paths_.size(), std::memory_order_relaxed);
+}
+
 const MachineTrace* PredictionServer::resolve_trace(const std::string& key) {
   if (const auto it = traces_.find(key); it != traces_.end())
     return &it->second;
-  if (const auto it = loaded_paths_.find(key); it != loaded_paths_.end())
-    return &it->second;
-  if (!config_.allow_trace_loading)
+  if (const auto it = loaded_paths_.find(key); it != loaded_paths_.end()) {
+    it->second.last_used = ++load_clock_;
+    return &it->second.trace;
+  }
+  return load_trace(key);
+}
+
+const MachineTrace* PredictionServer::load_trace(const std::string& key) {
+  if (config_.trace_root.empty())
     throw DataError("net server: unknown machine key '" + key + "'");
-  // Loading throws DataError itself when the key is not a readable trace.
-  const auto [it, inserted] =
-      loaded_paths_.emplace(key, MachineTrace::load_file(key));
-  return &it->second;
+  // Sandbox the load: the key must canonicalize to a path under trace_root
+  // (symlinks and ".." resolved), or the client is probing the filesystem.
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path root = fs::weakly_canonical(config_.trace_root, ec);
+  const fs::path resolved =
+      ec ? fs::path{} : fs::weakly_canonical(root / key, ec);
+  const auto [mismatch_root, ignored] =
+      std::mismatch(root.begin(), root.end(), resolved.begin(),
+                    resolved.end());
+  if (ec || root.empty() || mismatch_root != root.end())
+    throw DataError("net server: machine key '" + key +
+                    "' is not a trace under the configured root");
+  // Loading throws DataError itself when the path is not a readable trace.
+  const auto [it, inserted] = loaded_paths_.emplace(
+      key, LoadedTrace{.trace = MachineTrace::load_file(resolved.string()),
+                       .last_used = ++load_clock_});
+  trace_loads_.fetch_add(1, std::memory_order_relaxed);
+  loaded_count_.store(loaded_paths_.size(), std::memory_order_relaxed);
+  return &it->second.trace;
 }
 
 void PredictionServer::send_frame(Connection& conn, FrameType type,
@@ -277,8 +345,11 @@ void PredictionServer::flush_outbox(Connection& conn) {
     const std::size_t chunk =
         conn.stalled_writes ? std::min(kStallWriteBytes, remaining)
                             : remaining;
-    const ssize_t n =
-        ::write(conn.fd, conn.outbox.data() + conn.outbox_sent, chunk);
+    // MSG_NOSIGNAL: a client that closed mid-response must not SIGPIPE the
+    // whole server; the EPIPE surfaces as EPOLLERR/HUP and closes only this
+    // connection.
+    const ssize_t n = ::send(conn.fd, conn.outbox.data() + conn.outbox_sent,
+                             chunk, MSG_NOSIGNAL);
     if (n < 0) {
       // EAGAIN: wait for EPOLLOUT. Hard errors surface as EPOLLERR/HUP on
       // the next poll, which closes the connection.
@@ -320,6 +391,8 @@ ServerStats PredictionServer::stats() const {
   stats.predictions = predictions_.load(std::memory_order_relaxed);
   stats.responses = responses_.load(std::memory_order_relaxed);
   stats.errors = errors_.value();
+  stats.trace_loads = trace_loads_.load(std::memory_order_relaxed);
+  stats.loaded_traces = loaded_count_.load(std::memory_order_relaxed);
   stats.rx_bytes = rx_bytes_.value();
   stats.tx_bytes = tx_bytes_.value();
   return stats;

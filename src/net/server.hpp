@@ -5,18 +5,24 @@
 // serving thread. Connections are plain length-prefixed wire frames
 // (net/wire.hpp): a request frame names machines by key, the server
 // resolves each key against its registered traces (falling back to loading
-// the key as a trace file path when allow_trace_loading is set), fans the
-// whole batch into PredictionService::predict_batch — which parallelizes
-// over the persistent ThreadPool — and answers with one response frame
-// whose Predictions are bit-identical to the in-process call.
+// the key as a trace file path when a trace_root is configured — paths must
+// resolve under that root, and the loaded cache is LRU-bounded by
+// max_loaded_traces), fans the whole batch into
+// PredictionService::predict_batch — which parallelizes over the persistent
+// ThreadPool — and answers with one response frame whose Predictions are
+// bit-identical to the in-process call.
 //
 // Failure semantics: a malformed *payload* (undecodable request, unknown
-// machine key, unloadable trace) earns an error frame and the connection
-// keeps serving; a malformed *frame* (bad magic/version/length/checksum)
-// means the stream is desynced, so the server sends a best-effort error
-// frame and closes that connection — other connections are unaffected, and
-// the server keeps accepting (tests/net/wire_fuzz_test.cpp holds it to
-// this under a mutation corpus).
+// machine key, unloadable trace) earns a non-retryable error frame and the
+// connection keeps serving; a malformed *frame* (bad
+// magic/version/length/checksum) means the stream is desynced, so the
+// server sends a best-effort retryable error frame and closes that
+// connection — other connections are unaffected, and the server keeps
+// accepting (tests/net/wire_fuzz_test.cpp holds it to this under a mutation
+// corpus). All socket writes use MSG_NOSIGNAL, so a peer that disappears
+// mid-response costs one connection, never a SIGPIPE of the process; fd
+// exhaustion at accept time is drained through a reserved spare descriptor
+// instead of busy-spinning the level-triggered listen fd.
 //
 // Fault injection (tests/chaos/net_chaos_test.cpp): four failpoints cover
 // the distinct network failure modes, each evaluated at a point whose
@@ -64,9 +70,15 @@ struct ServerConfig {
   int backlog = 128;
   /// Connections beyond this are accepted and immediately closed.
   std::size_t max_connections = 256;
-  /// Resolve unknown machine keys as trace file paths on the server's
-  /// filesystem (loaded once, then cached). Registered ids win.
-  bool allow_trace_loading = true;
+  /// When non-empty, unknown machine keys are resolved as trace file paths
+  /// that must canonicalize to somewhere under this directory; empty (the
+  /// default) disables filesystem loading entirely, so clients can only
+  /// name registered traces. Registered ids always win over paths.
+  std::string trace_root;
+  /// Cap on distinct path-loaded traces cached at once; least-recently-used
+  /// entries are evicted between requests (never mid-batch, so pointers
+  /// handed to predict_batch stay valid).
+  std::size_t max_loaded_traces = 32;
 };
 
 /// Monotonic serving counters; snapshot via PredictionServer::stats().
@@ -79,6 +91,8 @@ struct ServerStats {
   std::uint64_t predictions = 0;   ///< predictions served
   std::uint64_t responses = 0;     ///< response frames sent
   std::uint64_t errors = 0;        ///< error frames sent
+  std::uint64_t trace_loads = 0;   ///< trace files loaded from trace_root
+  std::uint64_t loaded_traces = 0; ///< path-loaded traces currently cached
   std::uint64_t rx_bytes = 0;
   std::uint64_t tx_bytes = 0;
 };
@@ -139,7 +153,9 @@ class PredictionServer {
   void process_frame(Connection& conn, const Frame& frame);
   std::vector<Prediction> serve_request(
       std::span<const std::uint8_t> payload);
+  void evict_loaded_traces();
   const MachineTrace* resolve_trace(const std::string& key);
+  const MachineTrace* load_trace(const std::string& key);
   void send_frame(Connection& conn, FrameType type,
                   std::span<const std::uint8_t> payload);
   void flush_outbox(Connection& conn);
@@ -149,12 +165,22 @@ class PredictionServer {
   ServerConfig config_;
   std::shared_ptr<PredictionService> service_;
 
+  /// One path-loaded trace plus its recency stamp for LRU eviction.
+  struct LoadedTrace {
+    MachineTrace trace;
+    std::uint64_t last_used = 0;
+  };
+
   std::map<std::string, MachineTrace> traces_;       // by machine_id
-  std::map<std::string, MachineTrace> loaded_paths_; // by request key (path)
+  std::map<std::string, LoadedTrace> loaded_paths_;  // by request key (path)
+  std::uint64_t load_clock_ = 0;                     // loop thread only
 
   std::unique_ptr<EventLoop> loop_;
   std::unordered_map<int, Connection> connections_;  // loop thread only
   int listen_fd_ = -1;
+  /// Held open so EMFILE at accept time can be drained: close it, accept
+  /// the pending connection onto the freed descriptor, close that, reopen.
+  int spare_fd_ = -1;
   std::uint16_t bound_port_ = 0;
   std::thread thread_;
   std::atomic<bool> running_{false};
@@ -164,6 +190,8 @@ class PredictionServer {
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> responses_{0};
   std::atomic<std::uint64_t> predictions_{0};
+  std::atomic<std::uint64_t> trace_loads_{0};
+  std::atomic<std::uint64_t> loaded_count_{0};
   // Instruments shared with the global exposition (attachments below).
   Counter rx_bytes_;
   Counter tx_bytes_;

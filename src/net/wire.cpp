@@ -248,22 +248,30 @@ std::vector<Prediction> decode_response(std::span<const std::uint8_t> payload) {
   return results;
 }
 
-std::vector<std::uint8_t> encode_error(std::string_view message) {
+std::vector<std::uint8_t> encode_error(std::string_view message,
+                                       bool retryable) {
   // Truncate rather than reject: error frames are a best-effort diagnostic.
   const std::size_t length = std::min<std::size_t>(message.size(), 0xffff);
   std::vector<std::uint8_t> payload;
-  payload.reserve(2 + length);
+  payload.reserve(3 + length);
+  payload.push_back(retryable ? std::uint8_t{1} : std::uint8_t{0});
   put_u16(payload, static_cast<std::uint16_t>(length));
   payload.insert(payload.end(), message.begin(), message.begin() + length);
   return payload;
 }
 
-std::string decode_error(std::span<const std::uint8_t> payload) {
+WireError decode_error(std::span<const std::uint8_t> payload) {
   Reader reader(payload);
+  const std::uint8_t retryable = reader.u8();
+  if (retryable > 1)
+    throw DataError("wire: invalid error retryable byte " +
+                    std::to_string(retryable));
   const std::uint16_t length = reader.u16();
-  std::string message = reader.str(length);
+  WireError error;
+  error.message = reader.str(length);
+  error.retryable = retryable == 1;
   reader.expect_done("error");
-  return message;
+  return error;
 }
 
 void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {

@@ -94,9 +94,20 @@ std::vector<WireRequestItem> decode_request(
 std::vector<std::uint8_t> encode_response(std::span<const Prediction> results);
 std::vector<Prediction> decode_response(std::span<const std::uint8_t> payload);
 
-/// Error payload: u16-length UTF-8 message.
-std::vector<std::uint8_t> encode_error(std::string_view message);
-std::string decode_error(std::span<const std::uint8_t> payload);
+/// A decoded error frame. `retryable` separates transport-level trouble the
+/// sender may outlive (corrupt frame, desynced stream) from semantic
+/// rejections that will fail identically on every retry (unknown machine
+/// key, undecodable request) — the client fails fast on the latter.
+struct WireError {
+  std::string message;
+  bool retryable = true;
+};
+
+/// Error payload: one retryable byte (0 or 1), then a u16-length UTF-8
+/// message.
+std::vector<std::uint8_t> encode_error(std::string_view message,
+                                       bool retryable);
+WireError decode_error(std::span<const std::uint8_t> payload);
 
 /// Incremental frame reassembly over a byte stream. feed() appends whatever
 /// the socket produced; next() returns one complete frame at a time (nullopt

@@ -128,11 +128,12 @@ TEST(NetClient, RefusedConnectionFailsAfterMaxAttempts) {
   EXPECT_FALSE(client.connected());
 }
 
-TEST(NetClient, ServerErrorFrameIsRetriedThenSucceeds) {
+TEST(NetClient, RetryableServerErrorFrameIsRetriedThenSucceeds) {
   const auto answer_error = [](int fd) {
     read_frame_blocking(fd);
-    send_bytes(fd, encode_frame(FrameType::kError,
-                                encode_error("transient: try again")));
+    send_bytes(fd,
+               encode_frame(FrameType::kError,
+                            encode_error("transient: try again", true)));
   };
   const auto answer_ok = [](int fd) {
     const Frame request = read_frame_blocking(fd);
@@ -150,6 +151,39 @@ TEST(NetClient, ServerErrorFrameIsRetriedThenSucceeds) {
   EXPECT_EQ(client.stats().attempts, 3u);
   EXPECT_EQ(client.stats().server_errors, 2u);
   EXPECT_EQ(client.stats().reconnects, 3u);  // error frames close the socket
+}
+
+TEST(NetClient, NonRetryableServerErrorFailsFastWithoutBackoff) {
+  // retryable=0 says "these bytes will be rejected identically every time":
+  // one attempt, RemoteError, no retry budget or backoff spent.
+  const auto reject = [](int fd) {
+    read_frame_blocking(fd);
+    send_bytes(fd, encode_frame(FrameType::kError,
+                                encode_error("unknown machine key", false)));
+  };
+  FakeServer server({reject});
+  ClientConfig config = quick_config(server.port(), 5);
+  config.backoff.retry_delay = 60'000;  // a retry would blow the clock below
+  PredictionClient client(config);
+
+  const auto start = std::chrono::steady_clock::now();
+  const WireRequestItem item = any_item();
+  try {
+    client.predict_batch({&item, 1});
+    FAIL() << "non-retryable rejection was swallowed";
+  } catch (const RemoteError& error) {
+    EXPECT_NE(std::string(error.what()).find("unknown machine key"),
+              std::string::npos)
+        << error.what();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(client.stats().attempts, 1u);
+  EXPECT_EQ(client.stats().retries, 0u);
+  EXPECT_EQ(client.stats().server_errors, 1u);
+  EXPECT_LT(elapsed, 5.0);  // no 60 s backoff was paid
+  EXPECT_FALSE(client.connected());
 }
 
 TEST(NetClient, SilentServerTriggersRequestTimeout) {

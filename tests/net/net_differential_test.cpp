@@ -9,6 +9,7 @@
 
 #include <bit>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -181,6 +182,74 @@ TEST_F(NetDifferentialTest, SharedServiceCacheServesSameBitsToWire) {
   const Prediction second_answer = second.predict(item);
   EXPECT_TRUE(same_bits(first_answer.temporal_reliability,
                         second_answer.temporal_reliability));
+}
+
+TEST_F(NetDifferentialTest, UnknownMachineKeyFailsFastWithoutRetries) {
+  // Trace loading is off by default, so an unknown key is a deterministic
+  // rejection: the server answers retryable=0 and the client must surface
+  // RemoteError from the single attempt instead of burning its retry budget.
+  WireRequestItem item = wire_item(rows_.front());
+  item.machine_key = "no-such-machine";
+  EXPECT_THROW(client_->predict(item), RemoteError);
+  EXPECT_EQ(client_->stats().attempts, 1u);
+  EXPECT_EQ(client_->stats().retries, 0u);
+  EXPECT_EQ(client_->stats().server_errors, 1u);
+}
+
+TEST(NetTraceLoading, RootSandboxedLoadsServeBitIdenticalAndStayBounded) {
+  // A server with trace_root set loads path-named traces from under the
+  // root only, serves them bit-identically to in-process prediction, and
+  // LRU-evicts the loaded cache down to max_loaded_traces between requests.
+  namespace fs = std::filesystem;
+  const fs::path root = fs::current_path() / "net-trace-root-test";
+  fs::create_directories(root);
+  WorkloadParams params;
+  params.sampling_period = 60;
+  const std::vector<MachineTrace> fleet =
+      generate_fleet(params, /*seed=*/7171, /*count=*/2, /*days=*/10, "root");
+  std::vector<std::string> names;
+  for (const MachineTrace& trace : fleet) {
+    names.push_back(trace.machine_id() + ".fgcs");
+    trace.save_file((root / names.back()).string());
+  }
+
+  ServerConfig config;
+  config.trace_root = root.string();
+  config.max_loaded_traces = 1;  // force eviction on every alternation
+  PredictionServer server(config, std::make_shared<PredictionService>());
+  server.start();
+  ClientConfig client_config;
+  client_config.port = server.port();
+  PredictionClient client(client_config);
+
+  const AvailabilityPredictor reference;
+  const PredictionRequest request{
+      .target_day = fleet.front().day_count(),
+      .window = {.start_of_day = 9 * kSecondsPerHour,
+                 .length = 2 * kSecondsPerHour}};
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t which = static_cast<std::size_t>(round % 2);
+    const Prediction served = client.predict(
+        WireRequestItem{.machine_key = names[which], .request = request});
+    const Prediction expected = reference.predict(fleet[which], request);
+    EXPECT_TRUE(same_bits(served.temporal_reliability,
+                          expected.temporal_reliability))
+        << "round " << round;
+  }
+
+  // Escapes of the root — absolute paths outside it or ".." traversal —
+  // are rejected as non-retryable errors, not served.
+  for (const std::string& escape :
+       {std::string("/etc/hostname"), std::string("../escape.fgcs")}) {
+    EXPECT_THROW(client.predict(WireRequestItem{.machine_key = escape,
+                                                .request = request}),
+                 RemoteError)
+        << escape;
+  }
+
+  server.stop();
+  EXPECT_GE(server.stats().trace_loads, 4u);  // alternation reloaded traces
+  EXPECT_LE(server.stats().loaded_traces, 1u + 1u);  // bounded (cap + batch)
 }
 
 }  // namespace

@@ -88,10 +88,13 @@ TEST(NetTools, ConnectModeReportMatchesLocalBatchMode) {
 
   // Serve on an ephemeral port; --max-requests 1 makes the server exit on its
   // own once the remote batch (one request frame) has been answered, so
-  // pclose() below observes a clean shutdown instead of killing it.
+  // pclose() below observes a clean shutdown instead of killing it. The batch
+  // file names machines by trace path, so path loading must be opted in —
+  // and is sandboxed to the test directory via --load-root.
   FILE* server = ::popen(("timeout 120 " + std::string(FGCS_SERVE_BIN) +
-                          " --port 0 --max-requests 1 " + trace0 + " " +
-                          trace1 + " 2>&1")
+                          " --port 0 --max-requests 1 --load-root " +
+                          dir.string() + " " + trace0 + " " + trace1 +
+                          " 2>&1")
                              .c_str(),
                          "r");
   ASSERT_NE(server, nullptr);

@@ -94,7 +94,8 @@ bool drain(std::span<const std::uint8_t> bytes, Rng& rng) {
 TEST(WireFuzz, SeededMutationStormThrowsDataErrorOnly) {
   const std::vector<std::vector<std::uint8_t>> bases{
       valid_request_frame(), valid_response_frame(),
-      encode_frame(FrameType::kError, encode_error("reference error text"))};
+      encode_frame(FrameType::kError,
+                   encode_error("reference error text", true))};
 
   Rng rng(0xf0220000u);
   int mutations = 0;

@@ -87,9 +87,19 @@ TEST(WireResponse, DoublesAreBitExact) {
   }
 }
 
-TEST(WireError, MessageRoundTrips) {
-  EXPECT_EQ(decode_error(encode_error("boom: détails")), "boom: détails");
-  EXPECT_EQ(decode_error(encode_error("")), "");
+TEST(WireError, MessageAndRetryableFlagRoundTrip) {
+  const WireError transient = decode_error(encode_error("boom: détails", true));
+  EXPECT_EQ(transient.message, "boom: détails");
+  EXPECT_TRUE(transient.retryable);
+  const WireError fatal = decode_error(encode_error("", false));
+  EXPECT_EQ(fatal.message, "");
+  EXPECT_FALSE(fatal.retryable);
+}
+
+TEST(WireError, InvalidRetryableByteIsRejected) {
+  std::vector<std::uint8_t> payload = encode_error("x", true);
+  payload.front() = 2;  // only 0 and 1 are valid
+  EXPECT_THROW(decode_error(payload), DataError);
 }
 
 TEST(WireFrame, HeaderLayoutMatchesSpec) {
@@ -142,9 +152,9 @@ TEST(FrameDecoder, ReassemblesByteAtATime) {
 
 TEST(FrameDecoder, SplitsBackToBackFrames) {
   std::vector<std::uint8_t> stream =
-      encode_frame(FrameType::kError, encode_error("first"));
+      encode_frame(FrameType::kError, encode_error("first", true));
   const std::vector<std::uint8_t> second =
-      encode_frame(FrameType::kError, encode_error("second"));
+      encode_frame(FrameType::kError, encode_error("second", true));
   stream.insert(stream.end(), second.begin(), second.end());
 
   FrameDecoder decoder;
@@ -152,14 +162,14 @@ TEST(FrameDecoder, SplitsBackToBackFrames) {
   const std::optional<Frame> one = decoder.next();
   const std::optional<Frame> two = decoder.next();
   ASSERT_TRUE(one && two);
-  EXPECT_EQ(decode_error(one->payload), "first");
-  EXPECT_EQ(decode_error(two->payload), "second");
+  EXPECT_EQ(decode_error(one->payload).message, "first");
+  EXPECT_EQ(decode_error(two->payload).message, "second");
   EXPECT_FALSE(decoder.next().has_value());
 }
 
 TEST(FrameDecoder, RejectsBadMagicBeforePayloadArrives) {
   std::vector<std::uint8_t> bytes =
-      encode_frame(FrameType::kError, encode_error("x"));
+      encode_frame(FrameType::kError, encode_error("x", true));
   bytes[0] ^= 0xff;
   FrameDecoder decoder;
   // Header alone (16 bytes) must already trip the desync — fail fast, don't

@@ -22,7 +22,8 @@
 // Remote mode ships the same batch file to a running fgcs_serve instead of
 // predicting in-process (DESIGN.md §9); machines are named over the wire by
 // their trace file path exactly as written in the batch file, so against a
-// server sharing this filesystem the output TR lines are identical:
+// server sharing this filesystem and started with --load-root covering
+// those paths the output TR lines are identical:
 //
 //   fgcs_predict --batch FILE --connect HOST:PORT [--timeout SECONDS]
 #include <cstdio>

@@ -1,13 +1,15 @@
 // fgcs_serve — serve TR predictions over the binary wire protocol.
 //
 //   fgcs_serve [--host H] [--port P] [--training-days N] [--threads N]
-//              [--no-load] [--max-requests N] [--metrics] TRACE...
+//              [--load-root DIR] [--max-requests N] [--metrics] TRACE...
 //
 // Loads each positional trace file into a PredictionServer backed by one
 // memoized PredictionService and serves request frames (see DESIGN.md §9)
 // until interrupted or until --max-requests request frames have been
-// answered. Clients name machines either by the loaded machine id or —
-// unless --no-load is given — by a trace file path readable by the server.
+// answered. Clients name machines by the loaded machine id; with
+// --load-root DIR they may also name trace file paths, which the server
+// loads on demand but only from under DIR (off by default — serving
+// arbitrary server-side files to any connected client is opt-in).
 //
 //   fgcs_serve --selfcheck [--port P]
 //
@@ -103,7 +105,7 @@ int selfcheck(std::uint16_t port) {
 }
 
 int main_checked(int argc, char** argv) {
-  const ArgParser args(argc, argv, {"selfcheck", "no-load", "metrics"});
+  const ArgParser args(argc, argv, {"selfcheck", "metrics"});
   if (args.has("selfcheck")) {
     const auto port = static_cast<std::uint16_t>(args.get_int_or("port", 0));
     args.check_all_consumed();
@@ -119,7 +121,7 @@ int main_checked(int argc, char** argv) {
   net::ServerConfig server_config;
   server_config.host = args.get_or("host", "127.0.0.1");
   server_config.port = static_cast<std::uint16_t>(args.get_int_or("port", 7070));
-  server_config.allow_trace_loading = !args.has("no-load");
+  server_config.trace_root = args.get_or("load-root", "");
   const std::int64_t max_requests = args.get_int_or("max-requests", 0);
   const bool want_metrics = args.has("metrics");
   args.check_all_consumed();
@@ -130,9 +132,10 @@ int main_checked(int argc, char** argv) {
     server.add_trace(MachineTrace::load_file(path));
     std::printf("fgcs_serve: loaded %s\n", path.c_str());
   }
-  if (args.positional().empty() && !server_config.allow_trace_loading) {
+  if (args.positional().empty() && server_config.trace_root.empty()) {
     std::fprintf(stderr,
-                 "fgcs_serve: --no-load with no traces would serve nothing\n");
+                 "fgcs_serve: no traces and no --load-root would serve "
+                 "nothing\n");
     return 1;
   }
 

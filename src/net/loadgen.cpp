@@ -1,0 +1,233 @@
+#include "net/loadgen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include "net/client.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fgcs::net {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void fnv_mix(std::uint64_t& hash, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    hash ^= (value >> shift) & 0xff;
+    hash *= kFnvPrime;
+  }
+}
+
+std::uint64_t double_bits(double value) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+/// Zipf(θ) CDF over ranks 1..n: mass(k) ∝ 1/k^θ. O(n) once per plan;
+/// sampling is a binary search per draw.
+std::vector<double> zipf_cdf(std::size_t n, double theta) {
+  std::vector<double> cdf(n);
+  double total = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf[k] = total;
+  }
+  for (double& value : cdf) value /= total;
+  cdf.back() = 1.0;  // guard against rounding leaving the tail unreachable
+  return cdf;
+}
+
+std::uint32_t zipf_draw(const std::vector<double>& cdf, Rng& rng) {
+  const double u = rng.uniform();
+  const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<std::uint32_t>(
+      std::min<std::ptrdiff_t>(it - cdf.begin(),
+                               static_cast<std::ptrdiff_t>(cdf.size()) - 1));
+}
+
+double percentile_ms(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
+
+std::uint64_t LoadgenPlan::digest() const {
+  std::uint64_t hash = kFnvOffset;
+  fnv_mix(hash, windows.size());
+  for (const LoadgenWindow& window : windows) {
+    fnv_mix(hash, static_cast<std::uint64_t>(window.start_of_day));
+    fnv_mix(hash, static_cast<std::uint64_t>(window.length));
+  }
+  fnv_mix(hash, ops.size());
+  for (const LoadgenOp& op : ops) {
+    fnv_mix(hash, double_bits(op.scheduled));
+    fnv_mix(hash, op.connection);
+    fnv_mix(hash, op.reconnect ? 1 : 0);
+    fnv_mix(hash, op.window);
+    fnv_mix(hash, op.keys.size());
+    for (const std::uint32_t key : op.keys) fnv_mix(hash, key);
+  }
+  return hash;
+}
+
+LoadgenPlan build_plan(const LoadgenConfig& config) {
+  FGCS_REQUIRE(config.key_count >= 1);
+  FGCS_REQUIRE(config.connections >= 1);
+  FGCS_REQUIRE(config.batch_min >= 1 && config.batch_min <= config.batch_max);
+  FGCS_REQUIRE(config.distinct_windows >= 1);
+  FGCS_REQUIRE(config.zipf_theta >= 0);
+
+  Rng rng(config.seed);
+  LoadgenPlan plan;
+
+  plan.windows.reserve(config.distinct_windows);
+  for (std::size_t i = 0; i < config.distinct_windows; ++i) {
+    // Daytime-ish windows, 1..4 hours: comfortably inside one day, so no
+    // wrap-midnight edge cases dilute what the load test measures.
+    const SimTime start_hour = rng.uniform_int(5, 19);
+    const SimTime hours = rng.uniform_int(1, 4);
+    plan.windows.push_back(
+        LoadgenWindow{.start_of_day = start_hour * kSecondsPerHour,
+                      .length = hours * kSecondsPerHour});
+  }
+
+  const std::vector<double> cdf = zipf_cdf(config.key_count, config.zipf_theta);
+  const bool paced = config.offered_rate > 0;
+  const double mean_gap = paced ? 1.0 / config.offered_rate : 0.0;
+
+  plan.ops.reserve(config.total_ops);
+  double clock = 0;
+  for (std::size_t i = 0; i < config.total_ops; ++i) {
+    if (paced) clock += rng.exponential(mean_gap);
+    LoadgenOp op;
+    op.scheduled = paced ? clock : 0.0;
+    op.connection = static_cast<std::uint32_t>(i % config.connections);
+    op.reconnect =
+        config.reconnect_prob > 0 && rng.chance(config.reconnect_prob);
+    op.window = static_cast<std::uint32_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(config.distinct_windows) - 1));
+    const std::size_t batch = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(config.batch_min),
+                        static_cast<std::int64_t>(config.batch_max)));
+    op.keys.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b)
+      op.keys.push_back(zipf_draw(cdf, rng));
+    plan.ops.push_back(std::move(op));
+  }
+  plan.horizon = clock;
+  return plan;
+}
+
+LoadgenResult run_plan(const LoadgenConfig& config, const LoadgenPlan& plan,
+                       const std::string& host, std::uint16_t port,
+                       const std::vector<std::string>& keys) {
+  FGCS_REQUIRE_MSG(keys.size() == config.key_count,
+                   "run_plan: keys must match config.key_count");
+  using Clock = std::chrono::steady_clock;
+  const bool paced = config.offered_rate > 0;
+
+  // Deal each connection its in-order slice of the global schedule.
+  std::vector<std::vector<const LoadgenOp*>> per_conn(config.connections);
+  for (const LoadgenOp& op : plan.ops)
+    per_conn[op.connection].push_back(&op);
+
+  struct WorkerResult {
+    std::vector<double> latencies_ms;
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+    std::uint64_t predictions = 0;
+    Clock::time_point last_done{};
+  };
+  std::vector<WorkerResult> results(config.connections);
+
+  const Clock::time_point start = Clock::now() + std::chrono::milliseconds(5);
+  std::vector<std::thread> workers;
+  workers.reserve(config.connections);
+  for (unsigned c = 0; c < config.connections; ++c) {
+    workers.emplace_back([&, c] {
+      WorkerResult& mine = results[c];
+      mine.latencies_ms.reserve(per_conn[c].size());
+      ClientConfig client_config;
+      client_config.host = host;
+      client_config.port = port;
+      // The harness measures, it does not heal: one attempt, and failures
+      // are counted instead of silently retried at the wrong arrival time.
+      client_config.max_attempts = 1;
+      PredictionClient client(client_config);
+      std::vector<WireRequestItem> items;
+      for (const LoadgenOp* op : per_conn[c]) {
+        const Clock::time_point scheduled =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(op->scheduled));
+        if (paced) std::this_thread::sleep_until(scheduled);
+        if (op->reconnect) client.close();
+        items.clear();
+        const LoadgenWindow& window = plan.windows[op->window];
+        for (const std::uint32_t key : op->keys)
+          items.push_back(WireRequestItem{
+              .machine_key = keys[key],
+              .request = {.target_day = config.target_day,
+                          .window = {.start_of_day = window.start_of_day,
+                                     .length = window.length}}});
+        // Paced: latency from the *scheduled* arrival (CO-safe). Saturating:
+        // from the actual send — there is no arrival clock.
+        const Clock::time_point measured_from =
+            paced ? scheduled : Clock::now();
+        try {
+          const std::vector<Prediction> batch = client.predict_batch(items);
+          const Clock::time_point done = Clock::now();
+          mine.predictions += batch.size();
+          ++mine.completed;
+          mine.last_done = done;
+          mine.latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(done - measured_from)
+                  .count());
+        } catch (const DataError&) {
+          ++mine.failed;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  LoadgenResult result;
+  result.ops = plan.ops.size();
+  std::vector<double> all;
+  all.reserve(plan.ops.size());
+  Clock::time_point last = start;
+  for (const WorkerResult& worker : results) {
+    result.completed += worker.completed;
+    result.failed += worker.failed;
+    result.predictions += worker.predictions;
+    all.insert(all.end(), worker.latencies_ms.begin(),
+               worker.latencies_ms.end());
+    if (worker.completed > 0 && worker.last_done > last)
+      last = worker.last_done;
+  }
+  std::sort(all.begin(), all.end());
+  result.wall_seconds =
+      std::chrono::duration<double>(last - start).count();
+  result.achieved_rate =
+      result.wall_seconds > 0
+          ? static_cast<double>(result.completed) / result.wall_seconds
+          : 0;
+  result.p50_ms = percentile_ms(all, 0.50);
+  result.p99_ms = percentile_ms(all, 0.99);
+  result.p999_ms = percentile_ms(all, 0.999);
+  result.max_ms = all.empty() ? 0 : all.back();
+  return result;
+}
+
+}  // namespace fgcs::net

@@ -5,17 +5,28 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <deque>
 #include <filesystem>
+#include <optional>
+#include <span>
+#include <unordered_map>
 #include <utility>
 
+#include "net/event_loop.hpp"
+#include "net/mpsc_queue.hpp"
+#include "net/wire.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
 #include "util/trace_span.hpp"
 
 namespace fgcs::net {
@@ -35,60 +46,230 @@ constexpr std::size_t kStallWriteBytes = 16;
 
 }  // namespace
 
-PredictionServer::PredictionServer(ServerConfig config,
-                                   std::shared_ptr<PredictionService> service)
-    : config_(std::move(config)), service_(std::move(service)) {
-  FGCS_REQUIRE(service_ != nullptr);
-  FGCS_REQUIRE(config_.backlog >= 1);
-  FGCS_REQUIRE(config_.max_connections >= 1);
+ServerStats& ServerStats::operator+=(const ServerStats& other) {
+  accepted += other.accepted;
+  dropped += other.dropped;
+  active += other.active;
+  frames += other.frames;
+  requests += other.requests;
+  predictions += other.predictions;
+  responses += other.responses;
+  errors += other.errors;
+  trace_loads += other.trace_loads;
+  loaded_traces += other.loaded_traces;
+  rx_bytes += other.rx_bytes;
+  tx_bytes += other.tx_bytes;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Reactor: one thread, one EventLoop, one disjoint set of connections.
+
+class PredictionServer::Reactor {
+ public:
+  Reactor(PredictionServer& server, unsigned index);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Creates, binds, and registers this reactor's listening socket. With
+  /// `reuse_port` the socket is marked SO_REUSEPORT so sibling reactors can
+  /// bind the same address; a failure to set the option throws DataError
+  /// (the server falls back to hand-off mode).
+  void open_listener(std::uint16_t port, bool reuse_port);
+
+  std::uint16_t bound_port() const { return bound_port_; }
+
+  /// Thread body: dispatch this reactor's loop until stop().
+  void run();
+  void stop_loop() { loop_.stop(); }
+
+  /// Post-join teardown: waits out in-flight pool tasks, reclaims queued
+  /// inbox nodes, and closes every owned descriptor. Idempotent.
+  void shutdown();
+
+  /// Acceptor-side entry for hand-off mode: transfers a freshly accepted
+  /// connection (plus its per-accept failpoint flags) to this reactor.
+  void enqueue_adopt(int fd, bool short_reads, bool stalled_writes);
+
+  ServerStats snapshot() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    /// Guards async completions against fd reuse: a completion whose
+    /// generation no longer matches the connection at that fd is dropped.
+    std::uint64_t generation = 0;
+    FrameDecoder decoder;
+    std::vector<std::uint8_t> outbox;
+    std::size_t outbox_sent = 0;
+    /// Frames received but not yet processed; drained strictly in order,
+    /// one in-flight batch per connection, so pipelined requests are
+    /// answered FIFO.
+    std::deque<Frame> pending;
+    bool busy = false;          ///< a predict_batch for this conn is in the pool
+    bool short_reads = false;   ///< net.read.short fired at accept
+    bool stalled_writes = false;///< net.write.stall fired at accept
+    bool want_writable = false; ///< EPOLLOUT currently registered
+  };
+
+  /// One message in the reactor's lock-free inbox: either a connection
+  /// being handed off by the accept thread, or an encoded response frame a
+  /// pool worker finished for one of this reactor's connections.
+  struct InboxNode {
+    InboxNode* next = nullptr;
+    enum class Kind { kAdopt, kCompletion } kind = Kind::kCompletion;
+    int fd = -1;                       // kAdopt: the accepted socket
+    bool short_reads = false;          // kAdopt
+    bool stalled_writes = false;       // kAdopt
+    std::uint64_t generation = 0;      // kCompletion: owning connection
+    std::vector<std::uint8_t> frame;   // kCompletion: encoded wire frame
+    bool is_error = false;             // kCompletion: error vs response
+    std::uint64_t predictions = 0;     // kCompletion: results in the frame
+  };
+
+  /// One path-loaded trace plus its recency stamp for LRU eviction.
+  struct LoadedTrace {
+    MachineTrace trace;
+    std::uint64_t last_used = 0;
+  };
+
+  void wake();
+  void handle_accept(std::uint32_t events);
+  void drain_inbox(std::uint32_t events);
+  void adopt(int fd, bool short_reads, bool stalled_writes);
+  void handle_connection(int fd, std::uint32_t events);
+  void pump(Connection& conn);
+  void dispatch_request(Connection& conn, std::span<const std::uint8_t> payload);
+  void complete(const InboxNode& node);
+  void evict_loaded_traces();
+  const MachineTrace* resolve_trace(const std::string& key);
+  const MachineTrace* load_trace(const std::string& key);
+  void send_frame(Connection& conn, FrameType type,
+                  std::span<const std::uint8_t> payload);
+  void enqueue_bytes(Connection& conn, std::span<const std::uint8_t> bytes);
+  void flush_outbox(Connection& conn);
+  void update_write_interest(Connection& conn);
+  void close_connection(int fd);
+
+  PredictionServer& server_;
+  const unsigned index_;
+
+  EventLoop loop_;
+  int listen_fd_ = -1;
+  /// Held open so EMFILE at accept time can be drained: close it, accept
+  /// the pending connection onto the freed descriptor, close that, reopen.
+  int spare_fd_ = -1;
+  /// Producers (pool workers, the accept thread) write here after pushing
+  /// to inbox_; registered EPOLLIN in loop_, so the reactor wakes to drain.
+  int notify_fd_ = -1;
+  MpscQueue<InboxNode> inbox_;
+
+  std::unordered_map<int, Connection> connections_;  // reactor thread only
+  std::uint64_t next_generation_ = 0;                // reactor thread only
+  std::map<std::string, LoadedTrace> loaded_paths_;  // reactor thread only
+  std::uint64_t load_clock_ = 0;                     // reactor thread only
+  /// Batches dispatched to the pool whose completion has not yet been
+  /// drained. While non-zero the loaded-trace cache must not evict (an
+  /// in-flight batch may hold pointers into it).
+  std::size_t in_flight_ = 0;                        // reactor thread only
+  /// Pool tasks submitted but not yet finished pushing their node; stop()
+  /// waits this out before reclaiming the inbox.
+  std::atomic<std::uint64_t> pending_tasks_{0};
+  unsigned round_robin_next_ = 0;                    // accept thread only
+  std::uint16_t bound_port_ = 0;
+  bool shutdown_done_ = false;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> active_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> responses_{0};
+  std::atomic<std::uint64_t> predictions_{0};
+  std::atomic<std::uint64_t> trace_loads_{0};
+  std::atomic<std::uint64_t> loaded_count_{0};
+  // Instruments shared with the global exposition: attached both to the
+  // fleet-wide net.* series (summed across reactors) and to this reactor's
+  // net.reactor.<i>.* series.
+  Counter rx_bytes_;
+  Counter tx_bytes_;
+  Counter frames_;
+  Counter requests_;
+  Counter errors_;
+  Histogram request_hist_{Histogram::default_latency_bounds()};
+  std::vector<MetricsAttachment> metrics_attachments_;
+};
+
+namespace {
+/// Set by Reactor::run() so handlers can assert strict connection
+/// ownership: a connection's events and completions are only ever serviced
+/// on its owning reactor's thread.
+thread_local const void* t_current_reactor = nullptr;
+}  // namespace
+
+PredictionServer::Reactor::Reactor(PredictionServer& server, unsigned index)
+    : server_(server), index_(index) {
+  notify_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (notify_fd_ < 0) throw_errno("eventfd(reactor inbox)");
+  loop_.add(notify_fd_, EPOLLIN,
+            [this](std::uint32_t events) { drain_inbox(events); });
+
   MetricsRegistry& registry = MetricsRegistry::global();
-  metrics_attachments_.push_back(
-      registry.attach("net.rx.bytes.total", rx_bytes_));
-  metrics_attachments_.push_back(
-      registry.attach("net.tx.bytes.total", tx_bytes_));
-  metrics_attachments_.push_back(registry.attach("net.frames.total", frames_));
-  metrics_attachments_.push_back(
-      registry.attach("net.requests.total", requests_));
-  metrics_attachments_.push_back(registry.attach("net.errors.total", errors_));
+  const std::string prefix = "net.reactor." + std::to_string(index_) + ".";
+  const auto attach_both = [&](const char* name, Counter& counter) {
+    metrics_attachments_.push_back(
+        registry.attach(std::string("net.") + name, counter));
+    metrics_attachments_.push_back(registry.attach(prefix + name, counter));
+  };
+  attach_both("rx.bytes.total", rx_bytes_);
+  attach_both("tx.bytes.total", tx_bytes_);
+  attach_both("frames.total", frames_);
+  attach_both("requests.total", requests_);
+  attach_both("errors.total", errors_);
   metrics_attachments_.push_back(
       registry.attach("net.request.seconds", request_hist_));
+  metrics_attachments_.push_back(
+      registry.attach(prefix + "request.seconds", request_hist_));
 }
 
-PredictionServer::~PredictionServer() { stop(); }
+PredictionServer::Reactor::~Reactor() { shutdown(); }
 
-void PredictionServer::add_trace(MachineTrace trace) {
-  FGCS_REQUIRE_MSG(!running(), "add_trace must precede start()");
-  std::string id = trace.machine_id();
-  traces_.insert_or_assign(std::move(id), std::move(trace));
-}
-
-void PredictionServer::start() {
-  FGCS_REQUIRE_MSG(!running() && listen_fd_ < 0,
-                   "server already started (one start/stop cycle per server)");
-
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
-                        0);
+void PredictionServer::Reactor::open_listener(std::uint16_t port,
+                                              bool reuse_port) {
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) throw_errno("socket");
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in address{};
-  address.sin_family = AF_INET;
-  address.sin_port = htons(config_.port);
-  if (::inet_pton(AF_INET, config_.host.c_str(), &address.sin_addr) != 1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw DataError("net server: invalid listen address " + config_.host);
-  }
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
-             sizeof(address)) != 0 ||
-      ::listen(listen_fd_, config_.backlog) != 0) {
+  if (reuse_port &&
+      ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) !=
+          0) {
     const int saved = errno;
     ::close(listen_fd_);
     listen_fd_ = -1;
     errno = saved;
-    throw_errno("bind/listen on " + config_.host + ":" +
-                std::to_string(config_.port));
+    throw_errno("setsockopt(SO_REUSEPORT)");
+  }
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, server_.config_.host.c_str(), &address.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw DataError("net server: invalid listen address " +
+                    server_.config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listen_fd_, server_.config_.backlog) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("bind/listen on " + server_.config_.host + ":" +
+                std::to_string(port));
   }
   sockaddr_in bound{};
   socklen_t bound_len = sizeof(bound);
@@ -96,20 +277,30 @@ void PredictionServer::start() {
   bound_port_ = ntohs(bound.sin_port);
 
   spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
-
-  loop_ = std::make_unique<EventLoop>();
-  loop_->add(listen_fd_, EPOLLIN,
-             [this](std::uint32_t events) { handle_accept(events); });
-  running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] { serve_thread_main(); });
+  loop_.add(listen_fd_, EPOLLIN,
+            [this](std::uint32_t events) { handle_accept(events); });
 }
 
-void PredictionServer::stop() {
-  if (thread_.joinable()) {
-    loop_->stop();
-    thread_.join();
+void PredictionServer::Reactor::run() {
+  t_current_reactor = this;
+  loop_.run();
+  t_current_reactor = nullptr;
+}
+
+void PredictionServer::Reactor::shutdown() {
+  if (shutdown_done_) return;
+  shutdown_done_ = true;
+  // In-flight pool tasks hold `this`; they finish by pushing their node and
+  // dropping pending_tasks_, after which the inbox can be reclaimed.
+  while (pending_tasks_.load(std::memory_order_acquire) != 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  for (InboxNode* node = inbox_.take_all(); node != nullptr;) {
+    InboxNode* next = node->next;
+    if (node->kind == InboxNode::Kind::kAdopt && node->fd >= 0)
+      ::close(node->fd);
+    delete node;
+    node = next;
   }
-  running_.store(false, std::memory_order_release);
   for (auto& [fd, conn] : connections_) ::close(fd);
   connections_.clear();
   active_.store(0, std::memory_order_relaxed);
@@ -121,12 +312,31 @@ void PredictionServer::stop() {
     ::close(spare_fd_);
     spare_fd_ = -1;
   }
-  loop_.reset();
+  if (notify_fd_ >= 0) {
+    ::close(notify_fd_);
+    notify_fd_ = -1;
+  }
 }
 
-void PredictionServer::serve_thread_main() { loop_->run(); }
+void PredictionServer::Reactor::wake() {
+  const std::uint64_t one = 1;
+  // Best effort: a full eventfd counter still wakes the poller.
+  [[maybe_unused]] const ssize_t n =
+      ::write(notify_fd_, &one, sizeof(one));
+}
 
-void PredictionServer::handle_accept(std::uint32_t) {
+void PredictionServer::Reactor::enqueue_adopt(int fd, bool short_reads,
+                                              bool stalled_writes) {
+  auto* node = new InboxNode;
+  node->kind = InboxNode::Kind::kAdopt;
+  node->fd = fd;
+  node->short_reads = short_reads;
+  node->stalled_writes = stalled_writes;
+  inbox_.push(node);
+  wake();
+}
+
+void PredictionServer::Reactor::handle_accept(std::uint32_t) {
   for (;;) {
     const int fd =
         ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -152,27 +362,67 @@ void PredictionServer::handle_accept(std::uint32_t) {
     // The failpoint is evaluated exactly once per accept — before the
     // capacity check, so its evaluation count replays deterministically.
     const bool drop = FGCS_FAILPOINT("net.accept.drop");
-    if (drop || connections_.size() >= config_.max_connections) {
+    if (drop || server_.total_active_.load(std::memory_order_relaxed) >=
+                    server_.config_.max_connections) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
       ::close(fd);
       continue;
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    Connection conn;
-    conn.fd = fd;
-    conn.short_reads = FGCS_FAILPOINT("net.read.short");
-    conn.stalled_writes = FGCS_FAILPOINT("net.write.stall");
-    connections_.emplace(fd, std::move(conn));
-    active_.store(connections_.size(), std::memory_order_relaxed);
-    loop_->add(fd, EPOLLIN,
-               [this, fd](std::uint32_t events) {
-                 handle_connection(fd, events);
-               });
+    // Per-accept failpoints are evaluated here on the accepting thread (so
+    // their order is the accept order, deterministic for a sequential
+    // driver) and travel with the connection on hand-off.
+    const bool short_reads = FGCS_FAILPOINT("net.read.short");
+    const bool stalled_writes = FGCS_FAILPOINT("net.write.stall");
+    server_.total_active_.fetch_add(1, std::memory_order_relaxed);
+    if (server_.accept_handoff_) {
+      const unsigned target =
+          round_robin_next_++ % static_cast<unsigned>(server_.reactors_.size());
+      if (target != index_) {
+        server_.reactors_[target]->enqueue_adopt(fd, short_reads,
+                                                 stalled_writes);
+        continue;
+      }
+    }
+    adopt(fd, short_reads, stalled_writes);
   }
 }
 
-void PredictionServer::handle_connection(int fd, std::uint32_t events) {
+void PredictionServer::Reactor::adopt(int fd, bool short_reads,
+                                      bool stalled_writes) {
+  Connection conn;
+  conn.fd = fd;
+  conn.generation = ++next_generation_;
+  conn.short_reads = short_reads;
+  conn.stalled_writes = stalled_writes;
+  connections_.emplace(fd, std::move(conn));
+  active_.store(connections_.size(), std::memory_order_relaxed);
+  loop_.add(fd, EPOLLIN,
+            [this, fd](std::uint32_t events) { handle_connection(fd, events); });
+}
+
+void PredictionServer::Reactor::drain_inbox(std::uint32_t) {
+  FGCS_REQUIRE_MSG(t_current_reactor == this || !server_.running(),
+                   "inbox drained off the owning reactor thread");
+  std::uint64_t value = 0;
+  while (::read(notify_fd_, &value, sizeof(value)) > 0) {
+  }
+  for (InboxNode* node = inbox_.take_all(); node != nullptr;) {
+    InboxNode* next = node->next;
+    if (node->kind == InboxNode::Kind::kAdopt)
+      adopt(node->fd, node->short_reads, node->stalled_writes);
+    else
+      complete(*node);
+    delete node;
+    node = next;
+  }
+}
+
+void PredictionServer::Reactor::handle_connection(int fd,
+                                                 std::uint32_t events) {
+  FGCS_REQUIRE_MSG(t_current_reactor == this,
+                   "connection serviced off its owning reactor");
   auto it = connections_.find(fd);
   if (it == connections_.end()) return;
   if (events & (EPOLLHUP | EPOLLERR)) {
@@ -203,7 +453,8 @@ void PredictionServer::handle_connection(int fd, std::uint32_t events) {
     try {
       conn.decoder.feed({buffer, static_cast<std::size_t>(n)});
       while (std::optional<Frame> frame = conn.decoder.next())
-        process_frame(conn, *frame);
+        conn.pending.push_back(std::move(*frame));
+      pump(conn);
     } catch (const DataError& error) {
       // Framing desync: answer best-effort (the outbox may never drain on a
       // desynced peer, so write the error frame directly) and close.
@@ -225,61 +476,121 @@ void PredictionServer::handle_connection(int fd, std::uint32_t events) {
   update_write_interest(conn);
 }
 
-void PredictionServer::process_frame(Connection& conn, const Frame& frame) {
-  frames_.add(1);
-  if (frame.type != FrameType::kRequest) {
-    // Only clients send responses/errors; answer and keep the connection —
-    // framing is still intact.
-    errors_.add(1);
-    send_frame(conn, FrameType::kError,
-               encode_error("unexpected frame type on server",
-                            /*retryable=*/false));
-    return;
-  }
-  TraceSpan span("net.request", &request_hist_);
-  // Deterministically injectable "the bytes lied": treat this frame as
-  // corrupt without decoding it. Evaluated once per received frame.
-  if (FGCS_FAILPOINT("net.frame.corrupt")) {
-    errors_.add(1);
-    send_frame(conn, FrameType::kError,
-               encode_error("injected: net.frame.corrupt",
-                            /*retryable=*/true));
-    return;
-  }
-  try {
-    const std::vector<Prediction> results = serve_request(frame.payload);
-    responses_.fetch_add(1, std::memory_order_relaxed);
-    predictions_.fetch_add(results.size(), std::memory_order_relaxed);
-    send_frame(conn, FrameType::kResponse, encode_response(results));
-  } catch (const std::exception& error) {
-    // Undecodable payload, unknown machine, or a semantic precondition the
-    // prediction stack rejected: the *connection* is fine, the request is
-    // not — and resending the same bytes cannot change the outcome, so the
-    // error frame is marked non-retryable. Keep serving.
-    errors_.add(1);
-    send_frame(conn, FrameType::kError,
-               encode_error(error.what(), /*retryable=*/false));
+void PredictionServer::Reactor::pump(Connection& conn) {
+  // One in-flight batch per connection: responses come back in request
+  // order even when the client pipelines. Frames that fail synchronously
+  // (wrong type, injected corruption, undecodable payload) answer in the
+  // same strict order.
+  while (!conn.busy && !conn.pending.empty()) {
+    const Frame frame = std::move(conn.pending.front());
+    conn.pending.pop_front();
+    frames_.add(1);
+    if (frame.type != FrameType::kRequest) {
+      // Only clients send responses/errors; answer and keep the connection —
+      // framing is still intact.
+      errors_.add(1);
+      send_frame(conn, FrameType::kError,
+                 encode_error("unexpected frame type on server",
+                              /*retryable=*/false));
+      continue;
+    }
+    // Deterministically injectable "the bytes lied": treat this frame as
+    // corrupt without decoding it. Evaluated once per received frame, in
+    // arrival order on the owning reactor.
+    if (FGCS_FAILPOINT("net.frame.corrupt")) {
+      errors_.add(1);
+      send_frame(conn, FrameType::kError,
+                 encode_error("injected: net.frame.corrupt",
+                              /*retryable=*/true));
+      continue;
+    }
+    try {
+      dispatch_request(conn, frame.payload);
+    } catch (const std::exception& error) {
+      // Undecodable payload, unknown machine, or a semantic precondition
+      // the prediction stack rejected before dispatch: the *connection* is
+      // fine, the request is not — and resending the same bytes cannot
+      // change the outcome, so the error frame is marked non-retryable.
+      errors_.add(1);
+      send_frame(conn, FrameType::kError,
+                 encode_error(error.what(), /*retryable=*/false));
+    }
   }
 }
 
-std::vector<Prediction> PredictionServer::serve_request(
-    std::span<const std::uint8_t> payload) {
+void PredictionServer::Reactor::dispatch_request(
+    Connection& conn, std::span<const std::uint8_t> payload) {
   const std::vector<WireRequestItem> items = decode_request(payload);
   requests_.add(1);
-  // Trim the loaded-trace cache *between* batches only: pointers resolved
-  // below must stay valid until predict_batch returns, so a batch may
-  // transiently overshoot max_loaded_traces by its own (bounded) size.
-  evict_loaded_traces();
+  // Trim the loaded-trace cache only while no batch is in flight: pointers
+  // resolved below stay valid until their predict_batch returns, so the
+  // cache may transiently overshoot max_loaded_traces by the in-flight
+  // batches' (bounded) key sets.
+  if (in_flight_ == 0) evict_loaded_traces();
   std::vector<BatchRequest> batch;
   batch.reserve(items.size());
   for (const WireRequestItem& item : items)
     batch.push_back(BatchRequest{.trace = resolve_trace(item.machine_key),
                                  .request = item.request});
-  return service_->predict_batch(batch);
+
+  auto* node = new InboxNode;
+  node->kind = InboxNode::Kind::kCompletion;
+  node->fd = conn.fd;
+  node->generation = conn.generation;
+  pending_tasks_.fetch_add(1, std::memory_order_acq_rel);
+  try {
+    ThreadPool::default_pool().submit(
+        [this, node, batch = std::move(batch)] {
+          try {
+            TraceSpan span("net.request", &request_hist_);
+            const std::vector<Prediction> results =
+                server_.service_->predict_batch(batch);
+            node->predictions = results.size();
+            node->frame =
+                encode_frame(FrameType::kResponse, encode_response(results));
+          } catch (const std::exception& error) {
+            node->is_error = true;
+            node->frame = encode_frame(
+                FrameType::kError,
+                encode_error(error.what(), /*retryable=*/false));
+          }
+          // Push before dropping pending_tasks_: shutdown() reclaims the
+          // inbox only after the counter drains to zero.
+          inbox_.push(node);
+          wake();
+          pending_tasks_.fetch_sub(1, std::memory_order_release);
+        });
+  } catch (...) {
+    pending_tasks_.fetch_sub(1, std::memory_order_release);
+    delete node;
+    throw;
+  }
+  conn.busy = true;
+  ++in_flight_;
 }
 
-void PredictionServer::evict_loaded_traces() {
-  while (loaded_paths_.size() > config_.max_loaded_traces) {
+void PredictionServer::Reactor::complete(const InboxNode& node) {
+  --in_flight_;
+  const auto it = connections_.find(node.fd);
+  // The connection may have closed (or its fd been reused by a later
+  // accept) while the batch was in the pool; the generation mismatch makes
+  // the stale completion drop harmlessly.
+  if (it == connections_.end() || it->second.generation != node.generation)
+    return;
+  Connection& conn = it->second;
+  conn.busy = false;
+  if (node.is_error) {
+    errors_.add(1);
+  } else {
+    responses_.fetch_add(1, std::memory_order_relaxed);
+    predictions_.fetch_add(node.predictions, std::memory_order_relaxed);
+  }
+  enqueue_bytes(conn, node.frame);
+  pump(conn);
+}
+
+void PredictionServer::Reactor::evict_loaded_traces() {
+  while (loaded_paths_.size() > server_.config_.max_loaded_traces) {
     auto victim = loaded_paths_.begin();
     for (auto it = loaded_paths_.begin(); it != loaded_paths_.end(); ++it)
       if (it->second.last_used < victim->second.last_used) victim = it;
@@ -288,8 +599,9 @@ void PredictionServer::evict_loaded_traces() {
   loaded_count_.store(loaded_paths_.size(), std::memory_order_relaxed);
 }
 
-const MachineTrace* PredictionServer::resolve_trace(const std::string& key) {
-  if (const auto it = traces_.find(key); it != traces_.end())
+const MachineTrace* PredictionServer::Reactor::resolve_trace(
+    const std::string& key) {
+  if (const auto it = server_.traces_.find(key); it != server_.traces_.end())
     return &it->second;
   if (const auto it = loaded_paths_.find(key); it != loaded_paths_.end()) {
     it->second.last_used = ++load_clock_;
@@ -298,14 +610,15 @@ const MachineTrace* PredictionServer::resolve_trace(const std::string& key) {
   return load_trace(key);
 }
 
-const MachineTrace* PredictionServer::load_trace(const std::string& key) {
-  if (config_.trace_root.empty())
+const MachineTrace* PredictionServer::Reactor::load_trace(
+    const std::string& key) {
+  if (server_.config_.trace_root.empty())
     throw DataError("net server: unknown machine key '" + key + "'");
   // Sandbox the load: the key must canonicalize to a path under trace_root
   // (symlinks and ".." resolved), or the client is probing the filesystem.
   namespace fs = std::filesystem;
   std::error_code ec;
-  const fs::path root = fs::weakly_canonical(config_.trace_root, ec);
+  const fs::path root = fs::weakly_canonical(server_.config_.trace_root, ec);
   const fs::path resolved =
       ec ? fs::path{} : fs::weakly_canonical(root / key, ec);
   const auto [mismatch_root, ignored] =
@@ -323,9 +636,14 @@ const MachineTrace* PredictionServer::load_trace(const std::string& key) {
   return &it->second.trace;
 }
 
-void PredictionServer::send_frame(Connection& conn, FrameType type,
-                                  std::span<const std::uint8_t> payload) {
+void PredictionServer::Reactor::send_frame(
+    Connection& conn, FrameType type, std::span<const std::uint8_t> payload) {
   const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+  enqueue_bytes(conn, frame);
+}
+
+void PredictionServer::Reactor::enqueue_bytes(
+    Connection& conn, std::span<const std::uint8_t> bytes) {
   // Compact the outbox before growing it so a long-lived connection's
   // buffer stays proportional to unsent bytes.
   if (conn.outbox_sent > 0) {
@@ -334,12 +652,12 @@ void PredictionServer::send_frame(Connection& conn, FrameType type,
                           static_cast<std::ptrdiff_t>(conn.outbox_sent));
     conn.outbox_sent = 0;
   }
-  conn.outbox.insert(conn.outbox.end(), frame.begin(), frame.end());
+  conn.outbox.insert(conn.outbox.end(), bytes.begin(), bytes.end());
   flush_outbox(conn);
   update_write_interest(conn);
 }
 
-void PredictionServer::flush_outbox(Connection& conn) {
+void PredictionServer::Reactor::flush_outbox(Connection& conn) {
   while (conn.outbox_sent < conn.outbox.size()) {
     const std::size_t remaining = conn.outbox.size() - conn.outbox_sent;
     const std::size_t chunk =
@@ -367,21 +685,22 @@ void PredictionServer::flush_outbox(Connection& conn) {
   }
 }
 
-void PredictionServer::update_write_interest(Connection& conn) {
+void PredictionServer::Reactor::update_write_interest(Connection& conn) {
   const bool want = conn.outbox_sent < conn.outbox.size();
   if (want == conn.want_writable) return;
-  loop_->modify(conn.fd, EPOLLIN | (want ? EPOLLOUT : 0u));
+  loop_.modify(conn.fd, EPOLLIN | (want ? EPOLLOUT : 0u));
   conn.want_writable = want;
 }
 
-void PredictionServer::close_connection(int fd) {
-  loop_->remove(fd);
+void PredictionServer::Reactor::close_connection(int fd) {
+  loop_.remove(fd);
   ::close(fd);
   connections_.erase(fd);
   active_.store(connections_.size(), std::memory_order_relaxed);
+  server_.total_active_.fetch_sub(1, std::memory_order_relaxed);
 }
 
-ServerStats PredictionServer::stats() const {
+ServerStats PredictionServer::Reactor::snapshot() const {
   ServerStats stats;
   stats.accepted = accepted_.load(std::memory_order_relaxed);
   stats.dropped = dropped_.load(std::memory_order_relaxed);
@@ -395,6 +714,104 @@ ServerStats PredictionServer::stats() const {
   stats.loaded_traces = loaded_count_.load(std::memory_order_relaxed);
   stats.rx_bytes = rx_bytes_.value();
   stats.tx_bytes = tx_bytes_.value();
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// PredictionServer: reactor fleet lifecycle + aggregation.
+
+PredictionServer::PredictionServer(ServerConfig config,
+                                   std::shared_ptr<PredictionService> service)
+    : config_(std::move(config)), service_(std::move(service)) {
+  FGCS_REQUIRE(service_ != nullptr);
+  FGCS_REQUIRE(config_.backlog >= 1);
+  FGCS_REQUIRE(config_.max_connections >= 1);
+  FGCS_REQUIRE_MSG(config_.reactors >= 1, "need at least one reactor");
+  reactors_.reserve(config_.reactors);
+  for (unsigned i = 0; i < config_.reactors; ++i)
+    reactors_.push_back(std::make_unique<Reactor>(*this, i));
+}
+
+PredictionServer::~PredictionServer() { stop(); }
+
+void PredictionServer::add_trace(MachineTrace trace) {
+  FGCS_REQUIRE_MSG(!running(), "add_trace must precede start()");
+  std::string id = trace.machine_id();
+  traces_.insert_or_assign(std::move(id), std::move(trace));
+}
+
+unsigned PredictionServer::reactor_count() const {
+  return static_cast<unsigned>(reactors_.size());
+}
+
+void PredictionServer::start() {
+  FGCS_REQUIRE_MSG(!started_,
+                   "server already started (one start/stop cycle per server)");
+
+  if (reactors_.size() == 1) {
+    // The reactors=1 special case is the original single-reactor server:
+    // one plain listener, no SO_REUSEPORT, no hand-off.
+    accept_handoff_ = false;
+    reactors_[0]->open_listener(config_.port, /*reuse_port=*/false);
+  } else if (config_.force_accept_handoff) {
+    accept_handoff_ = true;
+    reactors_[0]->open_listener(config_.port, /*reuse_port=*/false);
+  } else {
+    // Preferred sharding: every reactor binds its own SO_REUSEPORT listener
+    // on the same address and the kernel spreads connections. If the
+    // platform refuses the option, fall back to hand-off mode.
+    try {
+      reactors_[0]->open_listener(config_.port, /*reuse_port=*/true);
+      for (std::size_t i = 1; i < reactors_.size(); ++i)
+        reactors_[i]->open_listener(reactors_[0]->bound_port(),
+                                    /*reuse_port=*/true);
+      accept_handoff_ = false;
+    } catch (const DataError&) {
+      // Rebuild the reactor fleet so no half-opened listener leaks, then
+      // take the single-listener path.
+      reactors_.clear();
+      for (unsigned i = 0; i < config_.reactors; ++i)
+        reactors_.push_back(std::make_unique<Reactor>(*this, i));
+      accept_handoff_ = true;
+      reactors_[0]->open_listener(config_.port, /*reuse_port=*/false);
+    }
+  }
+  bound_port_ = reactors_[0]->bound_port();
+
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  threads_.reserve(reactors_.size());
+  for (const std::unique_ptr<Reactor>& reactor : reactors_)
+    threads_.emplace_back([r = reactor.get()] { r->run(); });
+}
+
+void PredictionServer::stop() {
+  if (!threads_.empty()) {
+    for (const std::unique_ptr<Reactor>& reactor : reactors_)
+      reactor->stop_loop();
+    for (std::thread& thread : threads_) thread.join();
+    threads_.clear();
+  }
+  running_.store(false, std::memory_order_release);
+  for (const std::unique_ptr<Reactor>& reactor : reactors_)
+    reactor->shutdown();
+  total_active_.store(0, std::memory_order_relaxed);
+}
+
+ServerStats PredictionServer::stats() const {
+  // The aggregate IS the sum of the shards — there is no separate global
+  // counter set that could double-count or drift (the PR-6 stats fix).
+  ServerStats total;
+  for (const std::unique_ptr<Reactor>& reactor : reactors_)
+    total += reactor->snapshot();
+  return total;
+}
+
+std::vector<ServerStats> PredictionServer::reactor_stats() const {
+  std::vector<ServerStats> stats;
+  stats.reserve(reactors_.size());
+  for (const std::unique_ptr<Reactor>& reactor : reactors_)
+    stats.push_back(reactor->snapshot());
   return stats;
 }
 

@@ -1,48 +1,66 @@
 // PredictionServer — networked serving front-end over PredictionService
-// (DESIGN.md §9).
+// (DESIGN.md §9, wire layout in docs/WIRE.md).
 //
-// One server owns one listening TCP socket, one epoll EventLoop, and one
-// serving thread. Connections are plain length-prefixed wire frames
-// (net/wire.hpp): a request frame names machines by key, the server
-// resolves each key against its registered traces (falling back to loading
-// the key as a trace file path when a trace_root is configured — paths must
-// resolve under that root, and the loaded cache is LRU-bounded by
-// max_loaded_traces), fans the whole batch into
-// PredictionService::predict_batch — which parallelizes over the persistent
-// ThreadPool — and answers with one response frame whose Predictions are
-// bit-identical to the in-process call.
+// The server is a fleet of N *reactors* (config.reactors, default 1). Each
+// reactor is one thread running its own epoll EventLoop and owning a
+// disjoint set of connections end to end: it accepts (or is handed) them,
+// reassembles their frames, dispatches decoded request batches into the
+// shared PredictionService via the persistent thread pool, and writes their
+// outboxes. A connection's fds, decoder state, outbox, and path-loaded
+// trace cache are touched by exactly one reactor thread — the strict
+// ownership that makes the sharding linearly scalable and keeps every
+// single-reactor invariant intact (reactors=1 reproduces the original
+// single-threaded server bit for bit on the golden rows).
 //
-// Failure semantics: a malformed *payload* (undecodable request, unknown
-// machine key, unloadable trace) earns a non-retryable error frame and the
-// connection keeps serving; a malformed *frame* (bad
-// magic/version/length/checksum) means the stream is desynced, so the
-// server sends a best-effort retryable error frame and closes that
-// connection — other connections are unaffected, and the server keeps
-// accepting (tests/net/wire_fuzz_test.cpp holds it to this under a mutation
-// corpus). All socket writes use MSG_NOSIGNAL, so a peer that disappears
-// mid-response costs one connection, never a SIGPIPE of the process; fd
-// exhaustion at accept time is drained through a reserved spare descriptor
-// instead of busy-spinning the level-triggered listen fd.
+// Listener sharding: every reactor binds its own SO_REUSEPORT listening
+// socket on the same host:port, so the kernel load-balances incoming
+// connections across reactors with no shared accept lock. Where
+// SO_REUSEPORT is unavailable (or when config.force_accept_handoff is set —
+// tests use this for deterministic placement), reactor 0 owns the single
+// listening socket and hands accepted fds to reactors round-robin through
+// their lock-free MPSC inboxes (net/mpsc_queue.hpp), waking the target's
+// eventfd.
 //
-// Fault injection (tests/chaos/net_chaos_test.cpp): four failpoints cover
-// the distinct network failure modes, each evaluated at a point whose
-// count is deterministic for a deterministic client — per accepted
-// connection or per received frame, never per read()/write() call, so
-// FailpointStats replay exactly:
+// Request dispatch is asynchronous: the owning reactor decodes and resolves
+// a request batch, submits the predict_batch + response encoding to the
+// thread pool, and goes back to polling; the pool worker pushes the encoded
+// response onto the owning reactor's inbox (same lock-free queue) and wakes
+// it, and the reactor appends it to the connection's outbox. A per-
+// connection generation counter makes completions for already-closed (and
+// possibly fd-reused) connections drop harmlessly. Frames a connection
+// pipelines while a batch is in flight are queued and answered strictly in
+// arrival order.
 //
-//   net.accept.drop    per accept: connection closed immediately
-//   net.read.short     per accept: connection reads capped to 3 bytes/event
-//   net.write.stall    per accept: connection writes capped to 16 bytes/event
-//   net.frame.corrupt  per frame: frame treated as corrupt (error frame)
+// Failure semantics (unchanged from the single-reactor server): a malformed
+// *payload* (undecodable request, unknown machine key, unloadable trace)
+// earns a non-retryable error frame and the connection keeps serving; a
+// malformed *frame* (bad magic/version/length/checksum) means the stream is
+// desynced, so the server sends a best-effort retryable error frame and
+// closes that connection. All socket writes use MSG_NOSIGNAL; fd exhaustion
+// at accept time is drained through a per-listener reserved spare
+// descriptor.
 //
-// Observability: per-instance counters fold into the global registry as
-// net.rx.bytes.total, net.tx.bytes.total, net.frames.total,
-// net.requests.total, net.errors.total, plus the net.request.seconds
-// latency histogram (DESIGN.md §8 naming).
+// Fault injection (tests/chaos/net_chaos_test.cpp): failpoints are
+// evaluated at points whose global order is deterministic for a sequential
+// driver — per accepted connection (net.accept.drop, net.read.short,
+// net.write.stall, evaluated by the accepting thread) or per received frame
+// (net.frame.corrupt, evaluated by the owning reactor in arrival order) —
+// never per read()/write() call, so FailpointStats replay exactly even
+// against a 4-reactor server.
 //
-// Threading: start() spawns the serving thread; all connection state lives
-// on it. add_trace() must happen before start(). stats() and stop() are
-// safe from any thread.
+// Observability: each reactor keeps its own instruments, attached to the
+// global registry twice — folded into the fleet-wide series
+// (net.rx.bytes.total, net.tx.bytes.total, net.frames.total,
+// net.requests.total, net.errors.total, net.request.seconds) *and* exposed
+// per reactor as net.reactor.<i>.* — so the exposition sums shards without
+// double counting. ServerStats is an aggregation over per-reactor
+// snapshots (reactor_stats()); there is no separate global counter to
+// drift out of sync.
+//
+// Threading: start() spawns one thread per reactor. add_trace() must happen
+// before start(). stats(), reactor_stats() and stop() are safe from any
+// thread; snapshots are exact after stop() (the joins order every reactor-
+// thread increment).
 #pragma once
 
 #include <atomic>
@@ -51,14 +69,10 @@
 #include <memory>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "core/prediction_service.hpp"
-#include "net/event_loop.hpp"
-#include "net/wire.hpp"
 #include "trace/machine_trace.hpp"
-#include "util/metrics.hpp"
 
 namespace fgcs::net {
 
@@ -68,20 +82,31 @@ struct ServerConfig {
   /// 0 binds an ephemeral port; read the actual one back with port().
   std::uint16_t port = 0;
   int backlog = 128;
-  /// Connections beyond this are accepted and immediately closed.
+  /// Connections beyond this (server-wide, all reactors) are accepted and
+  /// immediately closed.
   std::size_t max_connections = 256;
+  /// Reactor threads. 1 (the default) reproduces the single-reactor server
+  /// exactly; N>1 shards connections across N epoll loops.
+  unsigned reactors = 1;
+  /// Forces the accept-thread hand-off path (reactor 0 accepts, connections
+  /// go to reactors round-robin) even where SO_REUSEPORT is available.
+  /// Round-robin placement is deterministic, which is what the reactor-
+  /// ownership tests and multi-reactor chaos replays pin against.
+  bool force_accept_handoff = false;
   /// When non-empty, unknown machine keys are resolved as trace file paths
   /// that must canonicalize to somewhere under this directory; empty (the
   /// default) disables filesystem loading entirely, so clients can only
   /// name registered traces. Registered ids always win over paths.
   std::string trace_root;
-  /// Cap on distinct path-loaded traces cached at once; least-recently-used
-  /// entries are evicted between requests (never mid-batch, so pointers
-  /// handed to predict_batch stay valid).
+  /// Cap on distinct path-loaded traces cached at once *per reactor*;
+  /// least-recently-used entries are evicted between batches (never while a
+  /// batch that may reference them is in flight).
   std::size_t max_loaded_traces = 32;
 };
 
-/// Monotonic serving counters; snapshot via PredictionServer::stats().
+/// Monotonic serving counters. One of these per reactor
+/// (PredictionServer::reactor_stats()); PredictionServer::stats() is their
+/// field-wise sum.
 struct ServerStats {
   std::uint64_t accepted = 0;      ///< connections accepted
   std::uint64_t dropped = 0;       ///< closed at accept (failpoint/capacity)
@@ -95,6 +120,9 @@ struct ServerStats {
   std::uint64_t loaded_traces = 0; ///< path-loaded traces currently cached
   std::uint64_t rx_bytes = 0;
   std::uint64_t tx_bytes = 0;
+
+  ServerStats& operator+=(const ServerStats& other);
+  friend bool operator==(const ServerStats&, const ServerStats&) = default;
 };
 
 class PredictionServer {
@@ -109,15 +137,16 @@ class PredictionServer {
   PredictionServer& operator=(const PredictionServer&) = delete;
 
   /// Registers a trace the server owns, keyed by its machine_id. Must be
-  /// called before start().
+  /// called before start(). Registered traces are shared read-only by all
+  /// reactors.
   void add_trace(MachineTrace trace);
 
-  /// Binds, listens, and spawns the serving thread. Throws DataError when
-  /// the socket cannot be set up.
+  /// Binds the listener(s), spawns one thread per reactor. Throws DataError
+  /// when a socket cannot be set up.
   void start();
 
-  /// Stops the loop, joins the thread, and closes every connection.
-  /// Idempotent.
+  /// Stops every loop, joins the reactor threads, waits out in-flight
+  /// batches, and closes every connection. Idempotent.
   void stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -126,80 +155,40 @@ class PredictionServer {
   std::uint16_t port() const { return bound_port_; }
   const std::string& host() const { return config_.host; }
 
+  unsigned reactor_count() const;
+  /// True when connections are being handed off from a single accept
+  /// thread instead of sharded SO_REUSEPORT listeners (valid after
+  /// start()).
+  bool accept_handoff() const { return accept_handoff_; }
+
   const std::shared_ptr<PredictionService>& service() const {
     return service_;
   }
 
-  /// Safe from any thread while serving. For an exact (replayable) snapshot
-  /// call after stop(): the join orders every loop-thread increment — a
-  /// live read may trail the serving thread by a few relaxed adds even for
-  /// traffic the caller has already observed.
+  /// Aggregate counters: the field-wise sum of reactor_stats(). Safe from
+  /// any thread while serving; exact after stop().
   ServerStats stats() const;
 
- private:
-  struct Connection {
-    int fd = -1;
-    FrameDecoder decoder;
-    std::vector<std::uint8_t> outbox;
-    std::size_t outbox_sent = 0;
-    bool short_reads = false;   ///< net.read.short fired at accept
-    bool stalled_writes = false;///< net.write.stall fired at accept
-    bool want_writable = false; ///< EPOLLOUT currently registered
-  };
+  /// Per-reactor snapshots, index-aligned with the reactor threads. The
+  /// invariant `stats() == sum(reactor_stats())` is pinned by
+  /// tests/net/reactor_test.cpp.
+  std::vector<ServerStats> reactor_stats() const;
 
-  void serve_thread_main();
-  void handle_accept(std::uint32_t events);
-  void handle_connection(int fd, std::uint32_t events);
-  void process_frame(Connection& conn, const Frame& frame);
-  std::vector<Prediction> serve_request(
-      std::span<const std::uint8_t> payload);
-  void evict_loaded_traces();
-  const MachineTrace* resolve_trace(const std::string& key);
-  const MachineTrace* load_trace(const std::string& key);
-  void send_frame(Connection& conn, FrameType type,
-                  std::span<const std::uint8_t> payload);
-  void flush_outbox(Connection& conn);
-  void update_write_interest(Connection& conn);
-  void close_connection(int fd);
+ private:
+  friend class Reactor;
+  class Reactor;
 
   ServerConfig config_;
   std::shared_ptr<PredictionService> service_;
 
-  /// One path-loaded trace plus its recency stamp for LRU eviction.
-  struct LoadedTrace {
-    MachineTrace trace;
-    std::uint64_t last_used = 0;
-  };
-
-  std::map<std::string, MachineTrace> traces_;       // by machine_id
-  std::map<std::string, LoadedTrace> loaded_paths_;  // by request key (path)
-  std::uint64_t load_clock_ = 0;                     // loop thread only
-
-  std::unique_ptr<EventLoop> loop_;
-  std::unordered_map<int, Connection> connections_;  // loop thread only
-  int listen_fd_ = -1;
-  /// Held open so EMFILE at accept time can be drained: close it, accept
-  /// the pending connection onto the freed descriptor, close that, reopen.
-  int spare_fd_ = -1;
+  std::map<std::string, MachineTrace> traces_;  // by machine_id, frozen at start()
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::size_t> total_active_{0};  // capacity check, all reactors
   std::uint16_t bound_port_ = 0;
-  std::thread thread_;
+  bool accept_handoff_ = false;
   std::atomic<bool> running_{false};
-
-  std::atomic<std::uint64_t> accepted_{0};
-  std::atomic<std::uint64_t> active_{0};
-  std::atomic<std::uint64_t> dropped_{0};
-  std::atomic<std::uint64_t> responses_{0};
-  std::atomic<std::uint64_t> predictions_{0};
-  std::atomic<std::uint64_t> trace_loads_{0};
-  std::atomic<std::uint64_t> loaded_count_{0};
-  // Instruments shared with the global exposition (attachments below).
-  Counter rx_bytes_;
-  Counter tx_bytes_;
-  Counter frames_;
-  Counter requests_;
-  Counter errors_;
-  Histogram request_hist_{Histogram::default_latency_bounds()};
-  std::vector<MetricsAttachment> metrics_attachments_;
+  bool started_ = false;
 };
 
 }  // namespace fgcs::net

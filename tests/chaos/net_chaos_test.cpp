@@ -203,5 +203,72 @@ TEST_F(NetChaosTest, CombinedStormReplaysToIdenticalFailpointStats) {
   EXPECT_GT(std::get<3>(first), 0u);  // the storm actually forced retries
 }
 
+TEST_F(NetChaosTest, FourReactorStormReplaysToIdenticalPerReactorStats) {
+  // The multi-reactor replay contract: the same storm against a *4-reactor*
+  // server must replay byte-identically too — including the per-reactor
+  // counter split. force_accept_handoff pins connection placement to
+  // deterministic round-robin, and every failpoint is evaluated per accept
+  // (accepting thread) or per frame (owning reactor, arrival order), so a
+  // sequential driver produces one global evaluation order regardless of
+  // how many reactors race underneath.
+  const auto storm = [] {
+    Failpoints::instance().reset();
+    Failpoints::instance().arm_from_spec(
+        "net.frame.corrupt=prob:0.4:77;net.read.short=every:2;"
+        "net.write.stall=every:2;net.accept.drop=every:3");
+
+    const std::vector<MachineTrace> fleet{test::flaky_trace("m0", 8),
+                                          test::steady_trace("m1", 8)};
+    net::ServerConfig server_config;
+    server_config.reactors = 4;
+    server_config.force_accept_handoff = true;
+    net::PredictionServer server(server_config,
+                                 std::make_shared<PredictionService>());
+    for (const MachineTrace& trace : fleet) server.add_trace(trace);
+    server.start();
+
+    net::ClientConfig config;
+    config.port = server.port();
+    config.max_attempts = 12;
+    config.backoff.retry_delay = 1;
+    config.backoff.backoff_factor = 1.0;
+    net::PredictionClient client(config);
+
+    std::uint64_t tr_bits = 0;
+    for (int round = 0; round < 12; ++round) {
+      // Reconnect every few rounds so the storm exercises hand-off
+      // placement, not just one long-lived connection on reactor 0.
+      if (round % 3 == 0) client.close();
+      const net::WireRequestItem item{
+          .machine_key = fleet[static_cast<std::size_t>(round % 2)]
+                             .machine_id(),
+          .request = {.target_day = 8,
+                      .window = {.start_of_day =
+                                     (8 + round % 10) * kSecondsPerHour,
+                                 .length = kSecondsPerHour}}};
+      double tr = client.predict(item).temporal_reliability;
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &tr, sizeof(bits));
+      tr_bits = tr_bits * 1099511628211ull + bits;
+    }
+    server.stop();
+    return std::make_tuple(tr_bits, Failpoints::instance().stats(),
+                           client.stats().attempts, client.stats().retries,
+                           server.reactor_stats());
+  };
+
+  const auto first = storm();
+  const auto second = storm();
+  EXPECT_EQ(first, second);
+  EXPECT_GT(std::get<3>(first), 0u);  // the storm bit, both runs survived it
+  // The split is real: hand-off spread serviced frames beyond reactor 0.
+  const std::vector<net::ServerStats>& shards = std::get<4>(first);
+  ASSERT_EQ(shards.size(), 4u);
+  std::size_t reactors_with_frames = 0;
+  for (const net::ServerStats& shard : shards)
+    reactors_with_frames += shard.frames > 0;
+  EXPECT_GE(reactors_with_frames, 2u);
+}
+
 }  // namespace
 }  // namespace fgcs

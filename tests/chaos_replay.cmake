@@ -57,6 +57,37 @@ if(NOT net_first_out STREQUAL net_second_out)
 endif()
 message(STATUS "chaos net scenario replayed byte-identically (loopback storm)")
 
+# Multi-reactor leg: the same storm against a 4-reactor server. Hand-off
+# placement is forced (deterministic round-robin), every failpoint is
+# evaluated per accept or per frame in a sequential driver's order, and the
+# report includes the per-reactor counter split — so even the sharded
+# server must replay to the same bytes, seed-pinned.
+foreach(run mr_first mr_second)
+  execute_process(
+    COMMAND ${CHAOS_BIN} --scenario net --seed 11 --machines 3 --days 9
+            --jobs 5 --reactors 4
+    OUTPUT_VARIABLE ${run}_out
+    ERROR_VARIABLE ${run}_err
+    RESULT_VARIABLE ${run}_rc)
+  if(NOT ${run}_rc EQUAL 0)
+    message(FATAL_ERROR
+      "fgcs_chaos net --reactors 4 ${run} run failed (rc=${${run}_rc}):\n"
+      "${${run}_err}")
+  endif()
+endforeach()
+
+if(NOT mr_first_out STREQUAL mr_second_out)
+  message(FATAL_ERROR
+    "fgcs_chaos net scenario is not replay-stable at 4 reactors\n"
+    "--- first run ---\n${mr_first_out}\n--- second run ---\n${mr_second_out}")
+endif()
+if(NOT mr_first_out MATCHES "reactors=4 mode=accept-handoff")
+  message(FATAL_ERROR
+    "fgcs_chaos --reactors 4 did not report the sharded server:\n"
+    "${mr_first_out}")
+endif()
+message(STATUS "chaos net scenario replayed byte-identically (4 reactors)")
+
 # Observability leg: the same scenario with FGCS_TRACE_FILE set must produce
 # the *same* bytes — metrics and tracing are pure observers, never allowed to
 # perturb the replayed report.

@@ -74,7 +74,10 @@ bool same_bits(double a, double b) {
   return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
 }
 
-class NetDifferentialTest : public ::testing::Test {
+/// Parameterized over the server's reactor count: the acceptance gate is
+/// that the golden rows serve bit-identically through the original
+/// single-reactor path (1) *and* the sharded multi-reactor path (4).
+class NetDifferentialTest : public ::testing::TestWithParam<unsigned> {
  protected:
   void SetUp() override {
     rows_ = load_fixture();
@@ -83,8 +86,10 @@ class NetDifferentialTest : public ::testing::Test {
     for (const MachineTrace& trace : fleet_)
       by_id_.emplace(trace.machine_id(), &trace);
 
+    ServerConfig server_config;
+    server_config.reactors = GetParam();
     server_ = std::make_unique<PredictionServer>(
-        ServerConfig{}, std::make_shared<PredictionService>());
+        server_config, std::make_shared<PredictionService>());
     for (const MachineTrace& trace : fleet_) server_->add_trace(trace);
     server_->start();
 
@@ -114,7 +119,7 @@ class NetDifferentialTest : public ::testing::Test {
   std::unique_ptr<PredictionClient> client_;
 };
 
-TEST_F(NetDifferentialTest, AllGoldenRowsServeBitIdenticalColdAndWarm) {
+TEST_P(NetDifferentialTest, AllGoldenRowsServeBitIdenticalColdAndWarm) {
   // In-process reference: the uncached predictor, computed once per row.
   const AvailabilityPredictor reference;
   std::vector<Prediction> expected;
@@ -156,7 +161,7 @@ TEST_F(NetDifferentialTest, AllGoldenRowsServeBitIdenticalColdAndWarm) {
   }
 }
 
-TEST_F(NetDifferentialTest, SingleRequestFormMatchesBatchForm) {
+TEST_P(NetDifferentialTest, SingleRequestFormMatchesBatchForm) {
   // Every 16th row through the scalar predict(): same wire, same bits.
   const AvailabilityPredictor reference;
   for (std::size_t i = 0; i < rows_.size(); i += 16) {
@@ -170,7 +175,7 @@ TEST_F(NetDifferentialTest, SingleRequestFormMatchesBatchForm) {
   }
 }
 
-TEST_F(NetDifferentialTest, SharedServiceCacheServesSameBitsToWire) {
+TEST_P(NetDifferentialTest, SharedServiceCacheServesSameBitsToWire) {
   // A second client sharing the server proves the memoized path (cache hits
   // populated by the first test's traffic pattern within this fixture) is
   // indistinguishable on the wire from the cold path.
@@ -184,7 +189,7 @@ TEST_F(NetDifferentialTest, SharedServiceCacheServesSameBitsToWire) {
                         second_answer.temporal_reliability));
 }
 
-TEST_F(NetDifferentialTest, UnknownMachineKeyFailsFastWithoutRetries) {
+TEST_P(NetDifferentialTest, UnknownMachineKeyFailsFastWithoutRetries) {
   // Trace loading is off by default, so an unknown key is a deterministic
   // rejection: the server answers retryable=0 and the client must surface
   // RemoteError from the single attempt instead of burning its retry budget.
@@ -195,6 +200,12 @@ TEST_F(NetDifferentialTest, UnknownMachineKeyFailsFastWithoutRetries) {
   EXPECT_EQ(client_->stats().retries, 0u);
   EXPECT_EQ(client_->stats().server_errors, 1u);
 }
+
+INSTANTIATE_TEST_SUITE_P(Reactors, NetDifferentialTest,
+                         ::testing::Values(1u, 4u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return std::to_string(info.param) + "reactor";
+                         });
 
 TEST(NetTraceLoading, RootSandboxedLoadsServeBitIdenticalAndStayBounded) {
   // A server with trace_root set loads path-named traces from under the

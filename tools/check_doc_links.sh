@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Dead-link gate for the repo's markdown: every *relative* link target in
+# every committed *.md must exist on disk (anchors and absolute URLs are out
+# of scope — this catches renamed/deleted files, not moved headings).
+#
+#   tools/check_doc_links.sh [repo-root]
+#
+# Exits 1 listing every dead link; 0 (silently, plus a summary) when clean.
+# CI runs this in the docs job; it needs nothing but bash + grep.
+set -u
+
+root="${1:-.}"
+cd "$root" || exit 1
+
+fail=0
+checked=0
+
+# Committed markdown only, so stray build artifacts can't fail the gate.
+files="$(git ls-files '*.md' 2>/dev/null)"
+if [ -z "$files" ]; then
+  files="$(find . -name '*.md' -not -path './build/*' -not -path './.git/*')"
+fi
+
+for file in $files; do
+  case "$file" in
+    # Vendored literature extracts (PDF-to-markdown artifacts with image
+    # stubs that were never part of the repo); not maintained docs.
+    PAPERS.md|SNIPPETS.md|./PAPERS.md|./SNIPPETS.md) continue ;;
+  esac
+  dir="$(dirname "$file")"
+  # Inline markdown links: [text](target). Tolerates several per line;
+  # skips images' leading '!' implicitly (the capture starts at '(').
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;  # external or in-page
+    esac
+    path="${target%%#*}"       # strip an anchor suffix
+    path="${path%% *}"         # and any '(path "title")' title
+    [ -z "$path" ] && continue
+    case "$path" in
+      /*) resolved="$path" ;;  # absolute: rare, check as-is
+      *) resolved="$dir/$path" ;;
+    esac
+    checked=$((checked + 1))
+    if [ ! -e "$resolved" ]; then
+      echo "DEAD LINK: $file -> $target (no file at $resolved)" >&2
+      fail=1
+    fi
+  done < <(grep -o '\](\([^)]*\))' "$file" 2>/dev/null \
+             | sed 's/^](//; s/)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_doc_links: dead relative links found" >&2
+  exit 1
+fi
+echo "check_doc_links: $checked relative links OK"

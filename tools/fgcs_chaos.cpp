@@ -124,15 +124,25 @@ int run_churn(std::uint64_t seed, int machines, int days, int jobs) {
 /// bit-identical to an in-process service, and — because every net failpoint
 /// is evaluated per connection or per frame, never per read()/write() — the
 /// printed counters and FailpointStats replay byte-identically.
-int run_net(std::uint64_t seed, int machines, int days, int jobs) {
+int run_net(std::uint64_t seed, int machines, int days, int jobs,
+            unsigned reactors) {
   WorkloadParams params;
   const std::vector<MachineTrace> traces =
       generate_fleet(params, seed, machines, days, "chaos");
 
-  net::PredictionServer server(net::ServerConfig{},
+  net::ServerConfig server_config;
+  server_config.reactors = reactors;
+  // Hand-off placement is deterministic round-robin; with a sequential
+  // client that keeps the whole report — including the per-reactor counter
+  // split printed below — byte-identical run to run.
+  server_config.force_accept_handoff = reactors > 1;
+  net::PredictionServer server(server_config,
                                std::make_shared<PredictionService>());
   for (const MachineTrace& trace : traces) server.add_trace(trace);
   server.start();
+  if (reactors > 1)
+    std::printf("reactors=%u mode=%s\n", server.reactor_count(),
+                server.accept_handoff() ? "accept-handoff" : "reuseport");
 
   net::ClientConfig client_config;
   client_config.port = server.port();
@@ -194,6 +204,18 @@ int run_net(std::uint64_t seed, int machines, int days, int jobs) {
               static_cast<unsigned long long>(stats.errors),
               static_cast<unsigned long long>(stats.rx_bytes),
               static_cast<unsigned long long>(stats.tx_bytes));
+  if (reactors > 1) {
+    // The per-reactor split is part of the replay contract: round-robin
+    // hand-off + sequential driving pin which reactor serviced what.
+    const std::vector<net::ServerStats> shards = server.reactor_stats();
+    for (std::size_t i = 0; i < shards.size(); ++i)
+      std::printf("reactor %zu: frames=%llu requests=%llu responses=%llu "
+                  "errors=%llu\n",
+                  i, static_cast<unsigned long long>(shards[i].frames),
+                  static_cast<unsigned long long>(shards[i].requests),
+                  static_cast<unsigned long long>(shards[i].responses),
+                  static_cast<unsigned long long>(shards[i].errors));
+  }
   const net::ClientStats& client_stats = client.stats();
   std::printf("client: batches=%llu attempts=%llu retries=%llu "
               "reconnects=%llu server_errors=%llu\n",
@@ -214,6 +236,8 @@ int main_checked(int argc, char** argv) {
   const int machines = static_cast<int>(args.get_int_or("machines", 4));
   const int days = static_cast<int>(args.get_int_or("days", 10));
   const int jobs = static_cast<int>(args.get_int_or("jobs", 8));
+  const auto reactors =
+      static_cast<unsigned>(args.get_int_or("reactors", 1));
   std::string spec = args.get_or("failpoints", "");
   args.check_all_consumed();
   if (machines < 1 || days < 2 || jobs < 1) {
@@ -291,7 +315,7 @@ int main_checked(int argc, char** argv) {
     std::printf("completed %d/%d\n", completed, jobs);
     status = completed == 0 ? 1 : 0;
   } else if (scenario == "net") {
-    status = run_net(seed, machines, days, jobs);
+    status = run_net(seed, machines, days, jobs, reactors);
   } else {
     std::fprintf(stderr,
                  "unknown scenario '%s' "

@@ -1,7 +1,8 @@
 // fgcs_serve — serve TR predictions over the binary wire protocol.
 //
-//   fgcs_serve [--host H] [--port P] [--training-days N] [--threads N]
-//              [--load-root DIR] [--max-requests N] [--metrics] TRACE...
+//   fgcs_serve [--host H] [--port P] [--reactors N] [--training-days N]
+//              [--threads N] [--load-root DIR] [--max-requests N]
+//              [--metrics] TRACE...
 //
 // Loads each positional trace file into a PredictionServer backed by one
 // memoized PredictionService and serves request frames (see DESIGN.md §9)
@@ -121,6 +122,8 @@ int main_checked(int argc, char** argv) {
   net::ServerConfig server_config;
   server_config.host = args.get_or("host", "127.0.0.1");
   server_config.port = static_cast<std::uint16_t>(args.get_int_or("port", 7070));
+  server_config.reactors =
+      static_cast<unsigned>(args.get_int_or("reactors", 1));
   server_config.trace_root = args.get_or("load-root", "");
   const std::int64_t max_requests = args.get_int_or("max-requests", 0);
   const bool want_metrics = args.has("metrics");
@@ -144,8 +147,9 @@ int main_checked(int argc, char** argv) {
   server.start();
   // Unbuffered so a parent process piping our stdout sees the port line
   // immediately (tests/net/net_tools_test.cpp parses it).
-  std::printf("fgcs_serve: listening on %s:%u (%zu traces)\n",
-              server.host().c_str(), server.port(), args.positional().size());
+  std::printf("fgcs_serve: listening on %s:%u (%zu traces, %u reactor%s)\n",
+              server.host().c_str(), server.port(), args.positional().size(),
+              server.reactor_count(), server.reactor_count() == 1 ? "" : "s");
   std::fflush(stdout);
 
   while (!g_interrupted) {

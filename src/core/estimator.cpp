@@ -12,10 +12,27 @@ TransitionCounts::TransitionCounts(std::size_t horizon)
 }
 
 void TransitionCounts::accumulate(std::span<const State> states) {
+  scan(states, /*add=*/true);
+}
+
+void TransitionCounts::remove(std::span<const State> states) {
+  scan(states, /*add=*/false);
+}
+
+void TransitionCounts::scan(std::span<const State> states, bool add) {
   FGCS_REQUIRE_MSG(states.size() <= horizon_ + 1,
                    "state sequence longer than the counting horizon");
   std::size_t i = 0;
   const std::size_t n = states.size();
+  const auto apply = [add](std::uint32_t& count) {
+    if (add) {
+      ++count;
+    } else {
+      FGCS_REQUIRE_MSG(count > 0,
+                       "removing a window that was never accumulated");
+      --count;
+    }
+  };
   while (i < n) {
     const State s = states[i];
     // The model's failure states are absorbing: for a guest, the window ends
@@ -28,9 +45,9 @@ void TransitionCounts::accumulate(std::span<const State> states) {
     const std::size_t from = index_of(s);
     const std::size_t hold = j - i;
     if (j < n) {
-      ++counts_[slot(from, index_of(states[j]), std::min(hold, horizon_))];
+      apply(counts_[slot(from, index_of(states[j]), std::min(hold, horizon_))]);
     } else {
-      ++censored_[from];
+      apply(censored_[from]);
     }
     i = j;
   }

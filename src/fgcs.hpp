@@ -11,6 +11,7 @@
 #include "core/empirical.hpp"       // empirical TR, evaluation metrics
 #include "core/estimator.hpp"       // Q/H estimation from history logs
 #include "core/fast_solver.hpp"     // O(n log^2 n) FFT renewal solver
+#include "core/incremental_estimator.hpp"  // O(changed-day) sliding (Q,H)
 #include "core/predictor.hpp"       // the public prediction API
 #include "core/prediction_service.hpp"  // batched + memoized fleet serving
 #include "core/semi_markov.hpp"     // discrete-time SMP + dense solver
@@ -41,6 +42,7 @@
 #include "timeseries/tr_predictor.hpp"
 #include "trace/machine_trace.hpp"
 #include "trace/sample.hpp"
+#include "trace/trace_store.hpp"    // streaming ingest day-boundary rollup
 #include "trace/window.hpp"
 #include "workload/catalog.hpp"
 #include "workload/characterize.hpp"

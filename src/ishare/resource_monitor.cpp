@@ -53,4 +53,14 @@ MachineTrace ResourceMonitor::to_trace() const {
   return trace;
 }
 
+std::vector<ResourceSample> ResourceMonitor::unstreamed() const {
+  return {log_.begin() + static_cast<std::ptrdiff_t>(streamed_), log_.end()};
+}
+
+void ResourceMonitor::mark_streamed(std::uint64_t next_index) {
+  FGCS_REQUIRE_MSG(next_index <= log_.size(),
+                   "ack advances past the monitor's log");
+  if (next_index > streamed_) streamed_ = next_index;
+}
+
 }  // namespace fgcs

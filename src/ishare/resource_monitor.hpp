@@ -47,12 +47,30 @@ class ResourceMonitor {
 
   std::size_t samples_taken() const { return samples_taken_; }
 
+  // --- streaming cursor ------------------------------------------------------
+  // The ingest path (kAppendSamples) ships the log incrementally: the cursor
+  // marks how much of it has been acked by a TraceStore, and doubles as the
+  // absolute first_sample_index of the next append frame (the log is
+  // gap-free by construction, so log index == sample index).
+
+  /// Index of the first sample not yet acked by the ingest server.
+  std::uint64_t streamed() const { return streamed_; }
+
+  /// The suffix of the log still to be shipped (empty when caught up).
+  std::vector<ResourceSample> unstreamed() const;
+
+  /// Advances the cursor to the server's acked next_index. A stale ack
+  /// (below the cursor — e.g. a duplicate-only retry) is a no-op; an ack
+  /// beyond the log is a precondition violation.
+  void mark_streamed(std::uint64_t next_index);
+
  private:
   SimulatedMachine& machine_;
   double cost_per_sample_seconds_;
   std::vector<ResourceSample> log_;
   SimTime t_monitor_ = -1;
   std::size_t samples_taken_ = 0;
+  std::uint64_t streamed_ = 0;
 };
 
 }  // namespace fgcs

@@ -55,9 +55,8 @@ Prediction PredictionClient::predict(const WireRequestItem& item) {
   return predict_batch({&item, 1}).front();
 }
 
-std::vector<Prediction> PredictionClient::predict_batch(
-    std::span<const WireRequestItem> items) {
-  ++stats_.batches;
+template <typename Result, typename Attempt>
+Result PredictionClient::with_retries(const char* what, Attempt&& attempt_fn) {
   std::string last_failure = "no attempts made";
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
     if (attempt > 0) {
@@ -70,22 +69,39 @@ std::vector<Prediction> PredictionClient::predict_batch(
     }
     ++stats_.attempts;
     try {
-      return attempt_once(items);
+      return attempt_fn();
     } catch (const RemoteError&) {
-      // The server rejected the request itself — retrying identical bytes
+      // The server rejected the call itself — retrying identical bytes
       // cannot succeed, so surface it now.
       close();
       throw;
     } catch (const DataError& error) {
-      // Transport-level failures are retryable: the batch is idempotent and
-      // the server's memoized cache makes the retry cheap and bit-stable.
+      // Transport-level failures (and retryable server rejections) retry:
+      // both prediction batches and sample appends are idempotent.
       last_failure = error.what();
       close();
     }
   }
-  throw DataError("net client: batch of " + std::to_string(items.size()) +
-                  " failed after " + std::to_string(config_.max_attempts) +
+  throw DataError(std::string("net client: ") + what + " failed after " +
+                  std::to_string(config_.max_attempts) +
                   " attempts; last: " + last_failure);
+}
+
+std::vector<Prediction> PredictionClient::predict_batch(
+    std::span<const WireRequestItem> items) {
+  ++stats_.batches;
+  const std::string what = "batch of " + std::to_string(items.size());
+  return with_retries<std::vector<Prediction>>(
+      what.c_str(), [&] { return attempt_once(items); });
+}
+
+WireAppendAck PredictionClient::append_samples(
+    const WireAppendRequest& request) {
+  ++stats_.appends;
+  const std::string what =
+      "append of " + std::to_string(request.samples.size()) + " samples";
+  return with_retries<WireAppendAck>(
+      what.c_str(), [&] { return attempt_append_once(request); });
 }
 
 std::vector<Prediction> PredictionClient::attempt_once(
@@ -114,9 +130,42 @@ std::vector<Prediction> PredictionClient::attempt_once(
       throw DataError("net client: server error: " + error.message);
     }
     case FrameType::kRequest:
+    case FrameType::kAppendSamples:
+    case FrameType::kAppendAck:
       break;
   }
-  throw DataError("net client: unexpected request frame from server");
+  throw DataError("net client: unexpected frame type from server");
+}
+
+WireAppendAck PredictionClient::attempt_append_once(
+    const WireAppendRequest& request) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(config_.request_timeout));
+  ensure_connected();
+  send_all(encode_frame(FrameType::kAppendSamples, encode_append(request)),
+           deadline);
+  const Frame frame = read_frame(deadline);
+  switch (frame.type) {
+    case FrameType::kAppendAck:
+      return decode_append_ack(frame.payload);
+    case FrameType::kError: {
+      ++stats_.server_errors;
+      const WireError error = decode_error(frame.payload);
+      if (!error.retryable)
+        throw RemoteError("net client: server rejected append: " +
+                          error.message);
+      // Retryable without a transport fault (injected drop, rollup
+      // failure): with_retries still closes and reconnects, which the
+      // append's idempotence makes safe.
+      throw DataError("net client: server error: " + error.message);
+    }
+    case FrameType::kRequest:
+    case FrameType::kResponse:
+    case FrameType::kAppendSamples:
+      break;
+  }
+  throw DataError("net client: unexpected frame type from server");
 }
 
 void PredictionClient::ensure_connected() {

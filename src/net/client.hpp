@@ -69,8 +69,9 @@ struct ClientConfig {
 /// Monotonic per-client counters (single-threaded, like the client itself).
 struct ClientStats {
   std::uint64_t batches = 0;      ///< predict_batch calls
-  std::uint64_t attempts = 0;     ///< wire attempts (≥ batches)
-  std::uint64_t retries = 0;      ///< attempts after the first of a batch
+  std::uint64_t appends = 0;      ///< append_samples calls
+  std::uint64_t attempts = 0;     ///< wire attempts (≥ batches + appends)
+  std::uint64_t retries = 0;      ///< attempts after the first of a call
   std::uint64_t reconnects = 0;   ///< sockets opened
   std::uint64_t server_errors = 0;///< error frames received
 };
@@ -93,6 +94,15 @@ class PredictionClient {
   /// Convenience single-request form.
   Prediction predict(const WireRequestItem& item);
 
+  /// Streams one batch of monitor samples to the server's ingest store and
+  /// returns its ack. Same self-healing contract as predict_batch — appends
+  /// are idempotent (the store skips already-covered indices as duplicates),
+  /// so every transport failure *and* every retryable server rejection
+  /// (injected drops, rollup failpoints) retries the identical bytes;
+  /// non-retryable rejections (ingest disabled, spec mismatch, index gap)
+  /// throw RemoteError immediately.
+  WireAppendAck append_samples(const WireAppendRequest& request);
+
   bool connected() const { return fd_ >= 0; }
   void close();
 
@@ -101,6 +111,10 @@ class PredictionClient {
 
  private:
   std::vector<Prediction> attempt_once(std::span<const WireRequestItem> items);
+  WireAppendAck attempt_append_once(const WireAppendRequest& request);
+  /// Shared retry/backoff loop behind predict_batch and append_samples.
+  template <typename Result, typename Attempt>
+  Result with_retries(const char* what, Attempt&& attempt);
   void ensure_connected();
   void send_all(std::span<const std::uint8_t> bytes,
                 std::chrono::steady_clock::time_point deadline);

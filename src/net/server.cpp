@@ -57,6 +57,11 @@ ServerStats& ServerStats::operator+=(const ServerStats& other) {
   errors += other.errors;
   trace_loads += other.trace_loads;
   loaded_traces += other.loaded_traces;
+  appends += other.appends;
+  append_samples += other.append_samples;
+  append_duplicates += other.append_duplicates;
+  days_closed += other.days_closed;
+  days_retired += other.days_retired;
   rx_bytes += other.rx_bytes;
   tx_bytes += other.tx_bytes;
   return *this;
@@ -119,14 +124,21 @@ class PredictionServer::Reactor {
   /// pool worker finished for one of this reactor's connections.
   struct InboxNode {
     InboxNode* next = nullptr;
-    enum class Kind { kAdopt, kCompletion } kind = Kind::kCompletion;
+    enum class Kind { kAdopt, kCompletion, kAppendDone } kind = Kind::kCompletion;
     int fd = -1;                       // kAdopt: the accepted socket
     bool short_reads = false;          // kAdopt
     bool stalled_writes = false;       // kAdopt
-    std::uint64_t generation = 0;      // kCompletion: owning connection
-    std::vector<std::uint8_t> frame;   // kCompletion: encoded wire frame
-    bool is_error = false;             // kCompletion: error vs response
+    std::uint64_t generation = 0;      // completions: owning connection
+    std::vector<std::uint8_t> frame;   // completions: encoded wire frame
+    bool is_error = false;             // completions: error vs response/ack
     std::uint64_t predictions = 0;     // kCompletion: results in the frame
+    // kAppendDone bookkeeping, copied from the store's AppendResult so the
+    // owning reactor attributes the ingest counters (stats() stays the exact
+    // sum of reactor snapshots — no store-global counter to drift).
+    std::uint64_t appended = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t closed = 0;
+    std::uint64_t retired = 0;
   };
 
   /// One path-loaded trace plus its recency stamp for LRU eviction.
@@ -142,9 +154,16 @@ class PredictionServer::Reactor {
   void handle_connection(int fd, std::uint32_t events);
   void pump(Connection& conn);
   void dispatch_request(Connection& conn, std::span<const std::uint8_t> payload);
+  void dispatch_append(Connection& conn, std::span<const std::uint8_t> payload);
   void complete(const InboxNode& node);
   void evict_loaded_traces();
-  const MachineTrace* resolve_trace(const std::string& key);
+  /// Resolves a machine key to a trace for one batch. A hit on the ingest
+  /// store pushes its snapshot onto `pins`, which the caller must keep alive
+  /// until the batch completes (registered and path-loaded traces have their
+  /// own lifetime guarantees).
+  const MachineTrace* resolve_trace(
+      const std::string& key,
+      std::vector<std::shared_ptr<const MachineTrace>>& pins);
   const MachineTrace* load_trace(const std::string& key);
   void send_frame(Connection& conn, FrameType type,
                   std::span<const std::uint8_t> payload);
@@ -196,6 +215,12 @@ class PredictionServer::Reactor {
   Counter frames_;
   Counter requests_;
   Counter errors_;
+  // Ingest instruments (ingest.* fleet-wide + net.reactor.<i>.ingest.*).
+  Counter appends_;
+  Counter append_samples_;
+  Counter append_duplicates_;
+  Counter days_closed_;
+  Counter days_retired_;
   Histogram request_hist_{Histogram::default_latency_bounds()};
   std::vector<MetricsAttachment> metrics_attachments_;
 };
@@ -226,6 +251,19 @@ PredictionServer::Reactor::Reactor(PredictionServer& server, unsigned index)
   attach_both("frames.total", frames_);
   attach_both("requests.total", requests_);
   attach_both("errors.total", errors_);
+  // Ingest series live under their own fleet-wide prefix (they are a store
+  // concern, not a transport one) but still shard per reactor.
+  const auto attach_ingest = [&](const char* name, Counter& counter) {
+    metrics_attachments_.push_back(
+        registry.attach(std::string("ingest.") + name, counter));
+    metrics_attachments_.push_back(
+        registry.attach(prefix + "ingest." + name, counter));
+  };
+  attach_ingest("appends.total", appends_);
+  attach_ingest("samples.total", append_samples_);
+  attach_ingest("duplicates.total", append_duplicates_);
+  attach_ingest("days.closed.total", days_closed_);
+  attach_ingest("days.retired.total", days_retired_);
   metrics_attachments_.push_back(
       registry.attach("net.request.seconds", request_hist_));
   metrics_attachments_.push_back(
@@ -485,9 +523,10 @@ void PredictionServer::Reactor::pump(Connection& conn) {
     const Frame frame = std::move(conn.pending.front());
     conn.pending.pop_front();
     frames_.add(1);
-    if (frame.type != FrameType::kRequest) {
-      // Only clients send responses/errors; answer and keep the connection —
-      // framing is still intact.
+    if (frame.type != FrameType::kRequest &&
+        frame.type != FrameType::kAppendSamples) {
+      // Only clients send responses/errors/acks; answer and keep the
+      // connection — framing is still intact.
       errors_.add(1);
       send_frame(conn, FrameType::kError,
                  encode_error("unexpected frame type on server",
@@ -495,13 +534,45 @@ void PredictionServer::Reactor::pump(Connection& conn) {
       continue;
     }
     // Deterministically injectable "the bytes lied": treat this frame as
-    // corrupt without decoding it. Evaluated once per received frame, in
-    // arrival order on the owning reactor.
+    // corrupt without decoding it. Evaluated once per received data frame
+    // (request or append), in arrival order on the owning reactor.
     if (FGCS_FAILPOINT("net.frame.corrupt")) {
       errors_.add(1);
       send_frame(conn, FrameType::kError,
                  encode_error("injected: net.frame.corrupt",
                               /*retryable=*/true));
+      continue;
+    }
+    if (frame.type == FrameType::kAppendSamples) {
+      if (server_.store_ == nullptr) {
+        // A serving-only fleet: appends are a client misconfiguration, not
+        // transport trouble — reject without retry, keep the connection.
+        errors_.add(1);
+        send_frame(conn, FrameType::kError,
+                   encode_error("ingest is disabled on this server",
+                                /*retryable=*/false));
+        continue;
+      }
+      // Injected ingest backpressure: the batch is dropped before decoding,
+      // but appends are idempotent, so the client may retry the same bytes
+      // on the same connection — retryable WITHOUT the close that framing
+      // errors earn (the stream is still in sync). Evaluated once per
+      // append frame, in arrival order on the owning reactor.
+      if (FGCS_FAILPOINT("ingest.append.drop")) {
+        errors_.add(1);
+        send_frame(conn, FrameType::kError,
+                   encode_error("injected: ingest.append.drop",
+                                /*retryable=*/true));
+        continue;
+      }
+      try {
+        dispatch_append(conn, frame.payload);
+      } catch (const std::exception& error) {
+        // Undecodable append payload: same contract as a bad request.
+        errors_.add(1);
+        send_frame(conn, FrameType::kError,
+                   encode_error(error.what(), /*retryable=*/false));
+      }
       continue;
     }
     try {
@@ -529,9 +600,14 @@ void PredictionServer::Reactor::dispatch_request(
   if (in_flight_ == 0) evict_loaded_traces();
   std::vector<BatchRequest> batch;
   batch.reserve(items.size());
+  // Snapshots resolved from the ingest store are pinned for the batch's
+  // lifetime (moved into the pool task below): a concurrent day-close swaps
+  // the store's pointer but cannot free a trace a prediction still reads.
+  std::vector<std::shared_ptr<const MachineTrace>> pins;
   for (const WireRequestItem& item : items)
-    batch.push_back(BatchRequest{.trace = resolve_trace(item.machine_key),
-                                 .request = item.request});
+    batch.push_back(
+        BatchRequest{.trace = resolve_trace(item.machine_key, pins),
+                     .request = item.request});
 
   auto* node = new InboxNode;
   node->kind = InboxNode::Kind::kCompletion;
@@ -540,7 +616,7 @@ void PredictionServer::Reactor::dispatch_request(
   pending_tasks_.fetch_add(1, std::memory_order_acq_rel);
   try {
     ThreadPool::default_pool().submit(
-        [this, node, batch = std::move(batch)] {
+        [this, node, batch = std::move(batch), pins = std::move(pins)] {
           try {
             TraceSpan span("net.request", &request_hist_);
             const std::vector<Prediction> results =
@@ -569,6 +645,69 @@ void PredictionServer::Reactor::dispatch_request(
   ++in_flight_;
 }
 
+void PredictionServer::Reactor::dispatch_append(
+    Connection& conn, std::span<const std::uint8_t> payload) {
+  // Decode on the reactor (so malformed payloads answer synchronously, like
+  // requests), run the store append on the pool (a day-close copies the
+  // whole history — never on the event loop), ack through the inbox.
+  WireAppendRequest request = decode_append(payload);
+  auto* node = new InboxNode;
+  node->kind = InboxNode::Kind::kAppendDone;
+  node->fd = conn.fd;
+  node->generation = conn.generation;
+  pending_tasks_.fetch_add(1, std::memory_order_acq_rel);
+  try {
+    ThreadPool::default_pool().submit([this, node,
+                                       request = std::move(request)] {
+      try {
+        const MachineSpec spec{
+            .machine_id = request.machine_id,
+            .epoch_day_of_week = request.epoch_day_of_week,
+            .sampling_period = request.sampling_period,
+            .total_mem_mb = static_cast<int>(request.total_mem_mb)};
+        const AppendResult result = server_.store_->append(
+            spec, request.first_sample_index, request.samples);
+        node->appended = result.accepted;
+        node->duplicates = result.duplicates;
+        node->closed = result.days_closed;
+        node->retired = result.days_retired;
+        const WireAppendAck ack{
+            .accepted = result.accepted,
+            .duplicates = result.duplicates,
+            .next_index = result.next_index,
+            .days_closed = result.days_closed,
+            .days_retired = result.days_retired,
+            .generation =
+                server_.service_->history_generation(request.machine_id)};
+        node->frame =
+            encode_frame(FrameType::kAppendAck, encode_append_ack(ack));
+      } catch (const RollupError& error) {
+        // Injected rollup failure: the store kept the batch's earlier
+        // samples and the day buffer intact, so a client retry of the same
+        // bytes dedups the overlap and resumes the close — retryable, and
+        // the connection stays up (framing never desynced).
+        node->is_error = true;
+        node->frame = encode_frame(
+            FrameType::kError, encode_error(error.what(), /*retryable=*/true));
+      } catch (const std::exception& error) {
+        // Spec mismatch, index gap: semantic rejection a retry cannot fix.
+        node->is_error = true;
+        node->frame = encode_frame(
+            FrameType::kError, encode_error(error.what(), /*retryable=*/false));
+      }
+      inbox_.push(node);
+      wake();
+      pending_tasks_.fetch_sub(1, std::memory_order_release);
+    });
+  } catch (...) {
+    pending_tasks_.fetch_sub(1, std::memory_order_release);
+    delete node;
+    throw;
+  }
+  conn.busy = true;
+  ++in_flight_;
+}
+
 void PredictionServer::Reactor::complete(const InboxNode& node) {
   --in_flight_;
   const auto it = connections_.find(node.fd);
@@ -581,6 +720,12 @@ void PredictionServer::Reactor::complete(const InboxNode& node) {
   conn.busy = false;
   if (node.is_error) {
     errors_.add(1);
+  } else if (node.kind == InboxNode::Kind::kAppendDone) {
+    appends_.add(1);
+    append_samples_.add(node.appended);
+    append_duplicates_.add(node.duplicates);
+    days_closed_.add(node.closed);
+    days_retired_.add(node.retired);
   } else {
     responses_.fetch_add(1, std::memory_order_relaxed);
     predictions_.fetch_add(node.predictions, std::memory_order_relaxed);
@@ -600,9 +745,16 @@ void PredictionServer::Reactor::evict_loaded_traces() {
 }
 
 const MachineTrace* PredictionServer::Reactor::resolve_trace(
-    const std::string& key) {
+    const std::string& key,
+    std::vector<std::shared_ptr<const MachineTrace>>& pins) {
   if (const auto it = server_.traces_.find(key); it != server_.traces_.end())
     return &it->second;
+  if (server_.store_ != nullptr) {
+    if (std::shared_ptr<const MachineTrace> snap = server_.store_->snapshot(key)) {
+      pins.push_back(std::move(snap));
+      return pins.back().get();
+    }
+  }
   if (const auto it = loaded_paths_.find(key); it != loaded_paths_.end()) {
     it->second.last_used = ++load_clock_;
     return &it->second.trace;
@@ -712,6 +864,11 @@ ServerStats PredictionServer::Reactor::snapshot() const {
   stats.errors = errors_.value();
   stats.trace_loads = trace_loads_.load(std::memory_order_relaxed);
   stats.loaded_traces = loaded_count_.load(std::memory_order_relaxed);
+  stats.appends = appends_.value();
+  stats.append_samples = append_samples_.value();
+  stats.append_duplicates = append_duplicates_.value();
+  stats.days_closed = days_closed_.value();
+  stats.days_retired = days_retired_.value();
   stats.rx_bytes = rx_bytes_.value();
   stats.tx_bytes = tx_bytes_.value();
   return stats;
@@ -727,6 +884,17 @@ PredictionServer::PredictionServer(ServerConfig config,
   FGCS_REQUIRE(config_.backlog >= 1);
   FGCS_REQUIRE(config_.max_connections >= 1);
   FGCS_REQUIRE_MSG(config_.reactors >= 1, "need at least one reactor");
+  if (config_.ingest) {
+    // The day-closed callback runs on whichever pool worker drove the
+    // append, under the machine's store lock; invalidate() is thread-safe
+    // and cheap (one generation bump). One closed day ⇒ exactly one bump —
+    // tests/net/ingest_differential_test.cpp pins that.
+    store_ = std::make_unique<TraceStore>(
+        TraceStoreConfig{.retention_days = config_.ingest_retention_days},
+        [this](const TraceStore::DayClosedEvent& event) {
+          service_->invalidate(event.machine_id);
+        });
+  }
   reactors_.reserve(config_.reactors);
   for (unsigned i = 0; i < config_.reactors; ++i)
     reactors_.push_back(std::make_unique<Reactor>(*this, i));

@@ -48,6 +48,14 @@
 // never per read()/write() call, so FailpointStats replay exactly even
 // against a 4-reactor server.
 //
+// Streaming ingest (config.ingest): kAppendSamples frames route through the
+// same dispatch machinery — the owning reactor decodes the batch, the thread
+// pool runs the TraceStore append (so reactors never block on a day rollup),
+// and the ack rides the MPSC inbox back like any completion. Day closes
+// invalidate the machine in the PredictionService from inside the store
+// callback, and prediction batches resolve streamed machines via pinned
+// immutable snapshots, so serving and ingestion never contend on trace data.
+//
 // Observability: each reactor keeps its own instruments, attached to the
 // global registry twice — folded into the fleet-wide series
 // (net.rx.bytes.total, net.tx.bytes.total, net.frames.total,
@@ -73,6 +81,7 @@
 
 #include "core/prediction_service.hpp"
 #include "trace/machine_trace.hpp"
+#include "trace/trace_store.hpp"
 
 namespace fgcs::net {
 
@@ -102,6 +111,15 @@ struct ServerConfig {
   /// least-recently-used entries are evicted between batches (never while a
   /// batch that may reference them is in flight).
   std::size_t max_loaded_traces = 32;
+  /// Accept kAppendSamples frames: monitors stream packed samples into a
+  /// server-owned TraceStore, machines auto-register on first contact, and
+  /// every closed day bumps the machine's PredictionService generation so
+  /// memoized predictions refresh. Off by default — a serving-only fleet
+  /// rejects appends with a non-retryable error.
+  bool ingest = false;
+  /// Sliding per-machine history budget for ingested traces, in days
+  /// (TraceStoreConfig::retention_days); 0 keeps all history.
+  std::int64_t ingest_retention_days = 0;
 };
 
 /// Monotonic serving counters. One of these per reactor
@@ -118,6 +136,11 @@ struct ServerStats {
   std::uint64_t errors = 0;        ///< error frames sent
   std::uint64_t trace_loads = 0;   ///< trace files loaded from trace_root
   std::uint64_t loaded_traces = 0; ///< path-loaded traces currently cached
+  std::uint64_t appends = 0;          ///< append frames acked
+  std::uint64_t append_samples = 0;   ///< samples accepted into the store
+  std::uint64_t append_duplicates = 0;///< retransmitted samples skipped
+  std::uint64_t days_closed = 0;      ///< day rollups completed
+  std::uint64_t days_retired = 0;     ///< history days retired by retention
   std::uint64_t rx_bytes = 0;
   std::uint64_t tx_bytes = 0;
 
@@ -165,6 +188,10 @@ class PredictionServer {
     return service_;
   }
 
+  /// The ingest store, or nullptr when config.ingest is off. Shared by all
+  /// reactors; safe to read from any thread (snapshots are immutable).
+  TraceStore* store() const { return store_.get(); }
+
   /// Aggregate counters: the field-wise sum of reactor_stats(). Safe from
   /// any thread while serving; exact after stop().
   ServerStats stats() const;
@@ -180,6 +207,10 @@ class PredictionServer {
 
   ServerConfig config_;
   std::shared_ptr<PredictionService> service_;
+  /// Streaming ingest sink (config.ingest only). Its day-closed callback
+  /// invalidates the machine in service_, so one generation bump per closed
+  /// day is structural, not best-effort.
+  std::unique_ptr<TraceStore> store_;
 
   std::map<std::string, MachineTrace> traces_;  // by machine_id, frozen at start()
   std::vector<std::unique_ptr<Reactor>> reactors_;

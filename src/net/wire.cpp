@@ -274,6 +274,110 @@ WireError decode_error(std::span<const std::uint8_t> payload) {
   return error;
 }
 
+std::vector<std::uint8_t> encode_append(const WireAppendRequest& request) {
+  FGCS_REQUIRE_MSG(request.machine_id.size() <= kMaxKeyBytes,
+                   "machine id exceeds kMaxKeyBytes");
+  FGCS_REQUIRE_MSG(!request.samples.empty(), "append batch must not be empty");
+  FGCS_REQUIRE_MSG(request.samples.size() <= kMaxAppendSamples,
+                   "append batch exceeds kMaxAppendSamples");
+  FGCS_REQUIRE_MSG(request.epoch_day_of_week <= 6,
+                   "epoch day-of-week out of range");
+  FGCS_REQUIRE_MSG(request.sampling_period >= 1 &&
+                       86'400 % request.sampling_period == 0,
+                   "sampling period must divide one day");
+  std::vector<std::uint8_t> payload;
+  payload.reserve(32 + request.machine_id.size() + request.samples.size() * 4);
+  put_u16(payload, static_cast<std::uint16_t>(request.machine_id.size()));
+  payload.insert(payload.end(), request.machine_id.begin(),
+                 request.machine_id.end());
+  payload.push_back(request.epoch_day_of_week);
+  put_i64(payload, request.sampling_period);
+  put_u32(payload, request.total_mem_mb);
+  put_u64(payload, request.first_sample_index);
+  put_u32(payload, static_cast<std::uint32_t>(request.samples.size()));
+  for (const ResourceSample& sample : request.samples) {
+    FGCS_REQUIRE_MSG(sample.host_load_pct <= 100,
+                     "sample load percent out of range");
+    payload.push_back(sample.host_load_pct);
+    payload.push_back(sample.flags);
+    put_u16(payload, sample.free_mem_mb);
+  }
+  return payload;
+}
+
+WireAppendRequest decode_append(std::span<const std::uint8_t> payload) {
+  Reader reader(payload);
+  WireAppendRequest request;
+  const std::uint16_t key_length = reader.u16();
+  if (key_length > kMaxKeyBytes)
+    throw DataError("wire: machine id length " + std::to_string(key_length) +
+                    " exceeds limit");
+  request.machine_id = reader.str(key_length);
+  request.epoch_day_of_week = reader.u8();
+  if (request.epoch_day_of_week > 6)
+    throw DataError("wire: epoch day-of-week " +
+                    std::to_string(request.epoch_day_of_week) +
+                    " out of range");
+  request.sampling_period = reader.i64();
+  if (request.sampling_period < 1 ||
+      86'400 % request.sampling_period != 0)
+    throw DataError("wire: sampling period " +
+                    std::to_string(request.sampling_period) +
+                    " does not divide one day");
+  request.total_mem_mb = reader.u32();
+  request.first_sample_index = reader.u64();
+  const std::uint32_t count = reader.u32();
+  if (count == 0)
+    throw DataError("wire: empty append batch");
+  if (count > kMaxAppendSamples)
+    throw DataError("wire: append batch count " + std::to_string(count) +
+                    " exceeds limit " + std::to_string(kMaxAppendSamples));
+  // Samples are fixed 4 bytes each and must exactly fill the remainder —
+  // rejected before any reserve when the count lies about the byte budget.
+  if (static_cast<std::size_t>(count) * 4 != reader.remaining())
+    throw DataError("wire: append batch count " + std::to_string(count) +
+                    " does not match the payload size");
+  request.samples.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ResourceSample sample;
+    sample.host_load_pct = reader.u8();
+    if (sample.host_load_pct > 100)
+      throw DataError("wire: sample load percent " +
+                      std::to_string(sample.host_load_pct) +
+                      " out of range");
+    sample.flags = reader.u8();
+    sample.free_mem_mb = reader.u16();
+    request.samples.push_back(sample);
+  }
+  reader.expect_done("append");
+  return request;
+}
+
+std::vector<std::uint8_t> encode_append_ack(const WireAppendAck& ack) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(48);
+  put_u64(payload, ack.accepted);
+  put_u64(payload, ack.duplicates);
+  put_u64(payload, ack.next_index);
+  put_u64(payload, ack.days_closed);
+  put_u64(payload, ack.days_retired);
+  put_u64(payload, ack.generation);
+  return payload;
+}
+
+WireAppendAck decode_append_ack(std::span<const std::uint8_t> payload) {
+  Reader reader(payload);
+  WireAppendAck ack;
+  ack.accepted = reader.u64();
+  ack.duplicates = reader.u64();
+  ack.next_index = reader.u64();
+  ack.days_closed = reader.u64();
+  ack.days_retired = reader.u64();
+  ack.generation = reader.u64();
+  reader.expect_done("append ack");
+  return ack;
+}
+
 void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
   if (poisoned_) throw DataError("wire: decoder poisoned by earlier error");
   // Compact lazily: drop consumed prefix once it dominates the buffer, so a
@@ -310,7 +414,7 @@ std::optional<Frame> FrameDecoder::next() {
   }
   const std::uint16_t type = read_u16_at(header + 6);
   if (type < static_cast<std::uint16_t>(FrameType::kRequest) ||
-      type > static_cast<std::uint16_t>(FrameType::kError)) {
+      type > static_cast<std::uint16_t>(FrameType::kAppendAck)) {
     poisoned_ = true;
     throw DataError("wire: unknown frame type " + std::to_string(type));
   }

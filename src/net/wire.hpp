@@ -1,12 +1,13 @@
-// Length-prefixed binary wire protocol for networked prediction serving
-// (DESIGN.md §9).
+// Length-prefixed binary wire protocol for networked prediction serving and
+// streaming sample ingestion (DESIGN.md §9).
 //
 // A frame is a fixed 16-byte little-endian header followed by a payload:
 //
 //   offset  size  field
 //        0     4  magic     0x46474353 ("FGCS")
-//        4     2  version   kWireVersion (1)
+//        4     2  version   kWireVersion (2)
 //        6     2  type      1 request | 2 response | 3 error
+//                           | 4 append-samples | 5 append-ack
 //        8     4  payload length in bytes (≤ kMaxPayloadBytes)
 //       12     4  FNV-1a 32-bit checksum of the payload bytes
 //
@@ -37,11 +38,14 @@
 #include <vector>
 
 #include "core/predictor.hpp"
+#include "trace/sample.hpp"
 
 namespace fgcs::net {
 
 inline constexpr std::uint32_t kWireMagic = 0x46474353u;  // "FGCS"
-inline constexpr std::uint16_t kWireVersion = 1;
+/// Version 2 added the append-samples / append-ack frame pair (streaming
+/// ingestion); any layout change bumps this (docs/WIRE.md §5).
+inline constexpr std::uint16_t kWireVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 16;
 /// Hard cap on a frame payload; a length field above this is a protocol
 /// error, not an allocation request (fuzz case: length overflow).
@@ -50,11 +54,16 @@ inline constexpr std::uint32_t kMaxPayloadBytes = 16u << 20;  // 16 MiB
 inline constexpr std::uint32_t kMaxBatchItems = 1u << 16;
 /// Hard cap on a machine-key string.
 inline constexpr std::uint32_t kMaxKeyBytes = 4096;
+/// Hard cap on packed samples per append frame (4 MiB of sample payload —
+/// about three days of 6-second samples; monitors batch far below this).
+inline constexpr std::uint32_t kMaxAppendSamples = 1u << 20;
 
 enum class FrameType : std::uint16_t {
   kRequest = 1,
   kResponse = 2,
   kError = 3,
+  kAppendSamples = 4,
+  kAppendAck = 5,
 };
 
 /// One request item as it travels on the wire: the machine is named by a
@@ -108,6 +117,46 @@ struct WireError {
 std::vector<std::uint8_t> encode_error(std::string_view message,
                                        bool retryable);
 WireError decode_error(std::span<const std::uint8_t> payload);
+
+/// One append-samples frame: a monitor ships a contiguous batch of packed
+/// samples starting at an *absolute* sample index (day·samples_per_day +
+/// offset since the machine's epoch). Appends are idempotent by
+/// construction: indices the server already covers are acknowledged as
+/// duplicates, so a client may blindly retry a whole batch. The machine
+/// spec fields (epoch day-of-week, sampling period, total memory) make the
+/// monitor self-describing — the first append registers the machine, later
+/// appends must carry the same spec.
+struct WireAppendRequest {
+  std::string machine_id;
+  std::uint8_t epoch_day_of_week = 0;  ///< 0 = Monday … 6 = Sunday
+  std::int64_t sampling_period = 6;    ///< seconds; must divide 86 400
+  std::uint32_t total_mem_mb = 1024;
+  std::uint64_t first_sample_index = 0;
+  std::vector<ResourceSample> samples;
+};
+
+/// The server's answer to one append frame: exact bookkeeping for the batch
+/// plus the machine's post-append ingest state, so a monitor can resume
+/// after reconnecting by asking where next_index stands.
+struct WireAppendAck {
+  std::uint64_t accepted = 0;      ///< samples newly buffered or rolled up
+  std::uint64_t duplicates = 0;    ///< samples already covered (retries)
+  std::uint64_t next_index = 0;    ///< first absolute index not yet covered
+  std::uint64_t days_closed = 0;   ///< days rolled into the trace by this batch
+  std::uint64_t days_retired = 0;  ///< days retired from the sliding window
+  std::uint64_t generation = 0;    ///< history generation after the append
+};
+
+/// Append payload: u16-length machine id, u8 epoch day-of-week, i64
+/// sampling period, u32 total memory, u64 first absolute sample index, u32
+/// count (1..kMaxAppendSamples), then count packed 4-byte samples
+/// (u8 load pct ≤ 100, u8 flags, u16 free MiB).
+std::vector<std::uint8_t> encode_append(const WireAppendRequest& request);
+WireAppendRequest decode_append(std::span<const std::uint8_t> payload);
+
+/// Append-ack payload: six u64 fields, fixed 48 bytes.
+std::vector<std::uint8_t> encode_append_ack(const WireAppendAck& ack);
+WireAppendAck decode_append_ack(std::span<const std::uint8_t> payload);
 
 /// Incremental frame reassembly over a byte stream. feed() appends whatever
 /// the socket produced; next() returns one complete frame at a time (nullopt

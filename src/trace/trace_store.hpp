@@ -1,0 +1,159 @@
+// TraceStore — day-boundary rollup for streaming sample ingestion.
+//
+// Monitors stream contiguous batches of packed samples addressed by an
+// *absolute sample index* (day · samples_per_day + offset since the
+// machine's epoch). The store buffers the partial current day per machine;
+// when the buffer fills it "closes" the day: a new MachineTrace is built
+// with the day appended (and, when a retention budget is set, the oldest
+// day retired — the paper's sliding N-day training history), then swapped
+// in as an immutable snapshot. Readers pin snapshots with shared_ptr, so
+// prediction batches never block behind ingestion and never observe a
+// half-rolled day; a close costs one O(history) trace copy per
+// machine-day, which at one close per day per machine is noise.
+//
+// Idempotence: appends whose indices the store already covers are counted
+// as duplicates and skipped, so a client may blindly retry a whole batch
+// after any transport failure. A batch *starting beyond* the next expected
+// index is rejected (DataError): monitors backfill outages as down-time
+// (resource_monitor's heartbeat trick), so a genuine gap means the sender
+// and the store disagree about history, which no retry can fix.
+//
+// Failpoints (tests/chaos): `ingest.rollup.fail` is evaluated once per
+// day-close, *before* the close mutates anything; it throws RollupError
+// with the day's samples still buffered and the append's earlier samples
+// retained, so a retried batch dedups the overlap and resumes the close.
+//
+// Thread-safety: all public methods are safe to call concurrently; each
+// machine is guarded by its own mutex (appends for one machine serialize,
+// different machines proceed in parallel). The day-closed callback runs
+// under the appending machine's lock and must not call back into the
+// store.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/machine_trace.hpp"
+#include "trace/sample.hpp"
+#include "util/error.hpp"
+#include "util/time.hpp"
+
+namespace fgcs {
+
+/// A day-close was injected to fail (ingest.rollup.fail). Transient by
+/// construction — the store's state is untouched and a retry of the same
+/// batch resumes the close — so the serving layer reports it retryable,
+/// unlike the semantic DataErrors (gap, spec mismatch) that fail every
+/// retry identically.
+class RollupError : public DataError {
+ public:
+  using DataError::DataError;
+};
+
+struct TraceStoreConfig {
+  /// Sliding-history budget in days per machine; once a machine's trace
+  /// holds this many days, closing a new day retires the oldest one.
+  /// 0 (default) keeps all history.
+  std::int64_t retention_days = 0;
+};
+
+/// Self-describing machine registration, as carried by every append frame.
+struct MachineSpec {
+  std::string machine_id;
+  int epoch_day_of_week = 0;  ///< 0 = Monday … 6 = Sunday
+  SimTime sampling_period = 6;
+  int total_mem_mb = 1024;
+};
+
+/// Exact bookkeeping for one append call (mirrors the wire ack).
+struct AppendResult {
+  std::uint64_t accepted = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t next_index = 0;
+  std::uint64_t days_closed = 0;
+  std::uint64_t days_retired = 0;
+};
+
+class TraceStore {
+ public:
+  /// Fired once per closed day, after the snapshot swap, under the
+  /// machine's lock. `first_day_id` is the absolute id of `trace` day 0;
+  /// `retired_day` is the absolute id just retired, or -1.
+  struct DayClosedEvent {
+    const std::string& machine_id;
+    const std::shared_ptr<const MachineTrace>& trace;
+    std::int64_t first_day_id = 0;
+    std::int64_t closed_day = 0;
+    std::int64_t retired_day = -1;
+  };
+  using DayClosedCallback = std::function<void(const DayClosedEvent&)>;
+
+  explicit TraceStore(TraceStoreConfig config = {},
+                      DayClosedCallback on_day_closed = {});
+
+  const TraceStoreConfig& config() const { return config_; }
+
+  /// Registers a machine with an empty history. Re-registering with an
+  /// identical spec is a no-op; a differing spec throws DataError.
+  void register_machine(const MachineSpec& spec);
+
+  /// Seeds a machine from pre-existing history (day ids start at 0, next
+  /// sample index at day_count · samples_per_day). Throws DataError if the
+  /// machine already exists.
+  void adopt_trace(MachineTrace trace);
+
+  /// Appends a contiguous batch starting at `first_sample_index`,
+  /// auto-registering the machine from `spec` on first contact. Skips
+  /// already-covered indices (duplicates), buffers the rest, and closes
+  /// day(s) when the buffer fills. Throws DataError on a spec mismatch or
+  /// an index gap, RollupError when a day-close was injected to fail.
+  AppendResult append(const MachineSpec& spec,
+                      std::uint64_t first_sample_index,
+                      std::span<const ResourceSample> samples);
+
+  /// The machine's current immutable trace snapshot (closed days only), or
+  /// nullptr for an unknown machine. Pin it for the duration of any read.
+  std::shared_ptr<const MachineTrace> snapshot(
+      const std::string& machine_id) const;
+
+  /// Absolute day id of snapshot day 0 (days retired so far). Throws
+  /// DataError for an unknown machine.
+  std::int64_t first_day_id(const std::string& machine_id) const;
+
+  /// First absolute sample index not yet covered (buffered or rolled up).
+  std::uint64_t next_index(const std::string& machine_id) const;
+
+  /// Samples currently buffered in the machine's partial day.
+  std::size_t buffered_samples(const std::string& machine_id) const;
+
+  std::size_t machine_count() const;
+  std::vector<std::string> machine_ids() const;
+
+ private:
+  struct Machine {
+    mutable std::mutex mutex;
+    MachineSpec spec;
+    std::shared_ptr<const MachineTrace> trace;
+    std::vector<ResourceSample> buffer;  ///< partial current day
+    std::int64_t first_day_id = 0;       ///< days retired so far
+    std::int64_t closed_days = 0;        ///< absolute id of the day being buffered
+  };
+
+  Machine& resolve(const MachineSpec& spec);
+  const Machine* find(const std::string& machine_id) const;
+  /// Rolls the machine's full buffer into its trace; must hold its mutex.
+  void close_day(Machine& machine, AppendResult& result);
+
+  TraceStoreConfig config_;
+  DayClosedCallback on_day_closed_;
+  mutable std::mutex registry_mutex_;
+  std::map<std::string, std::unique_ptr<Machine>> machines_;
+};
+
+}  // namespace fgcs

@@ -118,3 +118,60 @@ if(DEFINED TRACE_FILE)
   message(STATUS
     "chaos replay byte-identical with tracing on (${trace_size} trace bytes)")
 endif()
+
+# Ingest leg: the streaming scenario replays a fleet of monitors through
+# append-drop and rollup-failure storms with idempotent retries. Every number
+# in its report — ack totals, generation counts, server/client counters, the
+# failpoint table — is derived from per-frame/per-close injection points in a
+# sequential driver's order, so it must replay byte-identically too.
+foreach(run ing_first ing_second)
+  execute_process(
+    COMMAND ${CHAOS_BIN} --scenario ingest --seed 11 --machines 3 --days 6
+            --jobs 5
+    OUTPUT_VARIABLE ${run}_out
+    ERROR_VARIABLE ${run}_err
+    RESULT_VARIABLE ${run}_rc)
+  if(NOT ${run}_rc EQUAL 0)
+    message(FATAL_ERROR
+      "fgcs_chaos ingest ${run} run failed (rc=${${run}_rc}):\n${${run}_err}")
+  endif()
+endforeach()
+
+if(NOT ing_first_out STREQUAL ing_second_out)
+  message(FATAL_ERROR
+    "fgcs_chaos ingest scenario is not replay-stable with FGCS_THREADS=4\n"
+    "--- first run ---\n${ing_first_out}\n--- second run ---\n${ing_second_out}")
+endif()
+if(NOT ing_first_out MATCHES "history-identical")
+  message(FATAL_ERROR
+    "fgcs_chaos ingest did not report converged histories:\n${ing_first_out}")
+endif()
+message(STATUS "chaos ingest scenario replayed byte-identically (storm stream)")
+
+# Ingest at 4 reactors: appends and predictions sharded over reactor-owned
+# connections, counters attributed per reactor, still byte-stable.
+foreach(run ing4_first ing4_second)
+  execute_process(
+    COMMAND ${CHAOS_BIN} --scenario ingest --seed 11 --machines 3 --days 6
+            --jobs 5 --reactors 4
+    OUTPUT_VARIABLE ${run}_out
+    ERROR_VARIABLE ${run}_err
+    RESULT_VARIABLE ${run}_rc)
+  if(NOT ${run}_rc EQUAL 0)
+    message(FATAL_ERROR
+      "fgcs_chaos ingest --reactors 4 ${run} run failed (rc=${${run}_rc}):\n"
+      "${${run}_err}")
+  endif()
+endforeach()
+
+if(NOT ing4_first_out STREQUAL ing4_second_out)
+  message(FATAL_ERROR
+    "fgcs_chaos ingest scenario is not replay-stable at 4 reactors\n"
+    "--- first run ---\n${ing4_first_out}\n--- second run ---\n${ing4_second_out}")
+endif()
+if(NOT ing4_first_out MATCHES "reactors=4 mode=accept-handoff")
+  message(FATAL_ERROR
+    "fgcs_chaos ingest --reactors 4 did not report the sharded server:\n"
+    "${ing4_first_out}")
+endif()
+message(STATUS "chaos ingest scenario replayed byte-identically (4 reactors)")

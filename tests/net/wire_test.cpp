@@ -204,5 +204,101 @@ TEST(WireRequest, OversizedKeyIsRejectedAtEncode) {
   EXPECT_THROW(encode_request(items), PreconditionError);
 }
 
+// ---- streaming ingest frames (wire v2) ----
+
+WireAppendRequest append_request() {
+  WireAppendRequest request;
+  request.machine_id = "lab-42/cpu0";
+  request.epoch_day_of_week = 5;
+  request.sampling_period = 60;
+  request.total_mem_mb = 2048;
+  request.first_sample_index = 0x1234'5678'9abcull;
+  ResourceSample up;
+  up.host_load_pct = 37;
+  up.free_mem_mb = 911;
+  up.set_up(true);
+  ResourceSample down;
+  down.host_load_pct = 0;
+  down.free_mem_mb = 2048;
+  down.set_up(false);
+  ResourceSample edge;
+  edge.host_load_pct = 100;
+  edge.free_mem_mb = 0xffff;
+  edge.set_up(true);
+  request.samples = {up, down, edge};
+  return request;
+}
+
+TEST(WireAppend, RoundTripsEveryField) {
+  const WireAppendRequest request = append_request();
+  const WireAppendRequest back = decode_append(encode_append(request));
+  EXPECT_EQ(back.machine_id, request.machine_id);
+  EXPECT_EQ(back.epoch_day_of_week, request.epoch_day_of_week);
+  EXPECT_EQ(back.sampling_period, request.sampling_period);
+  EXPECT_EQ(back.total_mem_mb, request.total_mem_mb);
+  EXPECT_EQ(back.first_sample_index, request.first_sample_index);
+  ASSERT_EQ(back.samples.size(), request.samples.size());
+  for (std::size_t i = 0; i < back.samples.size(); ++i)
+    EXPECT_TRUE(back.samples[i] == request.samples[i]) << "sample " << i;
+}
+
+TEST(WireAppend, FramesAsTypeFourUnderVersionTwo) {
+  const std::vector<std::uint8_t> frame =
+      encode_frame(FrameType::kAppendSamples, encode_append(append_request()));
+  EXPECT_EQ(frame[4], kWireVersion);
+  EXPECT_EQ(frame[4], 2);  // appends exist as of protocol version 2
+  EXPECT_EQ(frame[6], 4);  // FrameType::kAppendSamples
+  FrameDecoder decoder;
+  decoder.feed(frame);
+  const std::optional<Frame> out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->type, FrameType::kAppendSamples);
+}
+
+TEST(WireAppend, EncodeRejectsInvalidRequests) {
+  WireAppendRequest bad = append_request();
+  bad.samples.clear();
+  EXPECT_THROW(encode_append(bad), PreconditionError);
+  bad = append_request();
+  bad.epoch_day_of_week = 7;
+  EXPECT_THROW(encode_append(bad), PreconditionError);
+  bad = append_request();
+  bad.sampling_period = 7;  // does not divide 86 400
+  EXPECT_THROW(encode_append(bad), PreconditionError);
+  bad = append_request();
+  bad.samples[0].host_load_pct = 101;
+  EXPECT_THROW(encode_append(bad), PreconditionError);
+  bad = append_request();
+  bad.machine_id.assign(kMaxKeyBytes + 1, 'k');
+  EXPECT_THROW(encode_append(bad), PreconditionError);
+}
+
+TEST(WireAppendAck, RoundTripsAsFixed48Bytes) {
+  const WireAppendAck ack{.accepted = 1440,
+                          .duplicates = 17,
+                          .next_index = 0xdead'beef'0042ull,
+                          .days_closed = 2,
+                          .days_retired = 1,
+                          .generation = 31};
+  const std::vector<std::uint8_t> payload = encode_append_ack(ack);
+  EXPECT_EQ(payload.size(), 48u);
+  const WireAppendAck back = decode_append_ack(payload);
+  EXPECT_EQ(back.accepted, ack.accepted);
+  EXPECT_EQ(back.duplicates, ack.duplicates);
+  EXPECT_EQ(back.next_index, ack.next_index);
+  EXPECT_EQ(back.days_closed, ack.days_closed);
+  EXPECT_EQ(back.days_retired, ack.days_retired);
+  EXPECT_EQ(back.generation, ack.generation);
+}
+
+TEST(WireAppendAck, WrongSizePayloadIsRejected) {
+  std::vector<std::uint8_t> payload = encode_append_ack(WireAppendAck{});
+  payload.pop_back();
+  EXPECT_THROW(decode_append_ack(payload), DataError);
+  payload = encode_append_ack(WireAppendAck{});
+  payload.push_back(0);
+  EXPECT_THROW(decode_append_ack(payload), DataError);
+}
+
 }  // namespace
 }  // namespace fgcs::net

@@ -1,0 +1,262 @@
+// TraceStore: the ingest path's day-boundary rollup. Pins the append
+// contract (idempotent duplicates, gap rejection, spec pinning), the
+// copy-on-rollup snapshot semantics, retention-based retirement, trace
+// adoption, the DayClosedEvent ordering, and crash-consistency under the
+// ingest.rollup.fail failpoint (a failed close must leave the machine
+// retryable, not wedged).
+#include "trace/trace_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace fgcs {
+namespace {
+
+using test::constant_day;
+using test::sample;
+
+constexpr SimTime kPeriod = 3600;  // 24 samples/day keeps the tests tiny
+
+MachineSpec spec(const std::string& id = "m0") {
+  return MachineSpec{.machine_id = id,
+                     .epoch_day_of_week = 2,
+                     .sampling_period = kPeriod,
+                     .total_mem_mb = 512};
+}
+
+std::vector<ResourceSample> day_of(int load_pct) {
+  return constant_day(kPeriod, load_pct);
+}
+
+TEST(TraceStoreTest, AppendsBufferUntilTheDayBoundary) {
+  TraceStore store;
+  const std::vector<ResourceSample> day = day_of(10);
+  const AppendResult partial =
+      store.append(spec(), 0, std::span(day).subspan(0, 10));
+  EXPECT_EQ(partial.accepted, 10u);
+  EXPECT_EQ(partial.days_closed, 0u);
+  EXPECT_EQ(partial.next_index, 10u);
+  EXPECT_EQ(store.buffered_samples("m0"), 10u);
+  EXPECT_EQ(store.snapshot("m0")->day_count(), 0);
+
+  const AppendResult rest = store.append(spec(), 10, std::span(day).subspan(10));
+  EXPECT_EQ(rest.accepted, day.size() - 10);
+  EXPECT_EQ(rest.days_closed, 1u);
+  EXPECT_EQ(rest.days_retired, 0u);
+  EXPECT_EQ(store.buffered_samples("m0"), 0u);
+  const std::shared_ptr<const MachineTrace> snap = store.snapshot("m0");
+  ASSERT_EQ(snap->day_count(), 1);
+  EXPECT_EQ(snap->machine_id(), "m0");
+  EXPECT_EQ(snap->calendar().epoch_day_of_week(), 2);
+  EXPECT_EQ(snap->sampling_period(), kPeriod);
+  for (std::size_t i = 0; i < day.size(); ++i)
+    EXPECT_TRUE(snap->at(0, i) == day[i]);
+}
+
+TEST(TraceStoreTest, OneAppendCanCloseSeveralDays) {
+  TraceStore store;
+  std::vector<ResourceSample> batch;
+  for (const int load : {5, 50, 95})
+    for (const ResourceSample& s : day_of(load)) batch.push_back(s);
+  batch.push_back(sample(10));  // and start day 3
+  const AppendResult result = store.append(spec(), 0, batch);
+  EXPECT_EQ(result.days_closed, 3u);
+  EXPECT_EQ(result.next_index, batch.size());
+  EXPECT_EQ(store.snapshot("m0")->day_count(), 3);
+  EXPECT_EQ(store.buffered_samples("m0"), 1u);
+}
+
+TEST(TraceStoreTest, OverlappingRetransmissionIsDeduplicated) {
+  TraceStore store;
+  const std::vector<ResourceSample> day = day_of(10);
+  store.append(spec(), 0, day);
+  // Full retransmission plus 4 new samples: the old 24 dedup exactly.
+  std::vector<ResourceSample> retry = day;
+  for (int i = 0; i < 4; ++i) retry.push_back(sample(60));
+  const AppendResult result = store.append(spec(), 0, retry);
+  EXPECT_EQ(result.duplicates, day.size());
+  EXPECT_EQ(result.accepted, 4u);
+  EXPECT_EQ(result.days_closed, 0u);
+  EXPECT_EQ(result.next_index, day.size() + 4);
+  // The duplicate region is *not* compared byte-for-byte — the index alone
+  // names the sample — but the stored day must still be the original.
+  EXPECT_TRUE(store.snapshot("m0")->at(0, 0) == day[0]);
+}
+
+TEST(TraceStoreTest, GapsAreUnrepresentableAndRejected) {
+  TraceStore store;
+  const std::vector<ResourceSample> day = day_of(10);
+  store.append(spec(), 0, std::span(day).subspan(0, 5));
+  EXPECT_THROW(store.append(spec(), 6, std::span(day).subspan(6)), DataError);
+  // State unchanged: index 5 is still the frontier.
+  EXPECT_EQ(store.next_index("m0"), 5u);
+}
+
+TEST(TraceStoreTest, SpecIsPinnedAtFirstSight) {
+  TraceStore store;
+  store.append(spec(), 0, std::vector<ResourceSample>{sample(10)});
+  MachineSpec changed = spec();
+  changed.sampling_period = 60;
+  EXPECT_THROW(store.append(changed, 1, std::vector<ResourceSample>{sample(10)}),
+               DataError);
+  MachineSpec moved = spec();
+  moved.epoch_day_of_week = 5;
+  EXPECT_THROW(store.register_machine(moved), DataError);
+}
+
+TEST(TraceStoreTest, InvalidSpecsAreRejected) {
+  TraceStore store;
+  MachineSpec bad = spec("");
+  EXPECT_THROW(store.register_machine(bad), DataError);
+  bad = spec();
+  bad.sampling_period = 7;  // does not divide 86400
+  EXPECT_THROW(store.register_machine(bad), DataError);
+  bad = spec();
+  bad.epoch_day_of_week = 9;
+  EXPECT_THROW(store.register_machine(bad), DataError);
+}
+
+TEST(TraceStoreTest, RetentionRetiresTheOldestDay) {
+  TraceStore store(TraceStoreConfig{.retention_days = 2}, nullptr);
+  std::vector<ResourceSample> batch;
+  for (const int load : {5, 50, 95, 20})
+    for (const ResourceSample& s : day_of(load)) batch.push_back(s);
+  const AppendResult result = store.append(spec(), 0, batch);
+  EXPECT_EQ(result.days_closed, 4u);
+  EXPECT_EQ(result.days_retired, 2u);  // days 0 and 1 slid out
+  const std::shared_ptr<const MachineTrace> snap = store.snapshot("m0");
+  ASSERT_EQ(snap->day_count(), 2);
+  EXPECT_EQ(store.first_day_id("m0"), 2);
+  // Absolute indexing survives retirement: next_index counts ALL samples.
+  EXPECT_EQ(store.next_index("m0"), batch.size());
+  // The slice kept calendar alignment: day 0 of the snapshot is absolute
+  // day 2 (epoch dow 2 + 2 = Friday, still a weekday).
+  EXPECT_EQ(snap->calendar().epoch_day_of_week(), 4);
+  EXPECT_EQ(snap->at(0, 0).host_load_pct, 95);
+}
+
+TEST(TraceStoreTest, SnapshotsAreImmutableUnderLaterAppends) {
+  TraceStore store;
+  store.append(spec(), 0, day_of(10));
+  const std::shared_ptr<const MachineTrace> before = store.snapshot("m0");
+  store.append(spec(), 24, day_of(90));
+  EXPECT_EQ(before->day_count(), 1);  // old snapshot untouched
+  EXPECT_EQ(store.snapshot("m0")->day_count(), 2);
+  EXPECT_NE(before.get(), store.snapshot("m0").get());
+}
+
+TEST(TraceStoreTest, DayClosedEventsCarryOrderedBookkeeping) {
+  struct Seen {
+    std::int64_t closed, retired, first, day_count;
+  };
+  std::vector<Seen> events;
+  TraceStore store(TraceStoreConfig{.retention_days = 2},
+                   [&](const TraceStore::DayClosedEvent& event) {
+                     events.push_back({event.closed_day, event.retired_day,
+                                       event.first_day_id,
+                                       event.trace->day_count()});
+                   });
+  std::vector<ResourceSample> batch;
+  for (const int load : {5, 50, 95})
+    for (const ResourceSample& s : day_of(load)) batch.push_back(s);
+  store.append(spec(), 0, batch);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].closed, 0);
+  EXPECT_EQ(events[0].retired, -1);
+  EXPECT_EQ(events[0].first, 0);
+  EXPECT_EQ(events[0].day_count, 1);
+  EXPECT_EQ(events[1].closed, 1);
+  EXPECT_EQ(events[1].retired, -1);
+  EXPECT_EQ(events[1].day_count, 2);
+  // Third close hits retention: day 0 retires in the same event.
+  EXPECT_EQ(events[2].closed, 2);
+  EXPECT_EQ(events[2].retired, 0);
+  EXPECT_EQ(events[2].first, 1);
+  EXPECT_EQ(events[2].day_count, 2);
+}
+
+TEST(TraceStoreTest, AdoptedTraceContinuesSeamlessly) {
+  TraceStore store;
+  MachineTrace trace("adopted", Calendar(2), kPeriod, 512);
+  trace.append_day(day_of(10));
+  trace.append_day(day_of(20));
+  store.adopt_trace(trace);
+  EXPECT_THROW(store.adopt_trace(trace), DataError);  // already present
+  EXPECT_EQ(store.next_index("adopted"), 48u);
+  // Appends resume at the adopted end, with the spec derived from the trace.
+  const AppendResult result = store.append(
+      MachineSpec{.machine_id = "adopted",
+                  .epoch_day_of_week = 2,
+                  .sampling_period = kPeriod,
+                  .total_mem_mb = 512},
+      48, day_of(30));
+  EXPECT_EQ(result.days_closed, 1u);
+  EXPECT_EQ(store.snapshot("adopted")->day_count(), 3);
+}
+
+TEST(TraceStoreTest, UnknownMachinesReadAsAbsent) {
+  TraceStore store;
+  EXPECT_EQ(store.snapshot("ghost"), nullptr);
+  EXPECT_THROW(store.next_index("ghost"), DataError);
+  EXPECT_THROW(store.first_day_id("ghost"), DataError);
+  EXPECT_THROW(store.buffered_samples("ghost"), DataError);
+  EXPECT_EQ(store.machine_count(), 0u);
+}
+
+// ---- crash consistency: the rollup failpoint ----
+
+class RollupFailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Failpoints::instance().reset(); }
+};
+
+TEST_F(RollupFailpointTest, FailedCloseLeavesTheMachineRetryable) {
+  TraceStore store;
+  const std::vector<ResourceSample> day = day_of(10);
+  Failpoints::instance().arm_from_spec("ingest.rollup.fail=every:1");
+  EXPECT_THROW(store.append(spec(), 0, day), RollupError);
+  // The day is fully buffered but unclosed; the frontier already covers it.
+  EXPECT_EQ(store.snapshot("m0")->day_count(), 0);
+  EXPECT_EQ(store.buffered_samples("m0"), 24u);
+  EXPECT_EQ(store.next_index("m0"), 24u);
+
+  // An idempotent client retry (same frame) must dedup every sample AND
+  // re-attempt the pending close — the wedge this path once had.
+  Failpoints::instance().reset();
+  const AppendResult retry = store.append(spec(), 0, day);
+  EXPECT_EQ(retry.duplicates, day.size());
+  EXPECT_EQ(retry.accepted, 0u);
+  EXPECT_EQ(retry.days_closed, 1u);
+  EXPECT_EQ(store.snapshot("m0")->day_count(), 1);
+  EXPECT_EQ(store.buffered_samples("m0"), 0u);
+}
+
+TEST_F(RollupFailpointTest, MidBatchFailureKeepsEarlierDaysAndProgress) {
+  TraceStore store;
+  std::vector<ResourceSample> batch;
+  for (const int load : {5, 50})
+    for (const ResourceSample& s : day_of(load)) batch.push_back(s);
+  // First close succeeds, second one fails mid-frame.
+  Failpoints::instance().arm_from_spec("ingest.rollup.fail=every:2");
+  EXPECT_THROW(store.append(spec(), 0, batch), RollupError);
+  EXPECT_EQ(store.snapshot("m0")->day_count(), 1);
+  EXPECT_EQ(store.next_index("m0"), batch.size());
+
+  Failpoints::instance().reset();
+  const AppendResult retry = store.append(spec(), 0, batch);
+  EXPECT_EQ(retry.duplicates, batch.size());
+  EXPECT_EQ(retry.days_closed, 1u);  // only the pending day closes
+  const std::shared_ptr<const MachineTrace> snap = store.snapshot("m0");
+  ASSERT_EQ(snap->day_count(), 2);
+  EXPECT_EQ(snap->at(0, 0).host_load_pct, 5);
+  EXPECT_EQ(snap->at(1, 0).host_load_pct, 50);
+}
+
+}  // namespace
+}  // namespace fgcs

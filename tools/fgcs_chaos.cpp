@@ -1,8 +1,8 @@
 // fgcs_chaos — replay named fault-injection scenarios deterministically.
 //
-//   fgcs_chaos --scenario revocation|churn|registry|service|net
+//   fgcs_chaos --scenario revocation|churn|registry|service|net|ingest
 //              [--seed S] [--machines N] [--days D] [--jobs J]
-//              [--failpoints SPEC]
+//              [--reactors N] [--failpoints SPEC]
 //
 // Each scenario generates a synthetic fleet from --seed, arms a scenario
 // default FGCS_FAILPOINTS spec (overridable with --failpoints), submits
@@ -228,6 +228,148 @@ int run_net(std::uint64_t seed, int machines, int days, int jobs,
   return completed == jobs ? 0 : 1;
 }
 
+/// Mid-stream ingestion under a failpoint storm: append frames dropped
+/// before decoding, day rollups injected to fail, plus the net scenario's
+/// transport faults. The client's idempotent whole-batch retries (duplicate
+/// samples skipped by the store) must still land every machine's history
+/// byte-identical to its source trace, and predictions served over the
+/// streamed history must match an in-process service on the originals bit
+/// for bit. Every counter printed is pinned by the spec + seed, so the run
+/// replays byte-identically (tests/chaos_replay.cmake, ingest legs).
+int run_ingest(std::uint64_t seed, int machines, int days, int jobs,
+               unsigned reactors) {
+  WorkloadParams params;
+  params.sampling_period = 60;  // coarse period keeps the replay quick
+  const std::vector<MachineTrace> traces =
+      generate_fleet(params, seed, machines, days, "chaos");
+
+  net::ServerConfig server_config;
+  server_config.reactors = reactors;
+  server_config.force_accept_handoff = reactors > 1;
+  server_config.ingest = true;
+  net::PredictionServer server(server_config,
+                               std::make_shared<PredictionService>());
+  server.start();
+  if (reactors > 1)
+    std::printf("reactors=%u mode=%s\n", server.reactor_count(),
+                server.accept_handoff() ? "accept-handoff" : "reuseport");
+
+  net::ClientConfig client_config;
+  client_config.port = server.port();
+  client_config.max_attempts = 12;
+  client_config.backoff.retry_delay = 2;      // ms: keep the replay quick
+  client_config.backoff.max_retry_delay = 50; // ms
+  net::PredictionClient client(client_config);
+
+  bool all_ok = true;
+  for (std::size_t m = 0; m < traces.size(); ++m) {
+    const MachineTrace& trace = traces[m];
+    const std::size_t per_day = trace.samples_per_day();
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(trace.day_count()) * per_day;
+    // Deterministic per-machine batch sizing that straddles day boundaries.
+    const std::size_t batch = per_day / 3 + 211 * m;
+
+    net::WireAppendRequest request;
+    request.machine_id = trace.machine_id();
+    request.epoch_day_of_week =
+        static_cast<std::uint8_t>(trace.calendar().epoch_day_of_week());
+    request.sampling_period = trace.sampling_period();
+    request.total_mem_mb = static_cast<std::uint32_t>(trace.total_mem_mb());
+
+    std::uint64_t accepted = 0, duplicates = 0, index = 0, generation = 0;
+    while (index < total) {
+      const std::uint64_t count = std::min<std::uint64_t>(batch, total - index);
+      request.first_sample_index = index;
+      request.samples.clear();
+      for (std::uint64_t i = index; i < index + count; ++i)
+        request.samples.push_back(
+            trace.at(static_cast<std::int64_t>(i / per_day), i % per_day));
+      const net::WireAppendAck ack = client.append_samples(request);
+      accepted += ack.accepted;
+      duplicates += ack.duplicates;
+      generation = ack.generation;
+      index = ack.next_index;
+    }
+
+    // The survived storm must leave the server's history byte-identical.
+    const std::shared_ptr<const MachineTrace> snap =
+        server.store()->snapshot(trace.machine_id());
+    bool identical = snap != nullptr && snap->day_count() == trace.day_count();
+    for (std::int64_t d = 0; identical && d < trace.day_count(); ++d)
+      for (std::size_t i = 0; identical && i < per_day; ++i)
+        identical = snap->at(d, i) == trace.at(d, i);
+    all_ok = all_ok && identical &&
+             generation == static_cast<std::uint64_t>(trace.day_count());
+    std::printf("stream %-8s accepted=%llu duplicates=%llu gen=%llu %s\n",
+                trace.machine_id().c_str(),
+                static_cast<unsigned long long>(accepted),
+                static_cast<unsigned long long>(duplicates),
+                static_cast<unsigned long long>(generation),
+                identical ? "history-identical" : "HISTORY MISMATCH");
+  }
+
+  // Predictions served over the streamed history, verified bit for bit
+  // against an in-process reference on the source traces.
+  PredictionService reference;
+  int completed = 0;
+  for (int j = 0; j < jobs; ++j) {
+    const MachineTrace& trace = traces[static_cast<std::size_t>(j) %
+                                       traces.size()];
+    net::WireRequestItem item;
+    item.machine_key = trace.machine_id();
+    item.request.target_day = trace.day_count();
+    item.request.window.start_of_day = (7 + j % 12) * kSecondsPerHour;
+    item.request.window.length = (1 + j % 3) * kSecondsPerHour;
+    const Prediction served = client.predict(item);
+    const Prediction expected = reference.predict(trace, item.request);
+    const bool identical =
+        served.temporal_reliability == expected.temporal_reliability &&
+        served.p_absorb == expected.p_absorb;
+    std::printf("job %02d: %-8s TR %.17g %s\n", j, item.machine_key.c_str(),
+                served.temporal_reliability,
+                identical ? "bit-identical" : "MISMATCH");
+    completed += identical ? 1 : 0;
+  }
+
+  server.stop();
+  const net::ServerStats stats = server.stats();
+  std::printf("server: accepted=%llu frames=%llu requests=%llu appends=%llu "
+              "samples=%llu duplicates=%llu closed=%llu retired=%llu "
+              "errors=%llu\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.frames),
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.appends),
+              static_cast<unsigned long long>(stats.append_samples),
+              static_cast<unsigned long long>(stats.append_duplicates),
+              static_cast<unsigned long long>(stats.days_closed),
+              static_cast<unsigned long long>(stats.days_retired),
+              static_cast<unsigned long long>(stats.errors));
+  if (reactors > 1) {
+    const std::vector<net::ServerStats> shards = server.reactor_stats();
+    for (std::size_t i = 0; i < shards.size(); ++i)
+      std::printf("reactor %zu: frames=%llu appends=%llu samples=%llu "
+                  "closed=%llu errors=%llu\n",
+                  i, static_cast<unsigned long long>(shards[i].frames),
+                  static_cast<unsigned long long>(shards[i].appends),
+                  static_cast<unsigned long long>(shards[i].append_samples),
+                  static_cast<unsigned long long>(shards[i].days_closed),
+                  static_cast<unsigned long long>(shards[i].errors));
+  }
+  const net::ClientStats& client_stats = client.stats();
+  std::printf("client: appends=%llu batches=%llu attempts=%llu retries=%llu "
+              "reconnects=%llu server_errors=%llu\n",
+              static_cast<unsigned long long>(client_stats.appends),
+              static_cast<unsigned long long>(client_stats.batches),
+              static_cast<unsigned long long>(client_stats.attempts),
+              static_cast<unsigned long long>(client_stats.retries),
+              static_cast<unsigned long long>(client_stats.reconnects),
+              static_cast<unsigned long long>(client_stats.server_errors));
+  std::printf("completed %d/%d\n", completed, jobs);
+  return all_ok && completed == jobs ? 0 : 1;
+}
+
 int main_checked(int argc, char** argv) {
   const ArgParser args(argc, argv);
   const std::string scenario = args.get("scenario");
@@ -266,6 +408,15 @@ int main_checked(int argc, char** argv) {
       spec = "net.frame.corrupt=prob:0.4:" + s +
              ";net.read.short=every:2;net.write.stall=every:2;"
              "net.accept.drop=every:3";
+    else if (scenario == "ingest")
+      // Mid-stream storm: append frames rejected before decoding, every 9th
+      // day rollup injected to fail, and a thinner transport storm on top —
+      // all absorbed by idempotent client retries.
+      spec = "ingest.append.drop=prob:0.25:" + s +
+             ";ingest.rollup.fail=every:9"
+             ";net.frame.corrupt=prob:0.1:" + s +
+             ";net.read.short=every:3;net.write.stall=every:4;"
+             "net.accept.drop=every:5";
   }
 
   Failpoints::instance().reset();
@@ -316,10 +467,12 @@ int main_checked(int argc, char** argv) {
     status = completed == 0 ? 1 : 0;
   } else if (scenario == "net") {
     status = run_net(seed, machines, days, jobs, reactors);
+  } else if (scenario == "ingest") {
+    status = run_ingest(seed, machines, days, jobs, reactors);
   } else {
     std::fprintf(stderr,
                  "unknown scenario '%s' "
-                 "(use revocation|churn|registry|service|net)\n",
+                 "(use revocation|churn|registry|service|net|ingest)\n",
                  scenario.c_str());
     return 1;
   }

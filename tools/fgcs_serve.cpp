@@ -2,7 +2,7 @@
 //
 //   fgcs_serve [--host H] [--port P] [--reactors N] [--training-days N]
 //              [--threads N] [--load-root DIR] [--max-requests N]
-//              [--metrics] TRACE...
+//              [--ingest] [--retention N] [--metrics] TRACE...
 //
 // Loads each positional trace file into a PredictionServer backed by one
 // memoized PredictionService and serves request frames (see DESIGN.md §9)
@@ -10,7 +10,11 @@
 // answered. Clients name machines by the loaded machine id; with
 // --load-root DIR they may also name trace file paths, which the server
 // loads on demand but only from under DIR (off by default — serving
-// arbitrary server-side files to any connected client is opt-in).
+// arbitrary server-side files to any connected client is opt-in). With
+// --ingest the server also accepts kAppendSamples frames: monitors stream
+// packed samples, machines auto-register on first contact, every closed day
+// refreshes the prediction cache, and --retention N bounds each streamed
+// machine's history to a sliding N-day window (0 = unlimited).
 //
 //   fgcs_serve --selfcheck [--port P]
 //
@@ -106,7 +110,7 @@ int selfcheck(std::uint16_t port) {
 }
 
 int main_checked(int argc, char** argv) {
-  const ArgParser args(argc, argv, {"selfcheck", "metrics"});
+  const ArgParser args(argc, argv, {"selfcheck", "metrics", "ingest"});
   if (args.has("selfcheck")) {
     const auto port = static_cast<std::uint16_t>(args.get_int_or("port", 0));
     args.check_all_consumed();
@@ -125,6 +129,8 @@ int main_checked(int argc, char** argv) {
   server_config.reactors =
       static_cast<unsigned>(args.get_int_or("reactors", 1));
   server_config.trace_root = args.get_or("load-root", "");
+  server_config.ingest = args.has("ingest");
+  server_config.ingest_retention_days = args.get_int_or("retention", 0);
   const std::int64_t max_requests = args.get_int_or("max-requests", 0);
   const bool want_metrics = args.has("metrics");
   args.check_all_consumed();
@@ -135,10 +141,11 @@ int main_checked(int argc, char** argv) {
     server.add_trace(MachineTrace::load_file(path));
     std::printf("fgcs_serve: loaded %s\n", path.c_str());
   }
-  if (args.positional().empty() && server_config.trace_root.empty()) {
+  if (args.positional().empty() && server_config.trace_root.empty() &&
+      !server_config.ingest) {
     std::fprintf(stderr,
-                 "fgcs_serve: no traces and no --load-root would serve "
-                 "nothing\n");
+                 "fgcs_serve: no traces, no --load-root, and no --ingest "
+                 "would serve nothing\n");
     return 1;
   }
 
@@ -147,9 +154,10 @@ int main_checked(int argc, char** argv) {
   server.start();
   // Unbuffered so a parent process piping our stdout sees the port line
   // immediately (tests/net/net_tools_test.cpp parses it).
-  std::printf("fgcs_serve: listening on %s:%u (%zu traces, %u reactor%s)\n",
+  std::printf("fgcs_serve: listening on %s:%u (%zu traces, %u reactor%s%s)\n",
               server.host().c_str(), server.port(), args.positional().size(),
-              server.reactor_count(), server.reactor_count() == 1 ? "" : "s");
+              server.reactor_count(), server.reactor_count() == 1 ? "" : "s",
+              server_config.ingest ? ", ingest on" : "");
   std::fflush(stdout);
 
   while (!g_interrupted) {
@@ -168,6 +176,14 @@ int main_checked(int argc, char** argv) {
               static_cast<unsigned long long>(stats.errors),
               static_cast<unsigned long long>(stats.rx_bytes),
               static_cast<unsigned long long>(stats.tx_bytes));
+  if (server_config.ingest)
+    std::printf("fgcs_serve: ingested %llu appends (%llu samples, "
+                "%llu duplicates), closed %llu days, retired %llu\n",
+                static_cast<unsigned long long>(stats.appends),
+                static_cast<unsigned long long>(stats.append_samples),
+                static_cast<unsigned long long>(stats.append_duplicates),
+                static_cast<unsigned long long>(stats.days_closed),
+                static_cast<unsigned long long>(stats.days_retired));
   if (want_metrics)
     std::printf("\n%s", MetricsRegistry::global().render_text().c_str());
   return 0;

@@ -1,0 +1,137 @@
+#include "core/curve_cache.hpp"
+
+#include <algorithm>
+
+#include "core/fast_solver.hpp"
+#include "util/error.hpp"
+
+namespace fgcs {
+
+namespace {
+
+constexpr std::size_t kS1 = index_of(State::kS1);
+constexpr std::size_t kS2 = index_of(State::kS2);
+
+}  // namespace
+
+AbsorptionCurves::AbsorptionCurves(const SmpModel& model, std::size_t t_max,
+                                   CurveConfig config) {
+  FGCS_REQUIRE_MSG(model.n_states() == kStateCount,
+                   "AbsorptionCurves requires the 5-state FGCS model");
+  model.validate();
+  for (const State failure : kFailureStates)
+    for (std::size_t to = 0; to < kStateCount; ++to)
+      FGCS_REQUIRE_MSG(model.q(index_of(failure), to) == 0.0,
+                       "failure states must be absorbing");
+
+  // Cross-transition kernels over their full support, padded to a common
+  // length so the inner loop has one bound. Stored once: extension re-reads
+  // these, never the model.
+  a12_ = weighted_holding_pmf(model, kS1, kS2, model.h_pmf(kS1, kS2).size());
+  a21_ = weighted_holding_pmf(model, kS2, kS1, model.h_pmf(kS2, kS1).size());
+  kernel_limit_ = std::max(a12_.size(), a21_.size()) - 1;
+  a12_.resize(kernel_limit_ + 1, 0.0);
+  a21_.resize(kernel_limit_ + 1, 0.0);
+
+  // The six weighted direct-absorption pmfs, interleaved into the same
+  // 8-lane layout as the curves so the cumulative update is one strided row
+  // read per tick.
+  for (std::size_t jj = 0; jj < kFailureStates.size(); ++jj) {
+    const std::size_t j = index_of(kFailureStates[jj]);
+    wd_limit_ = std::max({wd_limit_, model.h_pmf(kS1, j).size(),
+                          model.h_pmf(kS2, j).size()});
+  }
+  wd_.assign((wd_limit_ + 1) * kLanes, 0.0);
+  for (std::size_t jj = 0; jj < kFailureStates.size(); ++jj) {
+    const std::size_t j = index_of(kFailureStates[jj]);
+    for (std::size_t row = 0; row < 2; ++row) {
+      const double q = model.q(row == 0 ? kS1 : kS2, j);
+      if (q == 0.0) continue;
+      const auto pmf = model.h_pmf(row == 0 ? kS1 : kS2, j);
+      for (std::size_t l = 1; l <= pmf.size(); ++l)
+        wd_[l * kLanes + 4 * row + jj] = q * pmf[l - 1];
+    }
+  }
+
+  p_.assign(kLanes, 0.0);  // row 0: nothing absorbed in zero ticks
+  if (t_max > 0 && t_max >= config.fft_crossover) {
+    // Large fresh build: one O(n log² n) FFT pass instead of O(n²) ticks.
+    const SparseTrSolver::Series series =
+        FastTrSolver(model).solve_series(t_max);
+    p_.assign((t_max + 1) * kLanes, 0.0);
+    for (std::size_t m = 0; m <= t_max; ++m)
+      for (std::size_t jj = 0; jj < kFailureStates.size(); ++jj) {
+        p_[m * kLanes + jj] = series[0][jj][m];
+        p_[m * kLanes + 4 + jj] = series[1][jj][m];
+      }
+    // Seed the running cumulative sums so extend_to() can resume the direct
+    // recursion from t_max.
+    for (std::size_t m = 1; m <= std::min(t_max, wd_limit_); ++m)
+      for (std::size_t lane = 0; lane < kLanes; ++lane)
+        cum_[lane] += wd_[m * kLanes + lane];
+    t_max_ = t_max;
+  } else {
+    extend_to(t_max);
+  }
+}
+
+void AbsorptionCurves::compute_rows(std::size_t from_m, std::size_t to_m) {
+  const double* a12 = a12_.data();
+  const double* a21 = a21_.data();
+  for (std::size_t m = from_m; m <= to_m; ++m) {
+    if (m <= wd_limit_) {
+      const double* wd = &wd_[m * kLanes];
+      for (std::size_t lane = 0; lane < kLanes; ++lane) cum_[lane] += wd[lane];
+    }
+    // One accumulator per series: per-series summation order matches
+    // SparseTrSolver's scalar recursion exactly (l ascending), so every
+    // produced double is bit-identical; lags past the kernel support only
+    // ever add exact zeros and are skipped.
+    double acc[kLanes] = {};
+    const std::size_t l_hi = std::min(m - 1, kernel_limit_);
+    for (std::size_t l = 1; l <= l_hi; ++l) {
+      const double k12 = a12[l];
+      const double k21 = a21[l];
+      const double* prev = &p_[(m - l) * kLanes];
+      for (std::size_t jj = 0; jj < 3; ++jj) acc[jj] += k12 * prev[4 + jj];
+      for (std::size_t jj = 0; jj < 3; ++jj) acc[4 + jj] += k21 * prev[jj];
+    }
+    double* row = &p_[m * kLanes];
+    for (std::size_t lane = 0; lane < kLanes; ++lane)
+      row[lane] = cum_[lane] + acc[lane];
+  }
+  recursion_ticks_ += to_m - from_m + 1;
+}
+
+void AbsorptionCurves::extend_to(std::size_t n_steps) {
+  if (n_steps <= t_max_) return;
+  const std::size_t target = std::max(n_steps, t_max_ * 2);
+  p_.resize((target + 1) * kLanes, 0.0);
+  compute_rows(t_max_ + 1, target);
+  t_max_ = target;
+}
+
+SparseTrSolver::Result AbsorptionCurves::result_at(State init,
+                                                   std::size_t n_steps) const {
+  FGCS_REQUIRE_MSG(is_available(init),
+                   "temporal reliability is defined for available initial states");
+  FGCS_REQUIRE_MSG(n_steps <= t_max_,
+                   "window beyond the tabulated horizon; extend_to() first");
+  const double* row = &p_[n_steps * kLanes + 4 * index_of(init)];
+  SparseTrSolver::Result result;
+  double absorbed = 0.0;
+  for (std::size_t jj = 0; jj < kFailureStates.size(); ++jj) {
+    result.p_absorb[jj] = row[jj];
+    absorbed += result.p_absorb[jj];
+  }
+  result.temporal_reliability = std::clamp(1.0 - absorbed, 0.0, 1.0);
+  return result;
+}
+
+double AbsorptionCurves::probability(State init, std::size_t failure_index,
+                                     std::size_t m) const {
+  FGCS_REQUIRE(is_available(init) && failure_index < 3 && m <= t_max_);
+  return p_[m * kLanes + 4 * index_of(init) + failure_index];
+}
+
+}  // namespace fgcs

@@ -90,22 +90,30 @@ SmpEstimator::SmpEstimator(EstimatorConfig config) : config_(config) {
 std::vector<std::int64_t> SmpEstimator::training_days_for(
     const MachineTrace& trace, std::int64_t target_day,
     const TimeWindow& window) const {
+  std::vector<std::int64_t> days;
+  training_days_for(trace, target_day, window, days);
+  return days;
+}
+
+void SmpEstimator::training_days_for(const MachineTrace& trace,
+                                     std::int64_t target_day,
+                                     const TimeWindow& window,
+                                     std::vector<std::int64_t>& out) const {
   validate(window);
+  out.clear();
   const DayType type = trace.day_type(target_day);
   const std::size_t n =
       config_.training_days == 0
           ? static_cast<std::size_t>(std::max<std::int64_t>(trace.day_count(), 0))
           : config_.training_days;
-  std::vector<std::int64_t> days;
   // Walk backwards so we can skip days whose window data is incomplete
   // (e.g. a midnight-wrapping window on the last recorded day).
-  for (std::int64_t d = target_day - 1; d >= 0 && days.size() < n; --d) {
+  for (std::int64_t d = target_day - 1; d >= 0 && out.size() < n; --d) {
     if (trace.day_type(d) != type) continue;
     if (!trace.window_in_range(d, window)) continue;
-    days.push_back(d);
+    out.push_back(d);
   }
-  std::reverse(days.begin(), days.end());
-  return days;
+  std::reverse(out.begin(), out.end());
 }
 
 TransitionCounts SmpEstimator::count_transitions(

@@ -92,6 +92,13 @@ class SmpEstimator {
                                               std::int64_t target_day,
                                               const TimeWindow& window) const;
 
+  /// Out-param variant for hot paths: fills `out` (cleared first, capacity
+  /// reused) with the same days the returning overload produces. Lets a
+  /// per-worker buffer absorb the allocation across thousands of probes.
+  void training_days_for(const MachineTrace& trace, std::int64_t target_day,
+                         const TimeWindow& window,
+                         std::vector<std::int64_t>& out) const;
+
   /// Counts sojourn statistics over explicit training days.
   TransitionCounts count_transitions(const MachineTrace& trace,
                                      std::span<const std::int64_t> days,

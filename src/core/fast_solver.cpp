@@ -45,18 +45,6 @@ std::vector<double> convolve_trunc(std::span<const double> a,
   return c;
 }
 
-/// Weighted pmf a[l] = Q_i(k)·H_{i,k}(l) with a[0] = 0, indices 0..n.
-std::vector<double> weighted_pmf(const SmpModel& model, std::size_t from,
-                                 std::size_t to, std::size_t n) {
-  std::vector<double> a(n + 1, 0.0);
-  const double q = model.q(from, to);
-  if (q == 0.0) return a;
-  const auto pmf = model.h_pmf(from, to);
-  const std::size_t limit = std::min(n, pmf.size());
-  for (std::size_t l = 1; l <= limit; ++l) a[l] = q * pmf[l - 1];
-  return a;
-}
-
 }  // namespace
 
 std::vector<double> solve_renewal(std::span<const double> b,
@@ -84,8 +72,8 @@ SparseTrSolver::Series FastTrSolver::solve_series(std::size_t n_steps) const {
   const std::size_t n = n_steps;
   const std::size_t s1 = index_of(State::kS1);
   const std::size_t s2 = index_of(State::kS2);
-  const std::vector<double> a12 = weighted_pmf(model_, s1, s2, n);
-  const std::vector<double> a21 = weighted_pmf(model_, s2, s1, n);
+  const std::vector<double> a12 = weighted_holding_pmf(model_, s1, s2, n);
+  const std::vector<double> a21 = weighted_holding_pmf(model_, s2, s1, n);
   std::vector<double> kernel = convolve_trunc(a12, a21, n);
   // Both factors vanish at lag 0, so lags 0 and 1 of the product are exactly
   // zero analytically; scrub the FFT round-off to keep strict causality.
@@ -95,8 +83,8 @@ SparseTrSolver::Series FastTrSolver::solve_series(std::size_t n_steps) const {
   SparseTrSolver::Series series;
   for (std::size_t jj = 0; jj < kFailureStates.size(); ++jj) {
     const std::size_t j = index_of(kFailureStates[jj]);
-    const std::vector<double> d1 = weighted_pmf(model_, s1, j, n);
-    const std::vector<double> d2 = weighted_pmf(model_, s2, j, n);
+    const std::vector<double> d1 = weighted_holding_pmf(model_, s1, j, n);
+    const std::vector<double> d2 = weighted_holding_pmf(model_, s2, j, n);
 
     // Cumulative direct-absorption terms.
     std::vector<double> d1c(n + 1, 0.0), d2c(n + 1, 0.0);

@@ -109,12 +109,15 @@ Prediction PredictionService::predict(const MachineTrace& trace,
   // The training-day rule is cheap (a day-index scan) and is re-run on every
   // lookup: a cached model is reused only when it was estimated from exactly
   // the days the rule selects now, so staleness can never change a result.
-  const std::vector<std::int64_t> days =
-      estimator_.training_days_for(trace, request.target_day, request.window);
+  // The day list lands in a per-worker buffer — a fleet probe of thousands
+  // of machines allocates it once per worker, not once per request.
+  static thread_local std::vector<std::int64_t> days;
+  estimator_.training_days_for(trace, request.target_day, request.window, days);
   const std::size_t steps = request.window.steps(trace.sampling_period());
   Shard& shard = shard_for(key);
 
   std::shared_ptr<const SmpModel> model;
+  std::shared_ptr<const AbsorptionCurves> curves;
   State majority = State::kS1;
   double estimate_seconds = 0.0;
   {
@@ -130,6 +133,7 @@ Prediction PredictionService::predict(const MachineTrace& trace,
           return *entry.solved[index_of(init)];
         }
         model = entry.model;
+        curves = entry.curves;
         majority = entry.majority_initial;
         estimate_seconds = entry.estimate_seconds;
       } else {
@@ -157,9 +161,16 @@ Prediction PredictionService::predict(const MachineTrace& trace,
   prediction.estimate_seconds = estimate_seconds;
 
   TraceSpan solve_span("service.solve", &solve_hist_);
-  const SparseTrSolver solver(*model);
+  if (curves == nullptr || steps > curves->t_max()) {
+    // Cache miss: run the Eq. 3 recursion once, tabulating both initial
+    // states up to the window horizon (validation happens here, in the
+    // curves constructor — the only validate() on the entry's lifetime).
+    // The t_max guard is defense in depth: the key pins window_length, so a
+    // cached table always covers the horizon that keyed it.
+    curves = std::make_shared<const AbsorptionCurves>(*model, steps);
+  }
   const SparseTrSolver::Result result =
-      solver.solve(prediction.initial_state, steps);
+      curves->result_at(prediction.initial_state, steps);
   prediction.solve_seconds = solve_span.finish();
   prediction.temporal_reliability = result.temporal_reliability;
   prediction.p_absorb = result.p_absorb;
@@ -189,6 +200,7 @@ Prediction PredictionService::predict(const MachineTrace& trace,
       if (entry.training_days == days) {
         auto& slot = entry.solved[index_of(prediction.initial_state)];
         if (!slot) slot = prediction;
+        if (!entry.curves) entry.curves = curves;
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
         return prediction;
       }
@@ -198,6 +210,7 @@ Prediction PredictionService::predict(const MachineTrace& trace,
     Entry entry;
     entry.training_days = days;
     entry.model = model;
+    entry.curves = curves;
     entry.majority_initial = majority;
     entry.estimate_seconds = estimate_seconds;
     entry.solved[index_of(prediction.initial_state)] = prediction;

@@ -6,8 +6,11 @@
 // one; the estimated SMP model for a (machine, day-type, window) triple is
 // the same each time. PredictionService exploits that: predictions fan out
 // over the parallel_for thread pool, and estimated (Q, H) models — plus the
-// solved Prediction per initial state — live in a sharded LRU cache so warm
-// queries skip both the history scan and the Eq. 3 recursion.
+// model's precomputed AbsorptionCurves table and the solved Prediction per
+// initial state — live in a sharded LRU cache. A warm query never re-enters
+// the Eq. 3 recursion: any TR the cached model can produce is an O(1) read
+// off the curves (curve_cache.hpp), so the only per-solve work the service
+// ever does is the one table build on a cache miss.
 //
 // Cache key and staleness: entries are keyed by (machine_id, day_type,
 // window_start, window_length, history_generation). The generation is a
@@ -38,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/curve_cache.hpp"
 #include "core/estimator.hpp"
 #include "core/predictor.hpp"
 #include "core/semi_markov.hpp"
@@ -75,7 +79,7 @@ struct BatchRequest {
 struct ServiceStats {
   std::uint64_t lookups = 0;        ///< predict() calls (incl. batched ones)
   std::uint64_t hits = 0;           ///< fully cached Prediction returned
-  std::uint64_t partial_hits = 0;   ///< (Q,H) model reused, Eq. 3 re-solved
+  std::uint64_t partial_hits = 0;   ///< model + curves reused, O(1) table read
   std::uint64_t misses = 0;         ///< estimated and solved from scratch
   std::uint64_t evictions = 0;      ///< LRU capacity evictions
   std::uint64_t invalidations = 0;  ///< invalidate() calls
@@ -140,11 +144,15 @@ class PredictionService {
   };
 
   /// A memoized estimation for one (machine, day-type, window, generation):
-  /// the model, the training days that produced it (revalidated on every
-  /// hit), and the solved Prediction per transient initial state.
+  /// the model, its precomputed absorption curves (validated and solved ONCE,
+  /// when the model entered the cache — warm lookups never construct a
+  /// solver or re-run SmpModel::validate), the training days that produced
+  /// it (revalidated on every hit), and the solved Prediction per transient
+  /// initial state.
   struct Entry {
     std::vector<std::int64_t> training_days;
     std::shared_ptr<const SmpModel> model;
+    std::shared_ptr<const AbsorptionCurves> curves;
     State majority_initial = State::kS1;
     double estimate_seconds = 0.0;
     std::array<std::optional<Prediction>, 2> solved;  // by index_of(init)

@@ -1,5 +1,7 @@
 #include "core/semi_markov.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 
@@ -9,6 +11,8 @@ namespace fgcs {
 
 namespace {
 constexpr double kProbEps = 1e-9;
+
+std::atomic<std::uint64_t> g_validate_calls{0};
 }
 
 SmpModel::SmpModel(std::size_t n_states, std::size_t horizon)
@@ -81,6 +85,7 @@ double SmpModel::survival(std::size_t from, std::size_t l) const {
 }
 
 void SmpModel::validate() const {
+  g_validate_calls.fetch_add(1, std::memory_order_relaxed);
   for (std::size_t from = 0; from < n_states_; ++from) {
     const double row = exit_mass(from);
     FGCS_REQUIRE_MSG(row <= 1.0 + kProbEps, "Q row mass exceeds 1");
@@ -223,6 +228,22 @@ double monte_carlo_reliability(const SmpModel& model, std::size_t init,
     }
   }
   return static_cast<double>(survived) / static_cast<double>(n_trajectories);
+}
+
+std::vector<double> weighted_holding_pmf(const SmpModel& model,
+                                         std::size_t from, std::size_t to,
+                                         std::size_t n) {
+  std::vector<double> a(n + 1, 0.0);
+  const double q = model.q(from, to);
+  if (q == 0.0) return a;
+  const auto pmf = model.h_pmf(from, to);
+  const std::size_t limit = std::min(n, pmf.size());
+  for (std::size_t l = 1; l <= limit; ++l) a[l] = q * pmf[l - 1];
+  return a;
+}
+
+std::uint64_t smp_validate_calls() {
+  return g_validate_calls.load(std::memory_order_relaxed);
 }
 
 }  // namespace fgcs

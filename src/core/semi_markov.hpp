@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -98,5 +99,26 @@ double monte_carlo_reliability(const SmpModel& model, std::size_t init,
                                std::size_t n_steps,
                                std::span<const bool> failure,
                                std::size_t n_trajectories, Rng& rng);
+
+/// The weighted holding-time pmf a(l) = Q_{from,to}·H_{from,to}(l) every TR
+/// solver convolves with, in the ONE canonical indexing convention shared by
+/// sparse_solver, fast_solver and curve_cache:
+///
+///   lag-indexed — a[l] is the lag-l weight, a[0] == 0 (strict causality),
+///   and the vector has n + 1 entries (lags 0..n), zero-padded past the
+///   pmf's support.
+///
+/// Historically the two solvers carried private copies with *different*
+/// conventions (lag l at a[l-1] vs a[l]) — an off-by-one trap this helper
+/// retires; tests/core/sparse_solver_test.cpp pins the convention.
+std::vector<double> weighted_holding_pmf(const SmpModel& model,
+                                         std::size_t from, std::size_t to,
+                                         std::size_t n);
+
+/// Process-wide count of SmpModel::validate() runs (relaxed atomic).
+/// Test instrumentation: the serving hot path must validate a model once
+/// when it enters the cache, never per solve — tests pin that by diffing
+/// this counter around warm queries.
+std::uint64_t smp_validate_calls();
 
 }  // namespace fgcs

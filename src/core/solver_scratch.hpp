@@ -1,0 +1,42 @@
+// Reusable per-worker scratch for the Eq. 3 solvers.
+//
+// A single SparseTrSolver::solve allocates ~10 step-sized vectors and frees
+// them on return; a batched fleet probe repeats that per request, and the
+// allocator churn is visible as noise in bench timings. A SolverScratch
+// keeps those buffers alive between calls (capacity is retained, contents
+// are re-zeroed), so a worker thread that solves thousands of requests in a
+// batch allocates only on its first, largest call.
+//
+// Not thread-safe: use one instance per worker (the batching layers keep a
+// thread_local). Values produced with and without scratch are bit-identical
+// — `zeroed()` hands back exactly the all-zero vector a fresh allocation
+// would.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace fgcs {
+
+class SolverScratch {
+ public:
+  /// Distinct buffers a single solve may hold live at once.
+  static constexpr std::size_t kSlots = 12;
+
+  /// Slot `slot` reset to `n` zeros, reusing its previous capacity.
+  std::vector<double>& zeroed(std::size_t slot, std::size_t n) {
+    std::vector<double>& b = buffers_[slot];
+    b.assign(n, 0.0);
+    return b;
+  }
+
+  /// Raw slot access; contents are whatever the previous user left — callers
+  /// must assign() before reading.
+  std::vector<double>& buffer(std::size_t slot) { return buffers_[slot]; }
+
+ private:
+  std::array<std::vector<double>, kSlots> buffers_;
+};
+
+}  // namespace fgcs

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/semi_markov.hpp"
+#include "core/solver_scratch.hpp"
 #include "core/states.hpp"
 
 namespace fgcs {
@@ -37,8 +38,13 @@ class SparseTrSolver {
   };
 
   /// Solves for a window of `n_steps` discretization ticks starting in
-  /// `init` (must be S1 or S2).
-  Result solve(State init, std::size_t n_steps) const;
+  /// `init` (must be S1 or S2). Only the requested row's series is
+  /// materialized; when the model never crosses into (or back out of) the
+  /// other transient state, that row's dead recursion is skipped outright.
+  /// An optional SolverScratch recycles the work buffers across calls
+  /// (bit-identical results either way).
+  Result solve(State init, std::size_t n_steps,
+               SolverScratch* scratch = nullptr) const;
 
   /// The six series P_{i,j}(m), m = 0..n_steps, for validation and plotting.
   /// Index: [i][j-2] with i in {0,1}; each inner vector has n_steps+1 entries.

@@ -1,0 +1,222 @@
+#include "core/curve_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "core/sparse_solver.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fgcs {
+namespace {
+
+void expect_identical(const SparseTrSolver::Result& a,
+                      const SparseTrSolver::Result& b) {
+  EXPECT_EQ(a.temporal_reliability, b.temporal_reliability);
+  EXPECT_EQ(a.p_absorb, b.p_absorb);
+}
+
+TEST(CurveCacheTest, RejectsWrongStateCount) {
+  const SmpModel model(3, 4);
+  EXPECT_THROW(AbsorptionCurves(model, 4), PreconditionError);
+}
+
+TEST(CurveCacheTest, RejectsNonAbsorbingFailureStates) {
+  SmpModel model(kStateCount, 4);
+  model.set_q(2, 0, 1.0);  // S3 → S1: failures must be absorbing
+  model.set_h_pmf(2, 0, {1.0});
+  EXPECT_THROW(AbsorptionCurves(model, 4), PreconditionError);
+}
+
+TEST(CurveCacheTest, ResultAtPreconditions) {
+  Rng rng(11);
+  const SmpModel model = test::random_fgcs_model(4, rng);
+  const AbsorptionCurves curves(model, 8);
+  EXPECT_THROW(curves.result_at(State::kS3, 4), PreconditionError);
+  EXPECT_THROW(curves.result_at(State::kS1, 9), PreconditionError);
+  EXPECT_NO_THROW(curves.result_at(State::kS1, 8));
+  EXPECT_NO_THROW(curves.result_at(State::kS2, 0));
+}
+
+TEST(CurveCacheTest, ZeroStepsIsCertainSurvival) {
+  Rng rng(12);
+  const SmpModel model = test::random_fgcs_model(4, rng);
+  const AbsorptionCurves curves(model, 0);
+  const auto result = curves.result_at(State::kS1, 0);
+  EXPECT_DOUBLE_EQ(result.temporal_reliability, 1.0);
+  EXPECT_EQ(result.p_absorb, (std::array<double, 3>{0.0, 0.0, 0.0}));
+}
+
+// The tentpole's correctness anchor: a table read answers exactly what a
+// fresh per-call recursion would, bit for bit, across randomized models
+// (defective rows included), horizons, and both initial states. 150 models
+// × 4 horizons × 2 inits = 1200 compared solves.
+TEST(CurveCacheTest, BitIdenticalToSparseSolverFuzz) {
+  std::size_t cases = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    Rng rng(static_cast<std::uint64_t>(7000 + trial));
+    const std::size_t horizon = 2 + static_cast<std::size_t>(trial % 9);
+    const SmpModel model =
+        test::random_fgcs_model(horizon, rng, /*allow_defective=*/trial % 3 == 0);
+    const std::size_t t_max =
+        1 + static_cast<std::size_t>(rng.uniform_int(1, 40));
+    const AbsorptionCurves curves(model, t_max);
+    const SparseTrSolver solver(model);
+    for (std::size_t k = 0; k < 4; ++k) {
+      const std::size_t n =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(t_max)));
+      for (const State init : {State::kS1, State::kS2}) {
+        const auto from_curves = curves.result_at(init, n);
+        const auto fresh = solver.solve(init, n);
+        EXPECT_EQ(from_curves.temporal_reliability, fresh.temporal_reliability)
+            << "trial=" << trial << " n=" << n << " init=" << to_string(init);
+        EXPECT_EQ(from_curves.p_absorb, fresh.p_absorb)
+            << "trial=" << trial << " n=" << n << " init=" << to_string(init);
+        ++cases;
+      }
+    }
+  }
+  EXPECT_GE(cases, 500u);
+}
+
+TEST(CurveCacheTest, CurvesAreMonotoneNonDecreasingInT) {
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng rng(static_cast<std::uint64_t>(300 + trial));
+    const SmpModel model = test::random_fgcs_model(6, rng);
+    const AbsorptionCurves curves(model, 40);
+    for (const State init : {State::kS1, State::kS2})
+      for (std::size_t jj = 0; jj < 3; ++jj)
+        for (std::size_t m = 1; m <= 40; ++m)
+          EXPECT_GE(curves.probability(init, jj, m) + 1e-15,
+                    curves.probability(init, jj, m - 1))
+              << "trial=" << trial << " m=" << m;
+  }
+}
+
+TEST(CurveCacheTest, ExtensionPreservesPrefixBitForBit) {
+  for (int trial = 0; trial < 20; ++trial) {
+    Rng rng(static_cast<std::uint64_t>(4200 + trial));
+    const SmpModel model = test::random_fgcs_model(5, rng);
+    AbsorptionCurves curves(model, 12);
+    std::vector<double> before;
+    for (const State init : {State::kS1, State::kS2})
+      for (std::size_t jj = 0; jj < 3; ++jj)
+        for (std::size_t m = 0; m <= 12; ++m)
+          before.push_back(curves.probability(init, jj, m));
+
+    curves.extend_to(60);
+    ASSERT_GE(curves.t_max(), 60u);
+    std::size_t i = 0;
+    for (const State init : {State::kS1, State::kS2})
+      for (std::size_t jj = 0; jj < 3; ++jj)
+        for (std::size_t m = 0; m <= 12; ++m)
+          EXPECT_EQ(curves.probability(init, jj, m), before[i++])
+              << "trial=" << trial << " m=" << m;
+
+    // And the grown table matches a table built fresh at the final horizon —
+    // extension is not merely self-consistent, it is the same recursion.
+    const AbsorptionCurves fresh(model, curves.t_max());
+    for (const State init : {State::kS1, State::kS2})
+      for (std::size_t jj = 0; jj < 3; ++jj)
+        for (std::size_t m = 0; m <= curves.t_max(); ++m)
+          EXPECT_EQ(curves.probability(init, jj, m),
+                    fresh.probability(init, jj, m))
+              << "trial=" << trial << " m=" << m;
+  }
+}
+
+TEST(CurveCacheTest, ExtensionGrowsGeometrically) {
+  Rng rng(9);
+  const SmpModel model = test::random_fgcs_model(4, rng);
+  AbsorptionCurves curves(model, 10);
+  EXPECT_EQ(curves.t_max(), 10u);
+  curves.extend_to(11);  // a nudge past the horizon doubles, not creeps
+  EXPECT_EQ(curves.t_max(), 20u);
+  curves.extend_to(20);  // covered: no-op
+  EXPECT_EQ(curves.t_max(), 20u);
+  curves.extend_to(100);  // beyond 2× jumps straight to the request
+  EXPECT_EQ(curves.t_max(), 100u);
+}
+
+// Satellite 1's work claim, made exact: one table build costs n recursion
+// ticks and serves BOTH initial states, where the per-initial-state solver
+// spends n ticks per row requested — the miss path that used to pay 2n for
+// a warm entry's two initial states now pays n.
+TEST(CurveCacheTest, OneBuildServesBothInitialStates) {
+  Rng rng(21);
+  const SmpModel model = test::random_fgcs_model(6, rng);
+  const std::size_t n = 64;
+  AbsorptionCurves curves(model, n);
+  EXPECT_EQ(curves.recursion_ticks(), n);
+  const auto s1 = curves.result_at(State::kS1, n);
+  const auto s2 = curves.result_at(State::kS2, n);
+  EXPECT_EQ(curves.recursion_ticks(), n);  // reads cost zero ticks
+
+  const SparseTrSolver solver(model);
+  expect_identical(s1, solver.solve(State::kS1, n));
+  expect_identical(s2, solver.solve(State::kS2, n));
+}
+
+TEST(CurveCacheTest, ConstructionValidatesModelExactlyOnce) {
+  Rng rng(33);
+  const SmpModel model = test::random_fgcs_model(5, rng);
+  const std::uint64_t before = smp_validate_calls();
+  AbsorptionCurves curves(model, 32);
+  EXPECT_EQ(smp_validate_calls(), before + 1);
+  curves.result_at(State::kS1, 32);
+  curves.result_at(State::kS2, 7);
+  curves.extend_to(64);
+  EXPECT_EQ(smp_validate_calls(), before + 1);  // reads and growth: none
+}
+
+TEST(CurveCacheTest, FftCrossoverAgreesWithDirectRecursion) {
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng rng(static_cast<std::uint64_t>(600 + trial));
+    const SmpModel model = test::random_fgcs_model(8, rng);
+    const std::size_t n = 256;
+    const AbsorptionCurves fft(model, n, CurveConfig{.fft_crossover = 64});
+    const AbsorptionCurves direct(model, n);
+    for (const State init : {State::kS1, State::kS2})
+      for (std::size_t jj = 0; jj < 3; ++jj)
+        for (std::size_t m = 0; m <= n; m += 17)
+          EXPECT_NEAR(fft.probability(init, jj, m),
+                      direct.probability(init, jj, m), 1e-9)
+              << "trial=" << trial << " m=" << m;
+  }
+}
+
+TEST(CurveCacheTest, FftBuiltTableExtendsViaDirectRecursion) {
+  Rng rng(77);
+  const SmpModel model = test::random_fgcs_model(6, rng);
+  AbsorptionCurves curves(model, 128, CurveConfig{.fft_crossover = 64});
+  curves.extend_to(200);
+  const AbsorptionCurves direct(model, curves.t_max());
+  for (const State init : {State::kS1, State::kS2})
+    for (std::size_t jj = 0; jj < 3; ++jj)
+      for (std::size_t m = 129; m <= curves.t_max(); m += 13)
+        EXPECT_NEAR(curves.probability(init, jj, m),
+                    direct.probability(init, jj, m), 1e-9)
+            << "m=" << m;
+}
+
+TEST(CurveCacheTest, SolveFromCurvesExtendsOnDemand) {
+  Rng rng(55);
+  const SmpModel model = test::random_fgcs_model(5, rng);
+  AbsorptionCurves curves(model, 8);
+  const SparseTrSolver solver(model);
+  const auto grown = solve_from_curves(curves, State::kS1, 50);
+  EXPECT_GE(curves.t_max(), 50u);
+  expect_identical(grown, solver.solve(State::kS1, 50));
+  // Within the horizon it is a pure read: t_max does not move.
+  const std::size_t t_max = curves.t_max();
+  expect_identical(solve_from_curves(curves, State::kS2, 17),
+                   solver.solve(State::kS2, 17));
+  EXPECT_EQ(curves.t_max(), t_max);
+}
+
+}  // namespace
+}  // namespace fgcs

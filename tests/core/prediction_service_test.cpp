@@ -76,6 +76,51 @@ TEST(PredictionServiceTest, MatchesPerCallPredictorExactly) {
             1.0);
 }
 
+// Satellite 2: the model is validated exactly once, when it enters the cache
+// (inside the curve build). Warm lookups — full hits AND partial hits for
+// the other initial state — must not construct a solver or re-run
+// SmpModel::validate.
+TEST(PredictionServiceTest, WarmLookupsNeverRevalidateTheModel) {
+  const MachineTrace trace = flaky_trace("m1");
+  PredictionService service;
+  const PredictionRequest request{.target_day = trace.day_count(),
+                                  .window = morning_window()};
+  service.predict(trace, request);  // cold: estimate + validate + curve build
+
+  const std::uint64_t warm_start = smp_validate_calls();
+  service.predict(trace, request);  // full hit
+  PredictionRequest other = request;
+  other.initial_state = State::kS2;
+  service.predict(trace, other);  // partial hit: new initial state
+  service.predict(trace, other);  // full hit on the now-cached S2 slot
+  EXPECT_EQ(smp_validate_calls(), warm_start);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.partial_hits, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+}
+
+// The partial-hit path reads the cached absorption curves instead of
+// re-running Eq. 3; both initial states must come out bit-identical to the
+// per-call predictor.
+TEST(PredictionServiceTest, PartialHitMatchesPredictorForBothInitialStates) {
+  const MachineTrace trace = flaky_trace("m1");
+  PredictionService service;
+  const AvailabilityPredictor predictor(service.config().estimator);
+  for (const State init : {State::kS1, State::kS2}) {
+    PredictionRequest request{.target_day = trace.day_count(),
+                              .window = morning_window()};
+    request.initial_state = init;
+    const Prediction direct = predictor.predict(trace, request);
+    const Prediction served = service.predict(trace, request);
+    expect_identical(direct, served);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.partial_hits, 1u);
+}
+
 TEST(PredictionServiceTest, InvalidateDropsExactlyThatMachine) {
   MachineTrace a = flaky_trace("a");
   const MachineTrace b = flaky_trace("b");

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "core/fast_solver.hpp"
 #include "test_support.hpp"
 #include "util/error.hpp"
 
@@ -106,6 +110,147 @@ TEST_P(TrMonotonicityTest, TrDecreasesWithWindowLength) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, TrMonotonicityTest, ::testing::Range(0, 10));
+
+// Pins the ONE shared weighted-pmf convention (semi_markov.hpp): the kernel
+// is lag-indexed — lag l at a[l], a[0] == 0, n+1 entries — with the model's
+// holding pmf entry for l ticks living at pmf[l-1]. Both Eq. 3 solvers and
+// the curve cache consume this helper; this test is the convention's anchor.
+TEST(SparseSolverTest, SharedWeightedPmfConvention) {
+  SmpModel model(kStateCount, 8);
+  model.set_q(0, 2, 0.4);
+  model.set_h_pmf(0, 2, {0.5, 0.25, 0.0, 0.25});
+
+  const std::vector<double> a = weighted_holding_pmf(model, 0, 2, 6);
+  ASSERT_EQ(a.size(), 7u);  // n+1 entries
+  EXPECT_EQ(a[0], 0.0);     // no zero-lag transitions
+  EXPECT_DOUBLE_EQ(a[1], 0.4 * 0.5);
+  EXPECT_DOUBLE_EQ(a[2], 0.4 * 0.25);
+  EXPECT_EQ(a[3], 0.0);
+  EXPECT_DOUBLE_EQ(a[4], 0.4 * 0.25);
+  EXPECT_EQ(a[5], 0.0);  // zero-padded past the pmf support
+  EXPECT_EQ(a[6], 0.0);
+
+  // Truncation: n below the support simply cuts the tail.
+  const std::vector<double> trunc = weighted_holding_pmf(model, 0, 2, 2);
+  ASSERT_EQ(trunc.size(), 3u);
+  EXPECT_DOUBLE_EQ(trunc[1], 0.4 * 0.5);
+  EXPECT_DOUBLE_EQ(trunc[2], 0.4 * 0.25);
+
+  // A missing transition yields an all-zero kernel of the right shape.
+  const std::vector<double> zero = weighted_holding_pmf(model, 1, 3, 4);
+  ASSERT_EQ(zero.size(), 5u);
+  for (const double v : zero) EXPECT_EQ(v, 0.0);
+}
+
+// Cross-solver equivalence for the unified helper: the sparse recursion and
+// the FFT renewal solver now read the same kernels, so their series must
+// agree (FFT to float tolerance) on random models — including ones whose
+// pmf support is shorter than the horizon (the old per-solver helpers
+// disagreed exactly there, one indexing lag l at a[l-1], the other at a[l]).
+TEST(SparseSolverTest, UnifiedKernelKeepsSolversEquivalent) {
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng rng(static_cast<std::uint64_t>(8800 + trial));
+    const SmpModel model =
+        test::random_fgcs_model(3 + trial % 5, rng,
+                                /*allow_defective=*/trial % 2 == 0);
+    const std::size_t n = 48;
+    const auto sparse = SparseTrSolver(model).solve_series(n);
+    const auto fast = FastTrSolver(model).solve_series(n);
+    for (std::size_t row = 0; row < 2; ++row)
+      for (std::size_t jj = 0; jj < 3; ++jj)
+        for (std::size_t m = 0; m <= n; ++m)
+          EXPECT_NEAR(sparse[row][jj][m], fast[row][jj][m], 1e-10)
+              << "trial=" << trial << " row=" << row << " m=" << m;
+  }
+}
+
+TEST(SparseSolverTest, ScratchReuseIsBitIdentical) {
+  SolverScratch scratch;
+  for (int trial = 0; trial < 25; ++trial) {
+    Rng rng(static_cast<std::uint64_t>(1300 + trial));
+    const SmpModel model =
+        test::random_fgcs_model(4 + trial % 6, rng,
+                                /*allow_defective=*/trial % 4 == 0);
+    const SparseTrSolver solver(model);
+    // Shrinking sizes across trials: stale capacity from a bigger solve must
+    // never leak into a smaller one.
+    const std::size_t n = static_cast<std::size_t>(2 + (25 - trial) * 3);
+    for (const State init : {State::kS1, State::kS2}) {
+      const auto fresh = solver.solve(init, n);
+      const auto reused = solver.solve(init, n, &scratch);
+      EXPECT_EQ(fresh.temporal_reliability, reused.temporal_reliability);
+      EXPECT_EQ(fresh.p_absorb, reused.p_absorb);
+    }
+  }
+}
+
+// Satellite 1 (the dead-row bug): when the read row never crosses into the
+// other transient state, the other row's recursion is pure dead work — its
+// values only ever multiply zeros. The solve must skip it and still return
+// exactly what the full two-row series produces.
+TEST(SparseSolverTest, DecoupledRowSkipsDeadRecursion) {
+  // S1 → S3 only; S2 → S4 only. Neither row feeds the other.
+  SmpModel model(kStateCount, 8);
+  model.set_q(0, 2, 0.5);
+  model.set_h_pmf(0, 2, {0.25, 0.25, 0.25, 0.25});
+  model.set_q(1, 3, 0.8);
+  model.set_h_pmf(1, 3, {0.5, 0.5});
+
+  const SparseTrSolver solver(model);
+  const auto series = solver.solve_series(8);
+  for (const State init : {State::kS1, State::kS2}) {
+    const std::size_t row = index_of(init);
+    for (const std::size_t n : {1u, 4u, 8u}) {
+      const auto result = solver.solve(init, n);
+      double absorbed = 0.0;
+      for (std::size_t jj = 0; jj < 3; ++jj) {
+        EXPECT_EQ(result.p_absorb[jj], series[row][jj][n]) << "n=" << n;
+        absorbed += series[row][jj][n];
+      }
+      EXPECT_EQ(result.temporal_reliability,
+                std::clamp(1.0 - absorbed, 0.0, 1.0));
+    }
+  }
+}
+
+TEST(SparseSolverTest, OneWayCouplingStillExact) {
+  // S1 feeds S2 but S2 never returns: solving from S1 needs S2's row, while
+  // the back-kernel is dead; solving from S2 needs no second row at all.
+  SmpModel model(kStateCount, 8);
+  model.set_q(0, 1, 0.6);
+  model.set_h_pmf(0, 1, {1.0});
+  model.set_q(0, 4, 0.2);
+  model.set_h_pmf(0, 4, {0.0, 1.0});
+  model.set_q(1, 2, 0.7);
+  model.set_h_pmf(1, 2, {0.5, 0.5});
+
+  const SparseTrSolver solver(model);
+  const auto series = solver.solve_series(8);
+  for (const State init : {State::kS1, State::kS2}) {
+    const std::size_t row = index_of(init);
+    const auto result = solver.solve(init, 8);
+    for (std::size_t jj = 0; jj < 3; ++jj)
+      EXPECT_EQ(result.p_absorb[jj], series[row][jj][8]);
+  }
+}
+
+TEST(SparseSolverTest, SolveMatchesSeriesOnRandomModelsExactly) {
+  for (int trial = 0; trial < 30; ++trial) {
+    Rng rng(static_cast<std::uint64_t>(4400 + trial));
+    const SmpModel model =
+        test::random_fgcs_model(3 + trial % 7, rng,
+                                /*allow_defective=*/trial % 3 == 0);
+    const SparseTrSolver solver(model);
+    const std::size_t n = 1 + static_cast<std::size_t>(trial);
+    const auto series = solver.solve_series(n);
+    for (const State init : {State::kS1, State::kS2}) {
+      const auto result = solver.solve(init, n);
+      for (std::size_t jj = 0; jj < 3; ++jj)
+        EXPECT_EQ(result.p_absorb[jj], series[index_of(init)][jj][n])
+            << "trial=" << trial;
+    }
+  }
+}
 
 TEST(SparseSolverTest, SeriesStartsAtZero) {
   Rng rng(77);

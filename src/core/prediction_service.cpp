@@ -245,6 +245,30 @@ std::vector<Prediction> PredictionService::predict_batch(
   return predictions;
 }
 
+std::vector<std::optional<Prediction>> PredictionService::try_predict_batch(
+    std::span<const BatchRequest> requests) {
+  TraceSpan span("service.batch", &batch_hist_);
+  batches_.add();
+  batch_requests_.add(requests.size());
+  max_batch_.update_max(static_cast<double>(requests.size()));
+  for (const BatchRequest& request : requests)
+    FGCS_REQUIRE_MSG(request.trace != nullptr,
+                     "batch request carries a null trace");
+
+  std::vector<std::optional<Prediction>> predictions(requests.size());
+  parallel_for(
+      requests.size(),
+      [&](std::size_t i) {
+        try {
+          predictions[i] = predict(*requests[i].trace, requests[i].request);
+        } catch (const DataError&) {
+          // This machine stays nullopt; the rest of the batch proceeds.
+        }
+      },
+      config_.max_threads);
+  return predictions;
+}
+
 void PredictionService::invalidate(const std::string& machine_id) {
   {
     const std::lock_guard<std::mutex> lock(generation_mutex_);

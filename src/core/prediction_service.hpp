@@ -112,6 +112,14 @@ class PredictionService {
   /// Every request must carry a non-null trace.
   std::vector<Prediction> predict_batch(std::span<const BatchRequest> requests);
 
+  /// Per-request-fallible batch: same fan-out, but a request whose
+  /// estimation fails (DataError — thin history, failpoint outage) yields
+  /// nullopt instead of aborting the whole batch. The fleet-probe primitive
+  /// for schedulers that skip unpredictable machines rather than re-probing
+  /// serially.
+  std::vector<std::optional<Prediction>> try_predict_batch(
+      std::span<const BatchRequest> requests);
+
   /// Declares that `machine_id`'s trace gained new days: bumps the machine's
   /// history generation (making its old cache keys unreachable) and drops its
   /// cached entries. Other machines' entries are untouched.

@@ -26,6 +26,7 @@
 #include "net/wire.hpp"         // framed binary wire protocol
 #include "ishare/registry.hpp"
 #include "ishare/replication.hpp"
+#include "ishare/replication_planner.hpp"  // availability-target planning
 #include "ishare/resource_monitor.hpp"
 #include "ishare/scheduler.hpp"
 #include "ishare/state_manager.hpp"
@@ -47,6 +48,7 @@
 #include "workload/catalog.hpp"
 #include "workload/characterize.hpp"
 #include "workload/noise.hpp"
+#include "workload/preemption.hpp"  // transient-VM preemption traces
 #include "workload/profile.hpp"
 #include "workload/replay.hpp"
 #include "workload/trace_generator.hpp"

@@ -1,17 +1,99 @@
 #include "ishare/replication.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
+#include "ishare/state_manager.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
+#include "util/metrics.hpp"
 
 namespace fgcs {
 
-ReplicatingScheduler::ReplicatingScheduler(const Registry& registry,
-                                           int replicas,
-                                           SchedulerConfig config)
-    : registry_(registry), replicas_(replicas), config_(config) {
+namespace {
+
+/// Registry-owned counters for the planning layer (DESIGN.md §8 idiom).
+struct ReplicationMetrics {
+  Counter& plans_total;
+  Counter& plans_infeasible;
+
+  static ReplicationMetrics& get() {
+    static ReplicationMetrics metrics{
+        MetricsRegistry::global().counter("replication.plans.total"),
+        MetricsRegistry::global().counter(
+            "replication.plans.infeasible.total")};
+    return metrics;
+  }
+};
+
+}  // namespace
+
+ReplicatingScheduler::ReplicatingScheduler(
+    const Registry& registry, int replicas, SchedulerConfig config,
+    std::shared_ptr<PredictionService> service)
+    : registry_(registry),
+      replicas_(replicas),
+      config_(config),
+      service_(std::move(service)) {
   FGCS_REQUIRE(replicas >= 1);
+}
+
+ReplicatingScheduler::ReplicatingScheduler(
+    const Registry& registry, PlannerConfig planner, SchedulerConfig config,
+    std::shared_ptr<PredictionService> service)
+    : registry_(registry),
+      replicas_(planner.fallback_replicas),
+      planner_(planner),
+      config_(config),
+      service_(std::move(service)) {
+  // Surface malformed planner bounds at construction, not first submission.
+  FGCS_REQUIRE(planner.target_availability >= 0.0 &&
+               planner.target_availability <= 1.0);
+  FGCS_REQUIRE(planner.max_replicas >= 1);
+  FGCS_REQUIRE(planner.fallback_replicas >= 1);
+  FGCS_REQUIRE(planner.exhaustive_pool >= 1 && planner.exhaustive_pool <= 20);
+}
+
+std::vector<std::pair<double, Gateway*>> ReplicatingScheduler::rank_fleet(
+    SimTime submit_time, SimTime expected_wall) const {
+  const std::vector<Gateway*> gateways = registry_.gateways();
+  std::vector<std::pair<double, Gateway*>> ranked;
+  ranked.reserve(gateways.size());
+  if (service_ && !gateways.empty()) {
+    // One batched probe over the whole fleet through the shared cache; a
+    // machine whose estimation fails comes back nullopt and is skipped for
+    // this placement — same degraded mode as the serial path below.
+    std::vector<BatchRequest> batch;
+    batch.reserve(gateways.size());
+    for (const Gateway* gateway : gateways) {
+      const MachineTrace& history = gateway->state_manager().history();
+      batch.push_back(BatchRequest{
+          .trace = &history,
+          .request =
+              StateManager::job_request(history, submit_time, expected_wall)});
+    }
+    const std::vector<std::optional<Prediction>> predictions =
+        service_->try_predict_batch(batch);
+    for (std::size_t i = 0; i < predictions.size(); ++i) {
+      if (!predictions[i].has_value()) continue;
+      ranked.emplace_back(predictions[i]->temporal_reliability, gateways[i]);
+    }
+  } else {
+    for (Gateway* gateway : gateways) {
+      try {
+        ranked.emplace_back(
+            gateway->query_reliability(submit_time, expected_wall), gateway);
+      } catch (const DataError&) {
+        // Degraded mode: a machine whose prediction fails is skipped for
+        // this placement instead of aborting the whole submission.
+      }
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second->machine_id() < b.second->machine_id();
+  });
+  return ranked;
 }
 
 ReplicatedOutcome ReplicatingScheduler::run_job(const GuestJobSpec& job,
@@ -28,24 +110,36 @@ ReplicatedOutcome ReplicatingScheduler::run_job(const GuestJobSpec& job,
   const SimTime expected_wall = std::max<SimTime>(
       static_cast<SimTime>(job.cpu_seconds * config_.wall_time_factor),
       kSecondsPerMinute);
-  std::vector<std::pair<double, Gateway*>> ranked;
-  for (Gateway* gateway : registry_.gateways()) {
-    try {
-      ranked.emplace_back(
-          gateway->query_reliability(submit_time, expected_wall), gateway);
-    } catch (const DataError&) {
-      // Degraded mode: a machine whose prediction fails is skipped for this
-      // placement instead of aborting the whole submission.
-    }
-  }
-  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-    return a.first > b.first;
-  });
+  const std::vector<std::pair<double, Gateway*>> ranked =
+      rank_fleet(submit_time, expected_wall);
 
-  const int replica_count =
-      std::min<int>(replicas_, static_cast<int>(ranked.size()));
-  for (int r = 0; r < replica_count; ++r) {
-    Gateway* gateway = ranked[static_cast<std::size_t>(r)].second;
+  // The replica set to launch, best TR first.
+  std::vector<Gateway*> targets;
+  if (planner_.has_value()) {
+    std::vector<ReplicaCandidate> candidates;
+    candidates.reserve(ranked.size());
+    for (const auto& [tr, gateway] : ranked)
+      candidates.push_back(ReplicaCandidate{gateway->machine_id(), tr, 1.0});
+    ReplicationPlan plan = plan_replicas(std::move(candidates), *planner_);
+    ReplicationMetrics::get().plans_total.add();
+    if (!plan.feasible) ReplicationMetrics::get().plans_infeasible.add();
+    // Launch in TR order: plan.replicas is id-sorted (canonical), ranked is
+    // TR-sorted — walk ranked and keep the planned ones.
+    std::unordered_map<std::string, bool> planned;
+    planned.reserve(plan.replicas.size());
+    for (const ReplicaCandidate& replica : plan.replicas)
+      planned.emplace(replica.machine_id, true);
+    for (const auto& [tr, gateway] : ranked)
+      if (planned.count(gateway->machine_id())) targets.push_back(gateway);
+    outcome.plan = std::move(plan);
+  } else {
+    const std::size_t replica_count =
+        std::min<std::size_t>(static_cast<std::size_t>(replicas_), ranked.size());
+    for (std::size_t r = 0; r < replica_count; ++r)
+      targets.push_back(ranked[r].second);
+  }
+
+  for (Gateway* gateway : targets) {
     // Chaos hook: the replica is lost before doing any work (host vanished
     // between placement and launch) — the no-progress worst case of churn.
     if (FGCS_FAILPOINT("replication.replica.lost")) {

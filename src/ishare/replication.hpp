@@ -1,5 +1,5 @@
-// Replicated execution: run the same guest job on the k most reliable
-// machines and take the first completion.
+// Replicated execution: run the same guest job on several machines and take
+// the first completion.
 //
 // The paper's scheduler "decides on which machine(s) the job would be
 // executed" (§5.1) — replication is the natural multi-machine policy and the
@@ -7,18 +7,32 @@
 // resource cost buys a shorter, more predictable completion time on flaky
 // fleets. bench_ext_proactive's sibling experiment quantifies it.
 //
-// Contract: replicas are placed on the k highest-TR machines at submission
-// time (k capped at the published fleet size), each replica runs once with
-// no restarts, and the outcome reports the first completion plus the total
-// CPU spent across all replicas — the cost side of the trade. Requires at
-// least one published gateway; with k = 1 it degenerates to a single
+// Two placement policies share one execution path:
+//
+//   * Fixed degree (the legacy contract): replicas go on the k highest-TR
+//     machines at submission time, k capped at the published fleet size.
+//   * Availability target (replication_planner.hpp): the planner picks the
+//     cheapest set whose joint availability meets the configured A, falling
+//     back to fixed degree — reported via ReplicatedOutcome::plan — when A
+//     is infeasible on the current fleet.
+//
+// Either way each replica runs once with no restarts, and the outcome
+// reports the first completion plus the total CPU spent across replicas —
+// the cost side of the trade. The fleet probe goes through the shared
+// PredictionService as ONE batched call when a service is supplied (like
+// JobScheduler::select_machine); machines whose prediction fails are
+// skipped, never fatal. With k = 1 the fixed policy degenerates to a single
 // no-retry placement.
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ishare/registry.hpp"
+#include "ishare/replication_planner.hpp"
 #include "ishare/scheduler.hpp"
 
 namespace fgcs {
@@ -33,25 +47,46 @@ struct ReplicatedOutcome {
   /// CPU seconds consumed across all replicas until the first completion —
   /// the resource cost of the redundancy.
   double total_cpu_spent = 0.0;
+  /// Present when the scheduler ran in availability-target mode: the plan
+  /// the replicas were placed from, including the infeasible-A fallback
+  /// verdict and the availability it actually bought.
+  std::optional<ReplicationPlan> plan;
 
   SimTime response_time() const { return finish_time - submit_time; }
 };
 
 class ReplicatingScheduler {
  public:
+  /// Fixed-degree policy: always the `replicas` highest-TR machines. A
+  /// non-null `service` batches the per-job fleet probe through the shared
+  /// prediction cache.
   ReplicatingScheduler(const Registry& registry, int replicas,
-                       SchedulerConfig config = {});
+                       SchedulerConfig config = {},
+                       std::shared_ptr<PredictionService> service = nullptr);
 
-  /// Starts the job on the `replicas` highest-TR machines at `submit_time`
-  /// and reports the first completion. Each replica runs without restarts;
-  /// redundancy replaces retry.
+  /// Availability-target policy: plan_replicas() against `planner` on every
+  /// submission, using per-machine TR over the job's expected window.
+  ReplicatingScheduler(const Registry& registry, PlannerConfig planner,
+                       SchedulerConfig config = {},
+                       std::shared_ptr<PredictionService> service = nullptr);
+
+  /// Starts the job on the chosen replica set at `submit_time` and reports
+  /// the first completion. Each replica runs without restarts; redundancy
+  /// replaces retry. Replicas launch in TR order (best first).
   ReplicatedOutcome run_job(const GuestJobSpec& job, SimTime submit_time,
                             SimTime give_up_at) const;
 
  private:
+  /// Every predictable machine with its TR over the job window, sorted TR
+  /// descending (machine id ascending on ties).
+  std::vector<std::pair<double, Gateway*>> rank_fleet(SimTime submit_time,
+                                                      SimTime expected_wall) const;
+
   const Registry& registry_;
   int replicas_;
+  std::optional<PlannerConfig> planner_;
   SchedulerConfig config_;
+  std::shared_ptr<PredictionService> service_;
 };
 
 }  // namespace fgcs

@@ -1,0 +1,172 @@
+#include "ishare/replication_planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+
+double joint_availability(std::span<const ReplicaCandidate> replicas) {
+  double miss = 1.0;
+  for (const ReplicaCandidate& replica : replicas) miss *= 1.0 - replica.tr;
+  return 1.0 - miss;
+}
+
+namespace {
+
+/// Candidates ranked for selection: TR descending, machine id ascending on
+/// ties — never the unspecified order std::sort would leave tied TRs in.
+bool ranks_before(const ReplicaCandidate& a, const ReplicaCandidate& b) {
+  if (a.tr != b.tr) return a.tr > b.tr;
+  return a.machine_id < b.machine_id;
+}
+
+bool id_before(const ReplicaCandidate& a, const ReplicaCandidate& b) {
+  return a.machine_id < b.machine_id;
+}
+
+/// Canonical-order (id-sorted input) metrics of one candidate set.
+struct SetMetrics {
+  double cost = 0.0;
+  double availability = 0.0;
+  std::size_t size = 0;
+};
+
+SetMetrics metrics_of(std::span<const ReplicaCandidate> id_sorted) {
+  SetMetrics m;
+  m.size = id_sorted.size();
+  m.availability = joint_availability(id_sorted);
+  for (const ReplicaCandidate& replica : id_sorted) m.cost += replica.cost;
+  return m;
+}
+
+/// The planner's total order: cost ASC, availability DESC, size ASC, id
+/// list lexicographic ASC. `a`/`b` must be id-sorted.
+bool plan_better(const SetMetrics& am, const std::vector<ReplicaCandidate>& a,
+                 const SetMetrics& bm, const std::vector<ReplicaCandidate>& b) {
+  if (am.cost != bm.cost) return am.cost < bm.cost;
+  if (am.availability != bm.availability)
+    return am.availability > bm.availability;
+  if (am.size != bm.size) return am.size < bm.size;
+  return std::lexicographical_compare(
+      a.begin(), a.end(), b.begin(), b.end(),
+      [](const ReplicaCandidate& x, const ReplicaCandidate& y) {
+        return x.machine_id < y.machine_id;
+      });
+}
+
+}  // namespace
+
+ReplicationPlan plan_replicas(std::vector<ReplicaCandidate> candidates,
+                              const PlannerConfig& config) {
+  FGCS_REQUIRE(config.target_availability >= 0.0 &&
+               config.target_availability <= 1.0);
+  FGCS_REQUIRE(config.max_replicas >= 1);
+  FGCS_REQUIRE(config.fallback_replicas >= 1);
+  FGCS_REQUIRE(config.exhaustive_pool >= 1 && config.exhaustive_pool <= 20);
+  for (const ReplicaCandidate& candidate : candidates) {
+    FGCS_REQUIRE(std::isfinite(candidate.tr) && candidate.tr >= 0.0 &&
+                 candidate.tr <= 1.0);
+    FGCS_REQUIRE(std::isfinite(candidate.cost) && candidate.cost >= 0.0);
+  }
+
+  ReplicationPlan plan;
+  plan.target_availability = config.target_availability;
+  if (candidates.empty()) {
+    plan.fallback = true;
+    return plan;
+  }
+
+  std::vector<ReplicaCandidate> ranked = std::move(candidates);
+  std::sort(ranked.begin(), ranked.end(), ranks_before);
+  const std::size_t n = ranked.size();
+  const std::size_t max_take =
+      std::min<std::size_t>(static_cast<std::size_t>(config.max_replicas), n);
+
+  bool found = false;
+  SetMetrics best_metrics;
+  std::vector<ReplicaCandidate> best_set;
+  auto consider = [&](std::vector<ReplicaCandidate> id_sorted) {
+    const SetMetrics m = metrics_of(id_sorted);
+    if (m.availability < config.target_availability) return;
+    if (!found || plan_better(m, id_sorted, best_metrics, best_set)) {
+      found = true;
+      best_metrics = m;
+      best_set = std::move(id_sorted);
+    }
+  };
+
+  // Greedy-by-TR certificate: the size-m prefix of the ranking maximizes
+  // joint availability among all size-m subsets, so scanning every prefix
+  // decides feasibility exactly — including sets that reach outside the
+  // exhaustive pool when max_replicas > exhaustive_pool.
+  for (std::size_t m = 1; m <= max_take; ++m) {
+    std::vector<ReplicaCandidate> prefix(ranked.begin(),
+                                         ranked.begin() + static_cast<std::ptrdiff_t>(m));
+    std::sort(prefix.begin(), prefix.end(), id_before);
+    consider(std::move(prefix));
+  }
+
+  // Bounded exhaustive refinement over the highest-TR pool. When the whole
+  // fleet fits (n <= exhaustive_pool) this is the full subset search, so
+  // the result is provably optimal under the plan order.
+  const std::size_t pool_size =
+      std::min<std::size_t>(static_cast<std::size_t>(config.exhaustive_pool), n);
+  plan.pool_size = pool_size;
+  std::vector<ReplicaCandidate> pool(ranked.begin(),
+                                     ranked.begin() + static_cast<std::ptrdiff_t>(pool_size));
+  std::sort(pool.begin(), pool.end(), id_before);
+  const std::uint32_t mask_end = static_cast<std::uint32_t>(1u << pool_size);
+  for (std::uint32_t mask = 1; mask < mask_end; ++mask) {
+    const auto bits =
+        static_cast<std::size_t>(__builtin_popcount(mask));
+    if (bits > max_take) continue;
+    // Cheap scalar screen in canonical (ascending-bit == ascending-id)
+    // order; materialize the set only if it can beat the incumbent.
+    double cost = 0.0;
+    double miss = 1.0;
+    for (std::size_t i = 0; i < pool_size; ++i) {
+      if (!(mask & (1u << i))) continue;
+      cost += pool[i].cost;
+      miss *= 1.0 - pool[i].tr;
+    }
+    const double availability = 1.0 - miss;
+    if (availability < config.target_availability) continue;
+    if (found) {
+      if (cost > best_metrics.cost) continue;
+      if (cost == best_metrics.cost &&
+          availability < best_metrics.availability)
+        continue;
+    }
+    std::vector<ReplicaCandidate> set;
+    set.reserve(bits);
+    for (std::size_t i = 0; i < pool_size; ++i)
+      if (mask & (1u << i)) set.push_back(pool[i]);
+    consider(std::move(set));
+  }
+
+  if (found) {
+    plan.feasible = true;
+    plan.replicas = std::move(best_set);
+    plan.achieved_availability = best_metrics.availability;
+    plan.total_cost = best_metrics.cost;
+    return plan;
+  }
+
+  // Infeasible: fall back to fixed degree on the highest-TR machines, and
+  // report the shortfall instead of hiding it.
+  plan.fallback = true;
+  const std::size_t take = std::min<std::size_t>(
+      static_cast<std::size_t>(config.fallback_replicas), n);
+  plan.replicas.assign(ranked.begin(),
+                       ranked.begin() + static_cast<std::ptrdiff_t>(take));
+  std::sort(plan.replicas.begin(), plan.replicas.end(), id_before);
+  const SetMetrics m = metrics_of(plan.replicas);
+  plan.achieved_availability = m.availability;
+  plan.total_cost = m.cost;
+  return plan;
+}
+
+}  // namespace fgcs

@@ -1,5 +1,7 @@
 #include "workload/catalog.hpp"
 
+#include "workload/preemption.hpp"
+
 namespace fgcs {
 
 const std::vector<GuestApplication>& spec_guest_catalog() {
@@ -23,6 +25,21 @@ const std::vector<InteractiveWorkload>& musbus_host_catalog() {
       {"compile-medium", 0.52, 167, 50.0},
       {"compile-large", 0.61, 192, 55.0},
       {"compile-xlarge", 0.67, 213, 60.0},
+  };
+  return catalog;
+}
+
+const std::vector<TransientVmClass>& transient_vm_catalog() {
+  // Hazard envelopes follow the transient-VM modeling literature
+  // (Kadupitiya et al.): cheap classes preempt early and often (small
+  // Weibull scale), expensive classes approach the provider's max-lifetime
+  // cutoff before the hazard bites. All shapes are k > 1 — the hazard grows
+  // with uptime, unlike the roughly-flat lab workloads.
+  static const std::vector<TransientVmClass> catalog = {
+      {"spot-burst", 1.6, 3.0, 6.0, 0.25},
+      {"spot-standard", 2.2, 10.0, 24.0, 0.50},
+      {"preemptible-24h", 3.0, 18.0, 24.0, 0.75},
+      {"spot-durable", 2.5, 36.0, 48.0, 1.25},
   };
   return catalog;
 }

@@ -33,4 +33,8 @@ struct InteractiveWorkload {
 /// edited/compiled, per the paper's methodology).
 const std::vector<InteractiveWorkload>& musbus_host_catalog();
 
+// The transient-VM instance-class catalog (preemption hazard envelopes plus
+// the hourly prices the replication planner trades against TR) is declared
+// next to its generator: transient_vm_catalog() in workload/preemption.hpp.
+
 }  // namespace fgcs

@@ -1,0 +1,218 @@
+#include "workload/preemption.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace fgcs {
+
+PreemptionParams PreemptionParams::from_class(const TransientVmClass& vm_class) {
+  PreemptionParams params;
+  params.hazard_shape = vm_class.hazard_shape;
+  params.hazard_scale_hours = vm_class.hazard_scale_hours;
+  params.max_lifetime_hours = vm_class.max_lifetime_hours;
+  return params;
+}
+
+PreemptionTraceGenerator::PreemptionTraceGenerator(PreemptionParams params,
+                                                   std::uint64_t seed)
+    : params_(params), seed_(seed) {
+  FGCS_REQUIRE(params.sampling_period > 0 &&
+               kSecondsPerDay % params.sampling_period == 0);
+  FGCS_REQUIRE(params.hazard_shape > 0 && params.hazard_scale_hours > 0);
+  FGCS_REQUIRE(params.max_lifetime_hours > 0);
+  FGCS_REQUIRE(params.restart_min_s > 0 &&
+               params.restart_max_s >= params.restart_min_s);
+  FGCS_REQUIRE(params.burst_down_min_s > 0 &&
+               params.burst_down_max_s >= params.burst_down_min_s);
+  FGCS_REQUIRE(params.burst_groups >= 1);
+  FGCS_REQUIRE(params.burst_rate_per_day >= 0);
+  FGCS_REQUIRE(params.mem_total_mb > params.mem_base_used_mb);
+}
+
+std::vector<BurstEvent> preemption_burst_schedule(const PreemptionParams& params,
+                                                  std::uint64_t seed, int days) {
+  FGCS_REQUIRE(days > 0);
+  // Drawn from the fleet seed alone — never from per-machine streams — so
+  // every machine observes the identical spike times. Fork id 0xb0 cannot
+  // collide with the per-machine id-character forks (those use ch + 0x100).
+  Rng root(seed);
+  Rng burst_rng = root.fork(0xb0);
+  const std::int64_t count =
+      burst_rng.poisson(params.burst_rate_per_day * static_cast<double>(days));
+  std::vector<BurstEvent> events;
+  events.reserve(static_cast<std::size_t>(count));
+  const double horizon =
+      static_cast<double>(days) * static_cast<double>(kSecondsPerDay);
+  for (std::int64_t i = 0; i < count; ++i) {
+    BurstEvent event;
+    event.time_s = burst_rng.uniform(0.0, horizon);
+    event.group = static_cast<int>(
+        burst_rng.uniform_int(0, params.burst_groups - 1));
+    events.push_back(event);
+  }
+  std::sort(events.begin(), events.end(), [](const BurstEvent& a,
+                                             const BurstEvent& b) {
+    return a.time_s != b.time_s ? a.time_s < b.time_s : a.group < b.group;
+  });
+  return events;
+}
+
+namespace {
+
+/// Average-over-period interval accumulation, same monitor semantics as the
+/// lab generator: a burst shorter than a sampling period contributes its
+/// overlap fraction.
+void add_interval(std::vector<double>& series, double start_s, double end_s,
+                  double value, SimTime period) {
+  const auto n = static_cast<std::ptrdiff_t>(series.size());
+  const double p = static_cast<double>(period);
+  auto a = static_cast<std::ptrdiff_t>(std::floor(start_s / p));
+  auto b = static_cast<std::ptrdiff_t>(std::ceil(end_s / p));
+  a = std::clamp<std::ptrdiff_t>(a, 0, n);
+  b = std::clamp<std::ptrdiff_t>(b, 0, n);
+  for (std::ptrdiff_t i = a; i < b; ++i) {
+    const double tick_start = static_cast<double>(i) * p;
+    const double overlap =
+        std::min(end_s, tick_start + p) - std::max(start_s, tick_start);
+    if (overlap > 0) series[i] += value * overlap / p;
+  }
+}
+
+}  // namespace
+
+MachineTrace PreemptionTraceGenerator::generate(const std::string& machine_id,
+                                                int group, int days,
+                                                int epoch_day_of_week) const {
+  FGCS_REQUIRE(days > 0);
+  FGCS_REQUIRE(group >= 0 && group < params_.burst_groups);
+
+  const SimTime period = params_.sampling_period;
+  const std::size_t ticks_per_day =
+      static_cast<std::size_t>(kSecondsPerDay / period);
+  const std::size_t total_ticks = ticks_per_day * static_cast<std::size_t>(days);
+  const double horizon =
+      static_cast<double>(days) * static_cast<double>(kSecondsPerDay);
+
+  const std::vector<BurstEvent> bursts =
+      preemption_burst_schedule(params_, seed_, days);
+
+  // Machine-specific streams, same fork scheme as TraceGenerator: the spell
+  // stream is consumed across the whole horizon, the load stream re-forks
+  // per day, so neither perturbs the other.
+  Rng machine_rng(seed_);
+  for (const char ch : machine_id)
+    machine_rng = machine_rng.fork(static_cast<std::uint64_t>(ch) + 0x100);
+  Rng spell_rng = machine_rng.fork(1);
+  Rng load_root = machine_rng.fork(2);
+
+  // --- revocation timeline (continuous, then quantized to ticks) ----------
+  std::vector<bool> down(total_ticks, false);
+  auto mark_down = [&](double start_s, double end_s) {
+    // Any positive overlap marks the tick down: the monitor reports the
+    // machine unreachable for the whole period it vanished in, which is
+    // what keeps the max-lifetime cutoff visible even at coarse sampling.
+    const double p = static_cast<double>(period);
+    auto a = static_cast<std::ptrdiff_t>(std::floor(start_s / p));
+    auto b = static_cast<std::ptrdiff_t>(std::ceil(end_s / p));
+    a = std::clamp<std::ptrdiff_t>(a, 0, static_cast<std::ptrdiff_t>(total_ticks));
+    b = std::clamp<std::ptrdiff_t>(b, 0, static_cast<std::ptrdiff_t>(total_ticks));
+    for (std::ptrdiff_t i = a; i < b; ++i) down[static_cast<std::size_t>(i)] = true;
+  };
+
+  const double scale_s = params_.hazard_scale_hours * kSecondsPerHour;
+  const double max_life_s = params_.max_lifetime_hours * kSecondsPerHour;
+  double t = 0.0;
+  std::size_t cursor = 0;  // bursts are time-sorted; spells only move forward
+  while (t < horizon) {
+    // Weibull(k, λ) lifetime by inverse CDF, truncated at the hard cutoff.
+    const double u = spell_rng.uniform();
+    const double weibull =
+        scale_s * std::pow(-std::log1p(-u), 1.0 / params_.hazard_shape);
+    double revoke_at = t + std::min(weibull, max_life_s);
+    // A price spike hitting this machine's group mid-spell revokes earlier.
+    while (cursor < bursts.size() && bursts[cursor].time_s <= t) ++cursor;
+    bool from_burst = false;
+    for (std::size_t b = cursor;
+         b < bursts.size() && bursts[b].time_s < revoke_at; ++b) {
+      if (bursts[b].group == group) {
+        revoke_at = bursts[b].time_s;
+        from_burst = true;
+        break;
+      }
+    }
+    if (revoke_at >= horizon) break;  // final spell censored by trace end
+    const double outage =
+        from_burst
+            ? spell_rng.uniform(params_.burst_down_min_s, params_.burst_down_max_s)
+            : spell_rng.uniform(params_.restart_min_s, params_.restart_max_s);
+    mark_down(revoke_at, revoke_at + outage);
+    t = revoke_at + outage;
+  }
+
+  // --- colocated-tenant load + assembly, day by day -----------------------
+  const Calendar calendar(epoch_day_of_week);
+  MachineTrace trace(machine_id, calendar, period,
+                     static_cast<int>(params_.mem_total_mb));
+  for (int day = 0; day < days; ++day) {
+    Rng day_rng = load_root.fork(static_cast<std::uint64_t>(day) + 1);
+    std::vector<double> load(ticks_per_day, params_.base_load);
+    std::vector<double> busy_mem(ticks_per_day, 0.0);
+    for (int hour = 0; hour < kHoursPerDay; ++hour) {
+      // Flat arrival rate: cloud hosts have no diurnal lab profile.
+      const std::int64_t episodes = day_rng.poisson(params_.busy_rate_per_hour);
+      for (std::int64_t e = 0; e < episodes; ++e) {
+        const double start = (hour + day_rng.uniform()) * kSecondsPerHour;
+        const double duration =
+            day_rng.exponential(params_.busy_mean_minutes * 60.0);
+        const double intensity = day_rng.uniform(params_.busy_intensity_lo,
+                                                 params_.busy_intensity_hi);
+        add_interval(load, start, start + duration, intensity, period);
+        add_interval(busy_mem, start, start + duration,
+                     params_.mem_busy_extra_mb, period);
+      }
+    }
+    std::vector<ResourceSample> samples(ticks_per_day);
+    double noise = 0.0;
+    const std::size_t day_base = static_cast<std::size_t>(day) * ticks_per_day;
+    for (std::size_t i = 0; i < ticks_per_day; ++i) {
+      noise = params_.ar_noise_coeff * noise +
+              day_rng.normal(0.0, params_.ar_noise_sigma);
+      const double total_load = std::clamp(load[i] + noise, 0.0, 1.0);
+      const double free_mem = std::max(
+          4.0, params_.mem_total_mb - params_.mem_base_used_mb - busy_mem[i]);
+      samples[i].host_load_pct = pack_load_pct(total_load);
+      samples[i].free_mem_mb = pack_mem_mb(free_mem);
+      samples[i].set_up(!down[day_base + i]);
+    }
+    trace.append_day(std::move(samples));
+  }
+  return trace;
+}
+
+std::vector<MachineTrace> generate_preemption_fleet(
+    const PreemptionParams& params, std::uint64_t seed, int count, int days,
+    const std::string& prefix, int epoch_day_of_week) {
+  FGCS_REQUIRE(count > 0);
+  // Machines are generated in parallel; each id forks an independent stream
+  // off the SHARED fleet seed (unlike generate_fleet's per-machine seeds),
+  // because every machine must derive the identical burst schedule — a
+  // price spike has to hit all of a group's machines at the same instant.
+  const PreemptionTraceGenerator generator(params, seed);
+  std::vector<std::optional<MachineTrace>> slots(
+      static_cast<std::size_t>(count));
+  parallel_for(slots.size(), [&](std::size_t m) {
+    const std::string id = prefix + (m < 10 ? "0" : "") + std::to_string(m);
+    const int group = static_cast<int>(m) % params.burst_groups;
+    slots[m].emplace(generator.generate(id, group, days, epoch_day_of_week));
+  });
+  std::vector<MachineTrace> fleet;
+  fleet.reserve(slots.size());
+  for (auto& slot : slots) fleet.push_back(std::move(*slot));
+  return fleet;
+}
+
+}  // namespace fgcs

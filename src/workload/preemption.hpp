@@ -1,0 +1,146 @@
+// Temporally-constrained transient-VM preemption traces.
+//
+// The lab workloads (trace_generator.hpp) model volunteer desktops: the
+// revocation hazard is driven by diurnal user activity and is roughly flat
+// in *uptime*. Transient cloud VMs (spot / preemptible instances, per
+// Kadupitiya et al., "Modeling The Temporally Constrained Preemptions of
+// Transient Cloud VMs") are structurally different in two ways this
+// generator reproduces:
+//
+//   1. The revocation hazard *grows* with instance uptime — modeled as a
+//      Weibull lifetime with shape k > 1 — and is truncated by a hard
+//      provider-imposed max-lifetime cutoff (e.g. GCE preemptible VMs are
+//      revoked at 24 h without exception). No up-spell ever outlives the
+//      cutoff; this is the adversarial case for the paper's S5 holding-time
+//      model, whose student-lab training data never shows it.
+//
+//   2. Revocations are *correlated*: a spot-price spike (or capacity
+//      reclaim) revokes many VMs of the same instance class at once. The
+//      fleet-level burst schedule is drawn from the fleet seed alone, so
+//      every machine in a burst's group goes down at the identical moment
+//      regardless of per-machine randomness.
+//
+// Output is a standard MachineTrace (trace/machine_trace.hpp): up/down
+// flags carry the preemption structure, host load carries modest
+// colocated-tenant activity. The entire existing pipeline — classifier,
+// estimator, curves solver, service, net, chaos — consumes these traces
+// unchanged; only the hazard shape the estimator must learn is new.
+//
+// Determinism contract: generate() is a pure function of (params, seed,
+// machine_id, group, days, epoch) — byte-identical traces per seed, and
+// generate_preemption_fleet() is bit-identical to the serial loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/machine_trace.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace fgcs {
+
+/// A provider instance class in the transient-VM catalog: hazard envelope
+/// plus the per-hour price the replication planner trades against TR.
+struct TransientVmClass {
+  std::string name;
+  double hazard_shape = 2.0;        ///< Weibull k (> 1: hazard grows w/ uptime)
+  double hazard_scale_hours = 10.0; ///< Weibull scale λ, in hours
+  double max_lifetime_hours = 24.0; ///< hard provider cutoff
+  double hourly_cost = 1.0;         ///< relative price (planner cost unit)
+};
+
+/// The transient-VM instance catalog, ordered by increasing stability (and
+/// price): heavily-preempted cheap classes first, near-on-demand last.
+const std::vector<TransientVmClass>& transient_vm_catalog();
+
+struct PreemptionParams {
+  // --- revocation hazard (uptime clock, per machine) ----------------------
+  /// Weibull shape k. k > 1 makes the hazard increase with uptime; the
+  /// paper's lab traces correspond to k ≈ 1 (memoryless-ish).
+  double hazard_shape = 2.2;
+  /// Weibull scale λ, hours of uptime.
+  double hazard_scale_hours = 10.0;
+  /// Hard cutoff: a VM that survives this long is revoked unconditionally.
+  double max_lifetime_hours = 24.0;
+  /// Re-acquisition delay after an ordinary (hazard/cutoff) revocation:
+  /// deprovision, wait out the market, boot a replacement. Uniform draw.
+  double restart_min_s = 180.0;
+  double restart_max_s = 1200.0;
+
+  // --- price-driven revocation bursts (wall clock, fleet-wide) ------------
+  /// Poisson rate of fleet-wide price spikes, per day. Each spike revokes
+  /// every up machine in ONE correlated group (instance class / zone).
+  double burst_rate_per_day = 0.25;
+  /// Number of correlated groups machines are assigned to (round-robin in
+  /// generate_preemption_fleet). Must be >= 1.
+  int burst_groups = 4;
+  /// Outage length after a burst revocation: the market stays hot for a
+  /// while, so re-acquisition is slower than an ordinary restart.
+  double burst_down_min_s = 300.0;
+  double burst_down_max_s = 1800.0;
+
+  // --- colocated-tenant host activity (guest-visible load) ----------------
+  /// Cloud hosts show flat background load, not a diurnal lab profile.
+  double base_load = 0.05;
+  double busy_rate_per_hour = 0.6;    ///< Poisson rate of busy episodes
+  double busy_mean_minutes = 8.0;     ///< exponential episode length
+  double busy_intensity_lo = 0.15;
+  double busy_intensity_hi = 0.60;
+  double ar_noise_coeff = 0.9;        ///< AR(1) measurement noise
+  double ar_noise_sigma = 0.008;
+
+  // --- memory -------------------------------------------------------------
+  double mem_total_mb = 2048.0;
+  double mem_base_used_mb = 400.0;
+  double mem_busy_extra_mb = 180.0;   ///< extra used during busy episodes
+
+  /// Cloud monitors typically report at coarser grain than the lab's 6 s;
+  /// must divide a day.
+  SimTime sampling_period = 60;
+
+  /// Params for one catalog instance class (other fields keep defaults).
+  static PreemptionParams from_class(const TransientVmClass& vm_class);
+};
+
+/// One fleet-wide price spike: every machine of `group` that is up at
+/// `time_s` (seconds from trace start) is revoked at exactly that instant.
+struct BurstEvent {
+  double time_s = 0.0;
+  int group = 0;
+};
+
+/// The burst schedule over `days`, drawn from `seed` alone (no per-machine
+/// state), sorted by time. Exposed so tests can pin which ticks a burst
+/// must hit.
+std::vector<BurstEvent> preemption_burst_schedule(const PreemptionParams& params,
+                                                  std::uint64_t seed, int days);
+
+class PreemptionTraceGenerator {
+ public:
+  PreemptionTraceGenerator(PreemptionParams params, std::uint64_t seed);
+
+  const PreemptionParams& params() const { return params_; }
+
+  /// Generates `days` days for one machine in correlated-revocation group
+  /// `group` (in [0, params.burst_groups)). Pure: byte-identical per
+  /// (params, seed, machine_id, group, days, epoch).
+  MachineTrace generate(const std::string& machine_id, int group, int days,
+                        int epoch_day_of_week = 0) const;
+
+ private:
+  PreemptionParams params_;
+  std::uint64_t seed_;
+};
+
+/// A fleet of `count` machines "vm00".."vmNN" (ids via `prefix`), group
+/// assigned round-robin (machine m → m % burst_groups). All machines share
+/// the fleet seed (per-machine independence comes from id-character forks),
+/// so they observe the identical burst schedule; machines generate in
+/// parallel with a bit-identical-to-serial result.
+std::vector<MachineTrace> generate_preemption_fleet(
+    const PreemptionParams& params, std::uint64_t seed, int count, int days,
+    const std::string& prefix = "vm", int epoch_day_of_week = 0);
+
+}  // namespace fgcs

@@ -6,7 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "chaos_support.hpp"
+#include "core/prediction_service.hpp"
 #include "util/error.hpp"
 
 namespace fgcs {
@@ -144,6 +150,170 @@ TEST_F(ReplicationChaosTest, AllReplicasLostReportsFailure) {
   EXPECT_EQ(outcome.replicas_failed, 2);
   EXPECT_EQ(outcome.finish_time, give_up);
   EXPECT_EQ(outcome.total_cpu_spent, 0.0);
+}
+
+/// Fleet probed through a shared PredictionService pinned to one worker, so
+/// the batched fleet probe evaluates failpoints in machine-id order and the
+/// storm attribution below is deterministic.
+struct PlannedFleet {
+  std::vector<MachineTrace> traces;
+  std::vector<Gateway> gateways;
+  Registry registry;
+  std::shared_ptr<PredictionService> service;
+
+  explicit PlannedFleet(int machines) {
+    ServiceConfig config;
+    config.max_threads = 1;
+    service = std::make_shared<PredictionService>(config);
+    for (int m = 0; m < machines; ++m) {
+      std::string id = "m";
+      id += std::to_string(m);
+      traces.push_back(steady_trace(id, 8));
+    }
+    gateways.reserve(traces.size());
+    for (const MachineTrace& trace : traces)
+      gateways.emplace_back(trace, test::test_thresholds(), EstimatorConfig{},
+                            service);
+    for (Gateway& gateway : gateways) registry.publish(gateway);
+  }
+};
+
+/// The planner's churn storm: ~30 % of planned replicas vanish at launch and
+/// every 3rd fleet probe fails to estimate (same shape as the fgcs_chaos
+/// planner scenario, compressed for test speed).
+constexpr const char* kPlannerStormSpec =
+    "replication.replica.lost=prob:0.3:1;service.estimate.fail=every:3";
+
+TEST_F(ReplicationChaosTest, PlannerMeetsTargetOrDegradesUnderStorm) {
+  PlannedFleet fleet(4);
+  PlannerConfig planner;
+  planner.target_availability = 0.95;
+  planner.max_replicas = 3;
+  planner.fallback_replicas = 2;
+
+  Failpoints::instance().reset();
+  Failpoints::instance().arm_from_spec(kPlannerStormSpec);
+  const ReplicatingScheduler scheduler(fleet.registry, planner,
+                                       SchedulerConfig{}, fleet.service);
+  const SimTime submit = 7 * kSecondsPerDay + 9 * kSecondsPerHour;
+  for (int j = 0; j < 4; ++j) {
+    const GuestJobSpec job{.job_id = "j" + std::to_string(j),
+                           .cpu_seconds = 1800,
+                           .mem_mb = 64};
+    const ReplicatedOutcome outcome =
+        scheduler.run_job(job, submit, submit + 6 * kSecondsPerHour);
+    ASSERT_TRUE(outcome.plan.has_value()) << "job " << j;
+    const ReplicationPlan& plan = *outcome.plan;
+    // Failed probes shrink the candidate pool, never the contract: a
+    // feasible plan really meets A; an infeasible one is flagged as a
+    // fallback with its shortfall reported, not silently downgraded.
+    if (plan.feasible)
+      EXPECT_GE(plan.achieved_availability, plan.target_availability)
+          << "job " << j;
+    else
+      EXPECT_TRUE(plan.fallback) << "job " << j;
+    EXPECT_EQ(static_cast<std::size_t>(outcome.replicas_started),
+              plan.replicas.size())
+        << "job " << j;
+  }
+  // 4 jobs x 4 probes = 16 evaluations; every:3 fires on 3,6,9,12,15.
+  EXPECT_EQ(
+      Failpoints::instance().stats().find("service.estimate.fail")->fires, 5u);
+}
+
+TEST_F(ReplicationChaosTest, PlannerStormIsBitReproducible) {
+  const GuestJobSpec job{.job_id = "j", .cpu_seconds = 1800, .mem_mb = 64};
+  const SimTime submit = 7 * kSecondsPerDay + 9 * kSecondsPerHour;
+  PlannerConfig planner;
+  planner.target_availability = 0.95;
+  planner.max_replicas = 3;
+  planner.fallback_replicas = 2;
+
+  auto run = [&] {
+    PlannedFleet fleet(4);  // fresh service: identical cold-cache sequence
+    Failpoints::instance().reset();
+    Failpoints::instance().arm_from_spec(kPlannerStormSpec);
+    const ReplicatingScheduler scheduler(fleet.registry, planner,
+                                         SchedulerConfig{}, fleet.service);
+    std::vector<ReplicatedOutcome> outcomes;
+    for (int j = 0; j < 3; ++j)
+      outcomes.push_back(
+          scheduler.run_job(job, submit, submit + 6 * kSecondsPerHour));
+    return std::make_pair(std::move(outcomes),
+                          Failpoints::instance().stats());
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first.second, second.second);  // exact failpoint activity
+  ASSERT_EQ(first.first.size(), second.first.size());
+  for (std::size_t j = 0; j < first.first.size(); ++j) {
+    const ReplicatedOutcome& a = first.first[j];
+    const ReplicatedOutcome& b = second.first[j];
+    EXPECT_EQ(a.completed, b.completed) << j;
+    EXPECT_EQ(a.winning_machine, b.winning_machine) << j;
+    EXPECT_EQ(a.replicas_started, b.replicas_started) << j;
+    EXPECT_EQ(a.replicas_failed, b.replicas_failed) << j;
+    ASSERT_TRUE(a.plan.has_value() && b.plan.has_value()) << j;
+    EXPECT_EQ(a.plan->feasible, b.plan->feasible) << j;
+    EXPECT_EQ(a.plan->achieved_availability, b.plan->achieved_availability)
+        << j;
+    ASSERT_EQ(a.plan->replicas.size(), b.plan->replicas.size()) << j;
+    for (std::size_t r = 0; r < a.plan->replicas.size(); ++r)
+      EXPECT_EQ(a.plan->replicas[r].machine_id, b.plan->replicas[r].machine_id)
+          << j << "/" << r;
+  }
+}
+
+TEST_F(ReplicationChaosTest, AllProbeFailuresYieldReportedEmptyFallback) {
+  // Every estimation fails: zero candidates reach the planner. The degraded
+  // mode must be explicit — an infeasible fallback plan with no replicas and
+  // a failed outcome — never a silent empty launch.
+  Failpoints::instance().arm_from_spec("service.estimate.fail=always");
+  PlannedFleet fleet(3);
+  PlannerConfig planner;
+  planner.target_availability = 0.9;
+  const ReplicatingScheduler scheduler(fleet.registry, planner,
+                                       SchedulerConfig{}, fleet.service);
+  const GuestJobSpec job{.job_id = "j", .cpu_seconds = 900, .mem_mb = 64};
+  const SimTime submit = 7 * kSecondsPerDay + 9 * kSecondsPerHour;
+  const SimTime give_up = submit + 2 * kSecondsPerHour;
+  const ReplicatedOutcome outcome = scheduler.run_job(job, submit, give_up);
+
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_EQ(outcome.replicas_started, 0);
+  EXPECT_EQ(outcome.finish_time, give_up);
+  ASSERT_TRUE(outcome.plan.has_value());
+  EXPECT_FALSE(outcome.plan->feasible);
+  EXPECT_TRUE(outcome.plan->fallback);
+  EXPECT_TRUE(outcome.plan->replicas.empty());
+  EXPECT_EQ(outcome.plan->achieved_availability, 0.0);
+}
+
+TEST_F(ReplicationChaosTest, BatchedAndSerialProbesAgreeWhenHealthy) {
+  // Nothing armed: the batched fleet probe through the shared service must
+  // plan exactly like the serial per-gateway path it replaced.
+  PlannedFleet fleet(4);
+  PlannerConfig planner;
+  planner.target_availability = 0.95;
+  planner.max_replicas = 3;
+  planner.fallback_replicas = 2;
+  const ReplicatingScheduler batched(fleet.registry, planner,
+                                     SchedulerConfig{}, fleet.service);
+  const ReplicatingScheduler serial(fleet.registry, planner, SchedulerConfig{},
+                                    nullptr);
+  const GuestJobSpec job{.job_id = "j", .cpu_seconds = 1800, .mem_mb = 64};
+  const SimTime submit = 7 * kSecondsPerDay + 9 * kSecondsPerHour;
+  const ReplicatedOutcome a =
+      batched.run_job(job, submit, submit + 6 * kSecondsPerHour);
+  const ReplicatedOutcome b =
+      serial.run_job(job, submit, submit + 6 * kSecondsPerHour);
+  ASSERT_TRUE(a.plan.has_value() && b.plan.has_value());
+  EXPECT_EQ(a.plan->feasible, b.plan->feasible);
+  EXPECT_EQ(a.plan->achieved_availability, b.plan->achieved_availability);
+  EXPECT_EQ(a.plan->total_cost, b.plan->total_cost);
+  ASSERT_EQ(a.plan->replicas.size(), b.plan->replicas.size());
+  for (std::size_t r = 0; r < a.plan->replicas.size(); ++r)
+    EXPECT_EQ(a.plan->replicas[r].machine_id, b.plan->replicas[r].machine_id);
 }
 
 }  // namespace

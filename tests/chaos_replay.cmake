@@ -119,6 +119,36 @@ if(DEFINED TRACE_FILE)
     "chaos replay byte-identical with tracing on (${trace_size} trace bytes)")
 endif()
 
+# Planner leg: the availability-target planner rides a replica-churn storm on
+# the transient-VM fleet (replicas lost at launch, every-Nth fleet probe
+# failing to estimate). The service is pinned to max_threads=1 inside the
+# scenario, so even with the pool forced to 4 workers the probe order — and
+# with it the every:7 estimate-fault attribution, every plan line, and the
+# FailpointStats table — must replay byte-identically.
+foreach(run pl_first pl_second)
+  execute_process(
+    COMMAND ${CHAOS_BIN} --scenario planner --seed 11 --machines 6 --days 10
+            --jobs 6
+    OUTPUT_VARIABLE ${run}_out
+    ERROR_VARIABLE ${run}_err
+    RESULT_VARIABLE ${run}_rc)
+  if(NOT ${run}_rc EQUAL 0)
+    message(FATAL_ERROR
+      "fgcs_chaos planner ${run} run failed (rc=${${run}_rc}):\n${${run}_err}")
+  endif()
+endforeach()
+
+if(NOT pl_first_out STREQUAL pl_second_out)
+  message(FATAL_ERROR
+    "fgcs_chaos planner scenario is not replay-stable with FGCS_THREADS=4\n"
+    "--- first run ---\n${pl_first_out}\n--- second run ---\n${pl_second_out}")
+endif()
+if(NOT pl_first_out MATCHES "plan ")
+  message(FATAL_ERROR
+    "fgcs_chaos planner printed no plan lines:\n${pl_first_out}")
+endif()
+message(STATUS "chaos planner scenario replayed byte-identically (churn storm)")
+
 # Ingest leg: the streaming scenario replays a fleet of monitors through
 # append-drop and rollup-failure storms with idempotent retries. Every number
 # in its report — ack totals, generation counts, server/client counters, the

@@ -1,6 +1,6 @@
 // fgcs_chaos — replay named fault-injection scenarios deterministically.
 //
-//   fgcs_chaos --scenario revocation|churn|registry|service|net|ingest
+//   fgcs_chaos --scenario revocation|churn|planner|registry|service|net|ingest
 //              [--seed S] [--machines N] [--days D] [--jobs J]
 //              [--reactors N] [--failpoints SPEC]
 //
@@ -114,6 +114,70 @@ int run_churn(std::uint64_t seed, int machines, int days, int jobs) {
         static_cast<long long>(outcome.response_time()));
     completed += outcome.completed ? 1 : 0;
   }
+  std::printf("completed %d/%d\n", completed, jobs);
+  return completed == 0 ? 1 : 0;
+}
+
+/// Availability-target replication planning on a transient-VM fleet under a
+/// replica-churn storm: replicas vanish between placement and launch, and
+/// sporadic estimation outages thin the candidate pool. Every job's plan is
+/// printed — the planner either meets the target from the machines it can
+/// still predict, or reports an explicit fallback — and the run, including
+/// the FailpointStats trailer, replays byte-identically from the same flags
+/// (the service is pinned to max_threads=1 so the every-N estimate faults
+/// hit the same probes regardless of FGCS_THREADS).
+int run_planner(std::uint64_t seed, int machines, int days, int jobs) {
+  PreemptionParams params;
+  const std::vector<MachineTrace> traces =
+      generate_preemption_fleet(params, seed, machines, days, "vm");
+  ServiceConfig service_config;
+  service_config.max_threads = 1;  // deterministic failpoint attribution
+  auto service = std::make_shared<PredictionService>(service_config);
+  std::vector<Gateway> gateways;
+  gateways.reserve(traces.size());
+  for (const MachineTrace& trace : traces)
+    gateways.emplace_back(trace, Thresholds{}, EstimatorConfig{}, service);
+  Registry registry;
+  for (Gateway& gateway : gateways) registry.publish(gateway);
+
+  PlannerConfig planner;
+  planner.target_availability = 0.95;
+  planner.max_replicas = machines < 4 ? machines : 4;
+  planner.fallback_replicas = machines < 2 ? machines : 2;
+  const ReplicatingScheduler scheduler(registry, planner, SchedulerConfig{},
+                                       service);
+
+  int completed = 0;
+  for (int j = 0; j < jobs; ++j) {
+    const GuestJobSpec job{.job_id = "job" + std::to_string(j),
+                           .cpu_seconds = 3600,
+                           .mem_mb = 64};
+    const SimTime submit =
+        (days - 1) * kSecondsPerDay + (8 + j % 8) * kSecondsPerHour;
+    const ReplicatedOutcome outcome =
+        scheduler.run_job(job, submit, submit + 12 * kSecondsPerHour);
+    if (outcome.plan.has_value()) {
+      const ReplicationPlan& plan = *outcome.plan;
+      std::printf("job %02d: plan %-8s replicas=%zu achieved=%.17g "
+                  "target=%.17g\n",
+                  j, plan.feasible ? "feasible" : "FALLBACK",
+                  plan.replicas.size(), plan.achieved_availability,
+                  plan.target_availability);
+    }
+    std::printf(
+        "job %02d: %s winner=%s replicas=%d lost=%d cpu=%.0f response=%llds\n",
+        j, outcome.completed ? "completed" : "FAILED",
+        outcome.completed ? outcome.winning_machine.c_str() : "-",
+        outcome.replicas_started, outcome.replicas_failed,
+        outcome.total_cpu_spent,
+        static_cast<long long>(outcome.response_time()));
+    completed += outcome.completed ? 1 : 0;
+  }
+  const ServiceStats service_stats = service->stats();
+  std::printf("service: lookups=%llu batches=%llu invalidations=%llu\n",
+              static_cast<unsigned long long>(service_stats.lookups),
+              static_cast<unsigned long long>(service_stats.batches),
+              static_cast<unsigned long long>(service_stats.invalidations));
   std::printf("completed %d/%d\n", completed, jobs);
   return completed == 0 ? 1 : 0;
 }
@@ -395,6 +459,11 @@ int main_checked(int argc, char** argv) {
       spec = "gateway.execute.revoke=prob:0.003:" + s;
     else if (scenario == "churn")
       spec = "gateway.execute.revoke=prob:0.002:" + s;
+    else if (scenario == "planner")
+      // Replica-churn storm on the transient-VM fleet: ~30% of planned
+      // replicas lost at launch, every 7th fleet probe failing to estimate.
+      spec = "replication.replica.lost=prob:0.3:" + s +
+             ";service.estimate.fail=every:7";
     else if (scenario == "registry")
       spec = "registry.enumerate.drop=prob:0.4:" + s +
              ";registry.lookup.stale=every:7";
@@ -431,6 +500,8 @@ int main_checked(int argc, char** argv) {
     status = run_revocation(seed, machines, days, jobs);
   } else if (scenario == "churn") {
     status = run_churn(seed, machines, days, jobs);
+  } else if (scenario == "planner") {
+    status = run_planner(seed, machines, days, jobs);
   } else if (scenario == "registry") {
     // Same scheduling loop as revocation; the injected faults hit the
     // registry enumeration/lookup path instead of running guests.
@@ -472,7 +543,8 @@ int main_checked(int argc, char** argv) {
   } else {
     std::fprintf(stderr,
                  "unknown scenario '%s' "
-                 "(use revocation|churn|registry|service|net|ingest)\n",
+                 "(use revocation|churn|planner|registry|service|net|ingest)"
+                 "\n",
                  scenario.c_str());
     return 1;
   }

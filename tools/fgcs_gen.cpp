@@ -1,11 +1,17 @@
 // fgcs_gen — generate synthetic monitored traces to files.
 //
 //   fgcs_gen --out DIR [--machines N] [--days D] [--seed S]
-//            [--period SECONDS] [--profile lab|enterprise]
-//            [--drift PER_DAY] [--prefix NAME]
+//            [--period SECONDS] [--profile lab|enterprise|preemption]
+//            [--drift PER_DAY] [--prefix NAME] [--vm-class NAME]
 //
 // Writes one binary trace per machine (<prefix>NN.fgcs) loadable by
 // fgcs_predict / fgcs_eval / fgcs_inspect and by MachineTrace::load_file.
+//
+// --profile preemption swaps the diurnal user model for the transient-VM
+// preemption family (uptime-increasing Weibull hazard, hard max-lifetime
+// cutoff, correlated revocation bursts); --vm-class picks one of the
+// transient_vm_catalog() hazard presets (default spot-standard). --drift is
+// a diurnal-profile knob and is rejected for this family.
 #include <cstdio>
 #include <string>
 
@@ -24,20 +30,38 @@ int main(int argc, char** argv) {
     const std::string profile_name = args.get_or("profile", "lab");
     const std::string prefix = args.get_or("prefix", "host");
 
-    WorkloadParams params;
-    params.sampling_period = args.get_int_or("period", 60);
-    params.drift_per_day = args.get_double_or("drift", 0.0);
-    if (profile_name == "enterprise") {
-      params.profile = DiurnalProfile::enterprise_desktop();
-    } else if (profile_name != "lab") {
-      std::fprintf(stderr, "unknown profile '%s' (use lab|enterprise)\n",
-                   profile_name.c_str());
-      return 1;
+    std::vector<MachineTrace> fleet;
+    if (profile_name == "preemption") {
+      const std::string class_name = args.get_or("vm-class", "spot-standard");
+      const TransientVmClass* vm_class = nullptr;
+      for (const TransientVmClass& entry : transient_vm_catalog())
+        if (entry.name == class_name) vm_class = &entry;
+      if (vm_class == nullptr) {
+        std::fprintf(stderr, "unknown --vm-class '%s'; catalog:\n",
+                     class_name.c_str());
+        for (const TransientVmClass& entry : transient_vm_catalog())
+          std::fprintf(stderr, "  %s\n", entry.name.c_str());
+        return 1;
+      }
+      PreemptionParams params = PreemptionParams::from_class(*vm_class);
+      params.sampling_period = args.get_int_or("period", 60);
+      args.check_all_consumed();
+      fleet = generate_preemption_fleet(params, seed, machines, days, prefix);
+    } else {
+      WorkloadParams params;
+      params.sampling_period = args.get_int_or("period", 60);
+      params.drift_per_day = args.get_double_or("drift", 0.0);
+      if (profile_name == "enterprise") {
+        params.profile = DiurnalProfile::enterprise_desktop();
+      } else if (profile_name != "lab") {
+        std::fprintf(stderr,
+                     "unknown profile '%s' (use lab|enterprise|preemption)\n",
+                     profile_name.c_str());
+        return 1;
+      }
+      args.check_all_consumed();
+      fleet = generate_fleet(params, seed, machines, days, prefix);
     }
-    args.check_all_consumed();
-
-    const std::vector<MachineTrace> fleet =
-        generate_fleet(params, seed, machines, days, prefix);
     for (const MachineTrace& trace : fleet) {
       const std::string path = out_dir + "/" + trace.machine_id() + ".fgcs";
       trace.save_file(path);

@@ -11,6 +11,11 @@
 //   fgcs_golden --regen  [--file CSV]   rewrite the fixture
 //   fgcs_golden --selftest              prove the check catches a 1e-9 nudge
 //
+// --workload lab (default) pins the original 128-row lab-fleet grid;
+// --workload preemption pins a 64-row grid over the transient-VM preemption
+// fleet (uptime-increasing hazard + correlated revocation bursts), each
+// against its own fixture file.
+//
 // Values are written with %.17g, which round-trips IEEE doubles exactly, and
 // compared with tolerance 1e-12: a fresh fixture re-checks to drift zero,
 // while a 1e-9 perturbation — far below anything visible in the paper's
@@ -29,6 +34,7 @@
 #include "core/predictor.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "workload/preemption.hpp"
 #include "workload/trace_generator.hpp"
 
 namespace {
@@ -46,14 +52,25 @@ struct GoldenRow {
   double tr = 0.0;
 };
 
-/// The pinned workload + grid. Changing anything here invalidates the
-/// committed fixture — bump deliberately and --regen in the same commit.
-std::vector<GoldenRow> compute_golden() {
+/// The pinned workloads + grids. Changing anything here invalidates the
+/// matching committed fixture — bump deliberately and --regen in the same
+/// commit. Both fleets share the seed and the 4×30-day shape; the preemption
+/// grid drops the 3 h/12 h lengths to keep its fixture at 64 rows.
+std::vector<MachineTrace> golden_fleet(const std::string& workload) {
+  if (workload == "preemption")
+    return generate_preemption_fleet(PreemptionParams{}, /*seed=*/20060619,
+                                     /*count=*/4, /*days=*/30, "preempt");
   WorkloadParams params;
   params.sampling_period = 60;  // minute ticks keep the fixture fast
-  const std::vector<MachineTrace> fleet =
-      generate_fleet(params, /*seed=*/20060619, /*count=*/4, /*days=*/30,
-                     "golden");
+  return generate_fleet(params, /*seed=*/20060619, /*count=*/4, /*days=*/30,
+                        "golden");
+}
+
+std::vector<GoldenRow> compute_golden(const std::string& workload) {
+  const std::vector<MachineTrace> fleet = golden_fleet(workload);
+  const std::vector<SimTime> lengths =
+      workload == "preemption" ? std::vector<SimTime>{1, 6}
+                               : std::vector<SimTime>{1, 3, 6, 12};
 
   const AvailabilityPredictor predictor{EstimatorConfig{}};
   std::vector<GoldenRow> rows;
@@ -63,7 +80,7 @@ std::vector<GoldenRow> compute_golden() {
     // 22:00 start whose longer windows wrap midnight.
     for (const std::int64_t day : {15, 30}) {
       for (const SimTime start_hour : {2, 9, 14, 22}) {
-        for (const SimTime length_hours : {1, 3, 6, 12}) {
+        for (const SimTime length_hours : lengths) {
           GoldenRow row;
           row.machine = trace.machine_id();
           row.target_day = day;
@@ -109,8 +126,8 @@ GoldenRow parse_row(const std::string& line, const std::string& where) {
   return row;
 }
 
-int regen(const std::string& path) {
-  const std::vector<GoldenRow> rows = compute_golden();
+int regen(const std::string& path, const std::string& workload) {
+  const std::vector<GoldenRow> rows = compute_golden(workload);
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "fgcs_golden: cannot write %s\n", path.c_str());
@@ -124,7 +141,7 @@ int regen(const std::string& path) {
   return 0;
 }
 
-int check(const std::string& path) {
+int check(const std::string& path, const std::string& workload) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr,
@@ -142,7 +159,7 @@ int check(const std::string& path) {
         parse_row(line, path + ":" + std::to_string(line_no)));
   }
 
-  const std::vector<GoldenRow> actual = compute_golden();
+  const std::vector<GoldenRow> actual = compute_golden(workload);
   if (expected.size() != actual.size()) {
     std::fprintf(stderr,
                  "fgcs_golden: DRIFT — fixture has %zu rows, grid computes "
@@ -188,8 +205,8 @@ int check(const std::string& path) {
 /// Proves end-to-end (format → parse → compare) that the suite would flag a
 /// 1e-9 perturbation: round-trip every row exactly, then nudge each TR and
 /// assert the comparison trips.
-int selftest() {
-  const std::vector<GoldenRow> rows = compute_golden();
+int selftest(const std::string& workload) {
+  const std::vector<GoldenRow> rows = compute_golden(workload);
   if (rows.empty()) {
     std::fprintf(stderr, "fgcs_golden: selftest — empty grid\n");
     return 1;
@@ -227,10 +244,17 @@ int main(int argc, char** argv) {
     const bool do_selftest = args.has("selftest");
     args.has("check");  // default mode; consume the flag if present
     const std::string path = args.get_or("file", kDefaultFixture);
+    const std::string workload = args.get_or("workload", "lab");
     args.check_all_consumed();
-    if (do_selftest) return selftest();
-    if (do_regen) return regen(path);
-    return check(path);
+    if (workload != "lab" && workload != "preemption") {
+      std::fprintf(stderr, "fgcs_golden: unknown --workload '%s' "
+                           "(use lab|preemption)\n",
+                   workload.c_str());
+      return 1;
+    }
+    if (do_selftest) return selftest(workload);
+    if (do_regen) return regen(path, workload);
+    return check(path, workload);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "fgcs_golden: %s\n", error.what());
     return 1;

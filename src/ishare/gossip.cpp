@@ -1,0 +1,455 @@
+#include "ishare/gossip.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/metrics.hpp"
+
+namespace fgcs {
+
+namespace {
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t hash) {
+  for (const char byte : bytes) {
+    hash ^= static_cast<std::uint8_t>(byte);
+    hash *= 0x00000100000001b3ull;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a64_u64(std::uint64_t value, std::uint64_t hash) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    hash ^= (value >> shift) & 0xff;
+    hash *= 0x00000100000001b3ull;
+  }
+  return hash;
+}
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Registry-owned fleet-wide gossip counters (DESIGN.md §8 idiom).
+struct GossipMetrics {
+  Counter& rounds;
+  Counter& syncs;
+  Counter& drops;
+  Counter& delays;
+  Counter& unreachable;
+  Counter& refutations;
+
+  static GossipMetrics& get() {
+    MetricsRegistry& registry = MetricsRegistry::global();
+    static GossipMetrics metrics{
+        registry.counter("registry.gossip.rounds.total"),
+        registry.counter("registry.gossip.syncs.total"),
+        registry.counter("registry.gossip.drops.total"),
+        registry.counter("registry.gossip.delays.total"),
+        registry.counter("registry.gossip.unreachable.total"),
+        registry.counter("registry.gossip.refutations.total")};
+    return metrics;
+  }
+};
+
+}  // namespace
+
+const char* to_string(MemberHealth health) {
+  switch (health) {
+    case MemberHealth::kAlive: return "alive";
+    case MemberHealth::kSuspect: return "suspect";
+    case MemberHealth::kDead: return "dead";
+    case MemberHealth::kLeft: return "left";
+  }
+  return "?";
+}
+
+GossipAgent::GossipAgent(MemberState self, GossipConfig config)
+    : self_id_(self.node_id),
+      config_(config),
+      // Fork the peer-selection stream from (seed, node_id): every agent's
+      // draws are fixed by its own identity, independent of mesh size or
+      // join order.
+      peer_rng_(config.seed ^ ring_hash(self.node_id)) {
+  FGCS_REQUIRE_MSG(!self_id_.empty(), "gossip agent needs a node id");
+  FGCS_REQUIRE(config_.fanout >= 1);
+  FGCS_REQUIRE(config_.suspect_phi > 0.0 &&
+               config_.dead_phi >= config_.suspect_phi);
+  self.health = MemberHealth::kAlive;
+  members_.emplace(self_id_, std::move(self));
+}
+
+void GossipAgent::seed_peer(const MemberState& peer) {
+  if (peer.node_id == self_id_ || members_.count(peer.node_id)) return;
+  members_.emplace(peer.node_id, peer);
+  Liveness& liveness = liveness_[peer.node_id];
+  liveness.last_heartbeat = peer.heartbeat;
+  liveness.last_advance_round = round_;
+}
+
+bool GossipAgent::remote_wins(const MemberState& local,
+                              const MemberState& remote) {
+  if (remote.incarnation != local.incarnation)
+    return remote.incarnation > local.incarnation;
+  if (remote.heartbeat != local.heartbeat)
+    return remote.heartbeat > local.heartbeat;
+  // Exact tie: the worse health wins, so accusations and tombstones stick
+  // until the accused advances its heartbeat or refutes with a new
+  // incarnation. This is what makes the merge a semilattice join.
+  return static_cast<std::uint8_t>(remote.health) >
+         static_cast<std::uint8_t>(local.health);
+}
+
+void GossipAgent::merge(const std::vector<MemberState>& remote_members) {
+  for (const MemberState& remote : remote_members) {
+    const auto it = members_.find(remote.node_id);
+    if (it == members_.end()) {
+      members_.emplace(remote.node_id, remote);
+      Liveness& liveness = liveness_[remote.node_id];
+      liveness.last_heartbeat = remote.heartbeat;
+      liveness.last_advance_round = round_;
+      ++stats_.records_updated;
+      continue;
+    }
+    MemberState& local = it->second;
+    const std::uint64_t generation =
+        std::max(local.generation, remote.generation);
+    if (remote.node_id == self_id_) {
+      // Someone is spreading a worse story about us than our own record. If
+      // we are alive, refute it: a fresh incarnation beats every record
+      // derived from the old one. A node that really left lets its
+      // tombstone stand.
+      if (remote_wins(local, remote) && local.health != MemberHealth::kLeft) {
+        local.incarnation =
+            std::max(local.incarnation, remote.incarnation) + 1;
+        local.health = MemberHealth::kAlive;
+        ++stats_.refutations;
+        GossipMetrics::get().refutations.add();
+      }
+      local.generation = generation;
+      continue;
+    }
+    if (remote_wins(local, remote)) {
+      local = remote;
+      ++stats_.records_updated;
+    }
+    local.generation = generation;
+  }
+}
+
+void GossipAgent::evaluate_liveness() {
+  for (auto& [id, member] : members_) {
+    if (id == self_id_) continue;
+    if (member.health == MemberHealth::kLeft ||
+        member.health == MemberHealth::kDead)
+      continue;
+    Liveness& liveness = liveness_[id];
+    if (member.heartbeat > liveness.last_heartbeat) {
+      const double interval = static_cast<double>(
+          round_ - liveness.last_advance_round);
+      liveness.mean_interval =
+          (liveness.mean_interval * static_cast<double>(liveness.observed) +
+           interval) /
+          static_cast<double>(liveness.observed + 1);
+      ++liveness.observed;
+      liveness.last_heartbeat = member.heartbeat;
+      liveness.last_advance_round = round_;
+    }
+    // phi-style accrual on the round clock: how many expected heartbeat
+    // intervals have elapsed with no advance observed.
+    const double mean = std::max(liveness.mean_interval, 1.0);
+    const double phi =
+        static_cast<double>(round_ - liveness.last_advance_round) / mean;
+    if (phi >= config_.dead_phi) {
+      if (member.health != MemberHealth::kDead) ++stats_.deaths;
+      member.health = MemberHealth::kDead;
+    } else if (phi >= config_.suspect_phi) {
+      if (member.health == MemberHealth::kAlive) ++stats_.suspicions;
+      member.health = MemberHealth::kSuspect;
+    }
+  }
+}
+
+std::vector<std::string> GossipAgent::tick() {
+  ++round_;
+  ++stats_.rounds;
+  GossipMetrics::get().rounds.add();
+  MemberState& self = members_.at(self_id_);
+  // A left node keeps gossiping its tombstone but freezes its heartbeat —
+  // advancing it would read as proof of life.
+  if (self.health != MemberHealth::kLeft) ++self.heartbeat;
+  evaluate_liveness();
+
+  std::vector<std::string> candidates;
+  candidates.reserve(members_.size());
+  for (const auto& [id, member] : members_) {
+    if (id == self_id_) continue;
+    // Dead members stay in the push set as resurrection probes: after a
+    // symmetric partition both sides hold dead records for each other, and
+    // if neither initiated contact again the accusations could never be
+    // overturned — the mesh would stay split forever. Pushing at a dead
+    // record costs one wasted sync when the node really is gone, and heals
+    // the split when it is not. Only kLeft is final.
+    if (member.health != MemberHealth::kLeft) candidates.push_back(id);
+  }
+  std::vector<std::string> targets;
+  const std::size_t count =
+      std::min<std::size_t>(config_.fanout, candidates.size());
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t index = static_cast<std::size_t>(peer_rng_.uniform_int(
+        0, static_cast<std::int64_t>(candidates.size() - 1 - k)));
+    targets.push_back(candidates[index]);
+    std::swap(candidates[index], candidates[candidates.size() - 1 - k]);
+  }
+  stats_.syncs_sent += targets.size();
+  return targets;
+}
+
+GossipMessage GossipAgent::make_sync() const {
+  GossipMessage message;
+  message.sender = self_id_;
+  message.members.reserve(members_.size());
+  for (const auto& [id, member] : members_) message.members.push_back(member);
+  return message;
+}
+
+GossipMessage GossipAgent::handle_sync(const GossipMessage& message) {
+  ++stats_.syncs_received;
+  merge(message.members);
+  return make_sync();
+}
+
+void GossipAgent::handle_ack(const GossipMessage& message) {
+  ++stats_.acks_received;
+  merge(message.members);
+}
+
+void GossipAgent::leave() {
+  MemberState& self = members_.at(self_id_);
+  if (self.health == MemberHealth::kLeft) return;
+  self.health = MemberHealth::kLeft;
+  // One final advance so the tombstone beats the last alive record.
+  ++self.heartbeat;
+}
+
+void GossipAgent::rejoin() {
+  MemberState& self = members_.at(self_id_);
+  ++self.incarnation;
+  self.health = MemberHealth::kAlive;
+  ++self.heartbeat;
+}
+
+void GossipAgent::announce_generation(std::uint64_t generation) {
+  MemberState& self = members_.at(self_id_);
+  self.generation = std::max(self.generation, generation);
+}
+
+std::uint64_t GossipAgent::digest() const {
+  std::uint64_t hash = kFnvOffset;
+  for (const auto& [id, member] : members_) {
+    hash = fnv1a64(member.node_id, hash);
+    hash = fnv1a64(member.host, hash);
+    hash = fnv1a64_u64(member.port, hash);
+    hash = fnv1a64_u64(member.incarnation, hash);
+    hash = fnv1a64_u64(static_cast<std::uint64_t>(member.health), hash);
+    hash = fnv1a64_u64(member.generation, hash);
+  }
+  hash = fnv1a64_u64(members_.size(), hash);
+  return mix64(hash);
+}
+
+HashRing GossipAgent::ring() const {
+  std::vector<RingMember> members;
+  std::uint64_t version = kFnvOffset;
+  for (const auto& [id, member] : members_) {
+    if (member.health != MemberHealth::kAlive &&
+        member.health != MemberHealth::kSuspect)
+      continue;
+    members.push_back(
+        RingMember{member.node_id, member.host, member.port});
+    version = fnv1a64(member.node_id, version);
+    version = fnv1a64_u64(member.incarnation, version);
+  }
+  return HashRing(std::move(members), config_.vnodes, mix64(version));
+}
+
+std::vector<MemberState> GossipAgent::members() const {
+  std::vector<MemberState> out;
+  out.reserve(members_.size());
+  for (const auto& [id, member] : members_) out.push_back(member);
+  return out;
+}
+
+const MemberState& GossipAgent::self() const {
+  return members_.at(self_id_);
+}
+
+// ---------------------------------------------------------------------------
+// GossipMesh
+
+GossipMesh::GossipMesh(GossipConfig config) : config_(config) {}
+
+GossipAgent& GossipMesh::add_node(const std::string& node_id,
+                                  const std::string& host,
+                                  std::uint16_t port) {
+  FGCS_REQUIRE_MSG(!nodes_.count(node_id), "duplicate gossip node id");
+  Node node;
+  node.agent = std::make_unique<GossipAgent>(
+      MemberState{.node_id = node_id, .host = host, .port = port}, config_);
+  return *nodes_.emplace(node_id, std::move(node)).first->second.agent;
+}
+
+void GossipMesh::connect_all() {
+  for (auto& [id, node] : nodes_)
+    for (const auto& [other_id, other] : nodes_)
+      if (id != other_id) node.agent->seed_peer(other.agent->self());
+}
+
+GossipAgent& GossipMesh::agent(const std::string& node_id) {
+  return *nodes_.at(node_id).agent;
+}
+
+const GossipAgent& GossipMesh::agent(const std::string& node_id) const {
+  return *nodes_.at(node_id).agent;
+}
+
+std::vector<std::string> GossipMesh::node_ids() const {
+  std::vector<std::string> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) ids.push_back(id);
+  return ids;
+}
+
+void GossipMesh::partition(
+    const std::vector<std::vector<std::string>>& groups) {
+  group_of_.clear();
+  for (std::size_t g = 0; g < groups.size(); ++g)
+    for (const std::string& id : groups[g])
+      group_of_[id] = static_cast<int>(g);
+  // Unnamed ids share one implicit group past the named ones.
+  for (const auto& [id, node] : nodes_)
+    group_of_.emplace(id, static_cast<int>(groups.size()));
+}
+
+void GossipMesh::heal() { group_of_.clear(); }
+
+void GossipMesh::stop(const std::string& node_id) {
+  nodes_.at(node_id).running = false;
+}
+
+void GossipMesh::restart(const std::string& node_id) {
+  Node& node = nodes_.at(node_id);
+  node.running = true;
+  node.agent->rejoin();
+}
+
+bool GossipMesh::stopped(const std::string& node_id) const {
+  return !nodes_.at(node_id).running;
+}
+
+bool GossipMesh::blocked(const std::string& a, const std::string& b) const {
+  if (group_of_.empty()) return false;
+  return group_of_.at(a) != group_of_.at(b);
+}
+
+void GossipMesh::route_sync(const std::string& from, const std::string& to,
+                            GossipMessage message) {
+  GossipMetrics::get().syncs.add();
+  if (!nodes_.at(to).running || blocked(from, to)) {
+    GossipMetrics::get().unreachable.add();
+    return;
+  }
+  // Chaos hooks, evaluated once per routed message in a deterministic
+  // (id-sorted, single-threaded) order: a fired drop loses the sync
+  // entirely; a fired delay parks it until next round's delivery phase.
+  if (FGCS_FAILPOINT("gossip.drop")) {
+    GossipMetrics::get().drops.add();
+    return;
+  }
+  if (FGCS_FAILPOINT("gossip.delay")) {
+    GossipMetrics::get().delays.add();
+    delayed_.push_back(Delayed{from, to, std::move(message)});
+    return;
+  }
+  deliver_sync(from, to, message);
+}
+
+void GossipMesh::deliver_sync(const std::string& from, const std::string& to,
+                              const GossipMessage& message) {
+  GossipMessage ack = nodes_.at(to).agent->handle_sync(message);
+  // The ack rides the same lossy network back.
+  if (!nodes_.at(from).running || blocked(to, from)) {
+    GossipMetrics::get().unreachable.add();
+    return;
+  }
+  if (FGCS_FAILPOINT("gossip.drop")) {
+    GossipMetrics::get().drops.add();
+    return;
+  }
+  nodes_.at(from).agent->handle_ack(ack);
+}
+
+void GossipMesh::run_round() {
+  ++rounds_;
+  // Delayed messages from earlier rounds land first, re-checked against the
+  // *current* partition map (a message delayed across a partition event is
+  // lost like any in-flight traffic).
+  std::vector<Delayed> due;
+  due.swap(delayed_);
+  for (Delayed& entry : due) {
+    if (!nodes_.at(entry.to).running || blocked(entry.from, entry.to)) {
+      GossipMetrics::get().unreachable.add();
+      continue;
+    }
+    deliver_sync(entry.from, entry.to, entry.message);
+  }
+  for (auto& [id, node] : nodes_) {
+    if (!node.running) continue;
+    const std::vector<std::string> targets = node.agent->tick();
+    for (const std::string& target : targets)
+      route_sync(id, target, node.agent->make_sync());
+  }
+}
+
+bool GossipMesh::converged() const {
+  bool first = true;
+  std::uint64_t member_digest = 0;
+  std::uint64_t ring_digest = 0;
+  for (const auto& [id, node] : nodes_) {
+    if (!node.running || node.agent->self().health == MemberHealth::kLeft)
+      continue;
+    if (first) {
+      member_digest = node.agent->digest();
+      ring_digest = node.agent->ring().digest();
+      first = false;
+      continue;
+    }
+    if (node.agent->digest() != member_digest ||
+        node.agent->ring().digest() != ring_digest)
+      return false;
+  }
+  return true;
+}
+
+int GossipMesh::run_until_converged(int max_rounds) {
+  for (int i = 0; i < max_rounds; ++i) {
+    run_round();
+    if (converged()) return static_cast<int>(rounds_);
+  }
+  return converged() ? static_cast<int>(rounds_) : -1;
+}
+
+std::uint64_t GossipMesh::digest() const {
+  FGCS_REQUIRE_MSG(converged(), "mesh digest requires convergence");
+  for (const auto& [id, node] : nodes_)
+    if (node.running && node.agent->self().health != MemberHealth::kLeft)
+      return node.agent->digest();
+  return 0;
+}
+
+}  // namespace fgcs

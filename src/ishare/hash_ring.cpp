@@ -1,0 +1,103 @@
+#include "ishare/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fgcs {
+
+namespace {
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t hash) {
+  for (const char byte : bytes) {
+    hash ^= static_cast<std::uint8_t>(byte);
+    hash *= 0x00000100000001b3ull;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a64_u64(std::uint64_t value, std::uint64_t hash) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    hash ^= (value >> shift) & 0xff;
+    hash *= 0x00000100000001b3ull;
+  }
+  return hash;
+}
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+/// SplitMix64 finalizer: FNV alone clusters short ascii keys; the mix
+/// spreads vnode points uniformly around the circle.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t ring_hash(std::string_view bytes) {
+  return mix64(fnv1a64(bytes, kFnvOffset));
+}
+
+HashRing::HashRing(std::vector<RingMember> members, std::uint32_t vnodes,
+                   std::uint64_t version)
+    : members_(std::move(members)), vnodes_(vnodes), version_(version) {
+  FGCS_REQUIRE_MSG(vnodes_ >= 1, "hash ring needs at least one vnode");
+  std::sort(members_.begin(), members_.end(),
+            [](const RingMember& a, const RingMember& b) {
+              return a.node_id < b.node_id;
+            });
+  for (std::size_t i = 1; i < members_.size(); ++i)
+    FGCS_REQUIRE_MSG(members_[i - 1].node_id != members_[i].node_id,
+                     "hash ring member ids must be unique");
+
+  ring_.reserve(members_.size() * vnodes_);
+  for (std::uint32_t m = 0; m < members_.size(); ++m) {
+    // Vnode point = hash(node_id ∥ vnode index): a pure function of the id,
+    // so every node places every member's vnodes identically, and a member
+    // keeps its points when others join or leave (the movement bound).
+    const std::uint64_t base = fnv1a64(members_[m].node_id, kFnvOffset);
+    for (std::uint32_t v = 0; v < vnodes_; ++v)
+      ring_.push_back(Vnode{mix64(fnv1a64_u64(v, base)), m});
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Vnode& a, const Vnode& b) {
+    if (a.point != b.point) return a.point < b.point;
+    return a.member < b.member;  // full-circle tie break, id-order stable
+  });
+}
+
+const RingMember* HashRing::owner(std::string_view key) const {
+  if (ring_.empty()) return nullptr;
+  const std::uint64_t point = ring_hash(key);
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const Vnode& vnode, std::uint64_t p) { return vnode.point < p; });
+  const Vnode& hit = it == ring_.end() ? ring_.front() : *it;
+  return &members_[hit.member];
+}
+
+bool HashRing::contains(std::string_view node_id) const {
+  return member(node_id) != nullptr;
+}
+
+const RingMember* HashRing::member(std::string_view node_id) const {
+  const auto it = std::lower_bound(
+      members_.begin(), members_.end(), node_id,
+      [](const RingMember& m, std::string_view id) { return m.node_id < id; });
+  return it != members_.end() && it->node_id == node_id ? &*it : nullptr;
+}
+
+std::uint64_t HashRing::digest() const {
+  std::uint64_t hash = kFnvOffset;
+  for (const RingMember& member : members_) {
+    hash = fnv1a64(member.node_id, hash);
+    hash = fnv1a64(member.host, hash);
+    hash = fnv1a64_u64(member.port, hash);
+  }
+  hash = fnv1a64_u64(vnodes_, hash);
+  hash = fnv1a64_u64(version_, hash);
+  return mix64(hash);
+}
+
+}  // namespace fgcs

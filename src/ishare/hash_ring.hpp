@@ -1,0 +1,88 @@
+// Consistent-hash ring: partitions machine ids across fgcs_serve instances
+// (DESIGN.md §11).
+//
+// Each registry node contributes `vnodes` virtual points to a 64-bit hash
+// circle; a machine key is owned by the member whose vnode is the key's
+// clockwise successor. Virtual nodes smooth the partition (the load share of
+// any member stays within a few percent of 1/N at 128 vnodes) and bound
+// key movement: adding or removing one member remaps only the keys whose
+// successor vnode changed — about 1/N of the key space, never a full
+// reshuffle (tests/ishare/hash_ring_test.cpp pins both properties).
+//
+// Determinism contract: the ring is a pure function of (member set, vnodes,
+// version). Hashing is FNV-1a 64 with a SplitMix64 finalizer — no
+// std::hash, no pointer values, no iteration-order dependence — so every
+// node that learns the same member set builds the *same* ring, which is
+// what lets gossip converge nodes to one routing view without a
+// coordinator. `version` is carried for staleness detection (kWrongShard
+// answers quote it); it does not perturb vnode placement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fgcs {
+
+/// One registry node as routing sees it: a stable id plus the address its
+/// prediction server answers on.
+struct RingMember {
+  std::string node_id;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  friend bool operator==(const RingMember&, const RingMember&) = default;
+};
+
+/// FNV-1a 64 over `bytes`, finalized with SplitMix64 for avalanche. The one
+/// hash every ring in the fleet shares (routing correctness depends on every
+/// node hashing identically).
+std::uint64_t ring_hash(std::string_view bytes);
+
+class HashRing {
+ public:
+  /// An empty ring owns nothing (owner() returns nullptr).
+  HashRing() = default;
+
+  /// Builds the ring from `members` (any order; sorted and checked for
+  /// duplicate ids internally). Throws PreconditionError on a duplicate
+  /// node id or vnodes == 0.
+  HashRing(std::vector<RingMember> members, std::uint32_t vnodes = 128,
+           std::uint64_t version = 0);
+
+  /// The member owning `key` (clockwise-successor vnode), or nullptr when
+  /// the ring is empty. Stable reference into members().
+  const RingMember* owner(std::string_view key) const;
+
+  /// Members sorted by node_id.
+  const std::vector<RingMember>& members() const { return members_; }
+
+  bool contains(std::string_view node_id) const;
+
+  /// The member with this node_id, or nullptr. Stable reference into
+  /// members().
+  const RingMember* member(std::string_view node_id) const;
+
+  std::uint32_t vnodes() const { return vnodes_; }
+  std::uint64_t version() const { return version_; }
+  std::size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+
+  /// Digest over (sorted members, vnodes, version): two nodes route
+  /// identically iff their digests match. Convergence tests compare these.
+  std::uint64_t digest() const;
+
+ private:
+  struct Vnode {
+    std::uint64_t point = 0;
+    std::uint32_t member = 0;  ///< index into members_
+  };
+
+  std::vector<RingMember> members_;  // id-sorted
+  std::vector<Vnode> ring_;          // point-sorted
+  std::uint32_t vnodes_ = 128;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace fgcs

@@ -1,7 +1,9 @@
 #include "ishare/replication.hpp"
 
 #include <algorithm>
+#include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "ishare/state_manager.hpp"
 #include "util/error.hpp"
@@ -29,7 +31,7 @@ struct ReplicationMetrics {
 }  // namespace
 
 ReplicatingScheduler::ReplicatingScheduler(
-    const Registry& registry, int replicas, SchedulerConfig config,
+    const RegistryView& registry, int replicas, SchedulerConfig config,
     std::shared_ptr<PredictionService> service)
     : registry_(registry),
       replicas_(replicas),
@@ -39,7 +41,8 @@ ReplicatingScheduler::ReplicatingScheduler(
 }
 
 ReplicatingScheduler::ReplicatingScheduler(
-    const Registry& registry, PlannerConfig planner, SchedulerConfig config,
+    const RegistryView& registry, PlannerConfig planner,
+    SchedulerConfig config,
     std::shared_ptr<PredictionService> service)
     : registry_(registry),
       replicas_(planner.fallback_replicas),
@@ -56,7 +59,17 @@ ReplicatingScheduler::ReplicatingScheduler(
 
 std::vector<std::pair<double, Gateway*>> ReplicatingScheduler::rank_fleet(
     SimTime submit_time, SimTime expected_wall) const {
-  const std::vector<Gateway*> gateways = registry_.gateways();
+  std::vector<Gateway*> gateways = registry_.gateways();
+  // A sharded registry mid-rebalance (or an enumeration-drop storm racing a
+  // shard move) can yield the same machine twice; keep the first occurrence
+  // so the planner never places two "replicas" on one host.
+  {
+    std::unordered_set<std::string_view> seen;
+    seen.reserve(gateways.size());
+    std::erase_if(gateways, [&seen](const Gateway* gateway) {
+      return !seen.insert(gateway->machine_id()).second;
+    });
+  }
   std::vector<std::pair<double, Gateway*>> ranked;
   ranked.reserve(gateways.size());
   if (service_ && !gateways.empty()) {

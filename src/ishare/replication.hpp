@@ -60,13 +60,13 @@ class ReplicatingScheduler {
   /// Fixed-degree policy: always the `replicas` highest-TR machines. A
   /// non-null `service` batches the per-job fleet probe through the shared
   /// prediction cache.
-  ReplicatingScheduler(const Registry& registry, int replicas,
+  ReplicatingScheduler(const RegistryView& registry, int replicas,
                        SchedulerConfig config = {},
                        std::shared_ptr<PredictionService> service = nullptr);
 
   /// Availability-target policy: plan_replicas() against `planner` on every
   /// submission, using per-machine TR over the job's expected window.
-  ReplicatingScheduler(const Registry& registry, PlannerConfig planner,
+  ReplicatingScheduler(const RegistryView& registry, PlannerConfig planner,
                        SchedulerConfig config = {},
                        std::shared_ptr<PredictionService> service = nullptr);
 
@@ -82,7 +82,7 @@ class ReplicatingScheduler {
   std::vector<std::pair<double, Gateway*>> rank_fleet(SimTime submit_time,
                                                       SimTime expected_wall) const;
 
-  const Registry& registry_;
+  const RegistryView& registry_;
   int replicas_;
   std::optional<PlannerConfig> planner_;
   SchedulerConfig config_;

@@ -41,7 +41,8 @@ struct SchedulerMetrics {
 
 }  // namespace
 
-JobScheduler::JobScheduler(const Registry& registry, SchedulerConfig config,
+JobScheduler::JobScheduler(const RegistryView& registry,
+                           SchedulerConfig config,
                            std::shared_ptr<PredictionService> service)
     : registry_(registry), config_(config), service_(std::move(service)) {
   FGCS_REQUIRE(config.max_attempts >= 1);

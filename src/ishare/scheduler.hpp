@@ -80,7 +80,7 @@ class JobScheduler {
  public:
   /// A non-null `service` turns the per-placement fleet probe into one
   /// batched predict_batch call against the shared cache.
-  JobScheduler(const Registry& registry, SchedulerConfig config = {},
+  JobScheduler(const RegistryView& registry, SchedulerConfig config = {},
                std::shared_ptr<PredictionService> service = nullptr);
 
   /// The gateway with the highest TR for a job of `duration` wall seconds
@@ -95,7 +95,7 @@ class JobScheduler {
                      const CheckpointConfig& checkpoint = {}) const;
 
  private:
-  const Registry& registry_;
+  const RegistryView& registry_;
   SchedulerConfig config_;
   std::shared_ptr<PredictionService> service_;
 };

@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace fgcs::net {
 
@@ -70,6 +71,11 @@ Result PredictionClient::with_retries(const char* what, Attempt&& attempt_fn) {
     ++stats_.attempts;
     try {
       return attempt_fn();
+    } catch (const WrongShardError&) {
+      // Not a failure at all: the server answered completely (the stream is
+      // still in sync, so the socket stays open) and the answer is "ask the
+      // ring". Routing is the sharded client's job, not this retry loop's.
+      throw;
     } catch (const RemoteError&) {
       // The server rejected the call itself — retrying identical bytes
       // cannot succeed, so surface it now.
@@ -129,9 +135,14 @@ std::vector<Prediction> PredictionClient::attempt_once(
                           error.message);
       throw DataError("net client: server error: " + error.message);
     }
+    case FrameType::kWrongShard:
+      ++stats_.wrong_shards;
+      throw WrongShardError(decode_wrong_shard(frame.payload));
     case FrameType::kRequest:
     case FrameType::kAppendSamples:
     case FrameType::kAppendAck:
+    case FrameType::kGossipSync:
+    case FrameType::kGossipAck:
       break;
   }
   throw DataError("net client: unexpected frame type from server");
@@ -163,6 +174,46 @@ WireAppendAck PredictionClient::attempt_append_once(
     case FrameType::kRequest:
     case FrameType::kResponse:
     case FrameType::kAppendSamples:
+    case FrameType::kGossipSync:
+    case FrameType::kGossipAck:
+    case FrameType::kWrongShard:
+      break;
+  }
+  throw DataError("net client: unexpected frame type from server");
+}
+
+GossipMessage PredictionClient::gossip_sync(const GossipMessage& sync) {
+  ++stats_.gossips;
+  const std::string what =
+      "gossip sync of " + std::to_string(sync.members.size()) + " members";
+  return with_retries<GossipMessage>(
+      what.c_str(), [&] { return attempt_gossip_once(sync); });
+}
+
+GossipMessage PredictionClient::attempt_gossip_once(const GossipMessage& sync) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(config_.request_timeout));
+  ensure_connected();
+  send_all(encode_frame(FrameType::kGossipSync, encode_gossip(sync)), deadline);
+  const Frame frame = read_frame(deadline);
+  switch (frame.type) {
+    case FrameType::kGossipAck:
+      return decode_gossip(frame.payload);
+    case FrameType::kError: {
+      ++stats_.server_errors;
+      const WireError error = decode_error(frame.payload);
+      if (!error.retryable)
+        throw RemoteError("net client: server rejected gossip: " +
+                          error.message);
+      throw DataError("net client: server error: " + error.message);
+    }
+    case FrameType::kRequest:
+    case FrameType::kResponse:
+    case FrameType::kAppendSamples:
+    case FrameType::kAppendAck:
+    case FrameType::kGossipSync:
+    case FrameType::kWrongShard:
       break;
   }
   throw DataError("net client: unexpected frame type from server");
@@ -231,6 +282,125 @@ Frame PredictionClient::read_frame(Clock::time_point deadline) {
     }
     decoder.feed({buffer, static_cast<std::size_t>(n)});
   }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedPredictionClient
+
+namespace {
+
+/// Registry-owned counters for client-side ring routing (DESIGN.md §8
+/// idiom; shared across sharded clients like the server's fleet series).
+struct RingClientMetrics {
+  Counter& hops;
+  Counter& refreshes;
+  Counter& sub_batches;
+
+  static RingClientMetrics& get() {
+    static RingClientMetrics metrics{
+        MetricsRegistry::global().counter("registry.ring.hops.total"),
+        MetricsRegistry::global().counter("registry.ring.refreshes.total"),
+        MetricsRegistry::global().counter("registry.ring.sub_batches.total")};
+    return metrics;
+  }
+};
+
+}  // namespace
+
+ShardedPredictionClient::ShardedPredictionClient(HashRing ring,
+                                                 ShardedClientConfig config)
+    : ring_(std::move(ring)), config_(std::move(config)) {
+  FGCS_REQUIRE_MSG(!ring_.empty(), "sharded client needs a non-empty ring");
+  FGCS_REQUIRE(config_.max_forward_hops >= 0);
+}
+
+PredictionClient& ShardedPredictionClient::client_for(
+    const RingMember& member) {
+  FGCS_REQUIRE_MSG(member.port != 0,
+                   "ring member " + member.node_id + " has no endpoint");
+  const std::string key = member.host + ":" + std::to_string(member.port);
+  const auto it = clients_.find(key);
+  if (it != clients_.end()) return *it->second;
+  ClientConfig config = config_.base;
+  config.host = member.host;
+  config.port = member.port;
+  return *clients_.emplace(key, std::make_unique<PredictionClient>(config))
+              .first->second;
+}
+
+void ShardedPredictionClient::adopt_ring(HashRing ring) {
+  FGCS_REQUIRE_MSG(!ring.empty(), "sharded client needs a non-empty ring");
+  ring_ = std::move(ring);
+  ++stats_.ring_refreshes;
+  RingClientMetrics::get().refreshes.add();
+}
+
+Prediction ShardedPredictionClient::predict(const WireRequestItem& item) {
+  return predict_batch({&item, 1}).front();
+}
+
+std::vector<Prediction> ShardedPredictionClient::predict_batch(
+    std::span<const WireRequestItem> items) {
+  ++stats_.batches;
+  std::vector<Prediction> results(items.size());
+  // Items not yet answered, in request order; shrinks as shards answer.
+  std::vector<std::size_t> unresolved(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) unresolved[i] = i;
+
+  int hops = 0;
+  while (!unresolved.empty()) {
+    // Partition the unresolved items by owner, preserving request order
+    // within each shard; serve shards in ring-member (id) order so the wire
+    // schedule is deterministic for a fixed ring.
+    std::map<std::string, std::vector<std::size_t>> by_owner;
+    for (const std::size_t index : unresolved) {
+      const RingMember* owner = ring_.owner(items[index].machine_key);
+      FGCS_REQUIRE_MSG(owner != nullptr, "sharded client ring is empty");
+      by_owner[owner->node_id].push_back(index);
+    }
+
+    std::optional<HashRing> fresher;
+    std::vector<std::size_t> still_unresolved;
+    for (auto& [node_id, indices] : by_owner) {
+      if (fresher.has_value()) {
+        // A hop already invalidated this pass's partition; re-route the
+        // rest against the fresher ring instead of asking a stale owner.
+        still_unresolved.insert(still_unresolved.end(), indices.begin(),
+                                indices.end());
+        continue;
+      }
+      std::vector<WireRequestItem> sub_batch;
+      sub_batch.reserve(indices.size());
+      for (const std::size_t index : indices) sub_batch.push_back(items[index]);
+      ++stats_.sub_batches;
+      RingClientMetrics::get().sub_batches.add();
+      try {
+        const std::vector<Prediction> answered =
+            client_for(*ring_.member(node_id)).predict_batch(sub_batch);
+        for (std::size_t k = 0; k < indices.size(); ++k)
+          results[indices[k]] = answered[k];
+      } catch (const WrongShardError& error) {
+        ++stats_.wrong_shard_hops;
+        RingClientMetrics::get().hops.add();
+        fresher = error.ring();
+        still_unresolved.insert(still_unresolved.end(), indices.begin(),
+                                indices.end());
+      }
+    }
+
+    if (fresher.has_value()) {
+      if (++hops > config_.max_forward_hops)
+        throw DataError(
+            "net client: wrong-shard forwarding exceeded " +
+            std::to_string(config_.max_forward_hops) +
+            " hops (rings keep changing under the call)");
+      adopt_ring(std::move(*fresher));
+    }
+    // Keep request order stable across passes for deterministic replay.
+    std::sort(still_unresolved.begin(), still_unresolved.end());
+    unresolved = std::move(still_unresolved);
+  }
+  return results;
 }
 
 void PredictionClient::wait_io(bool for_write, Clock::time_point deadline,

@@ -25,6 +25,8 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -45,6 +47,25 @@ namespace fgcs::net {
 class RemoteError : public DataError {
  public:
   using DataError::DataError;
+};
+
+/// The server refused the batch because its ring assigns at least one key
+/// to another node (kWrongShard frame, DESIGN.md §11). Carries the server's
+/// current ring — the refusal IS the refetch: adopt the ring, re-partition,
+/// retry. PredictionClient rethrows this without closing the socket (the
+/// stream is still in sync) or burning retry attempts; ShardedPredictionClient
+/// handles it transparently.
+class WrongShardError : public DataError {
+ public:
+  explicit WrongShardError(HashRing ring)
+      : DataError("net client: server answered wrong-shard (ring version " +
+                  std::to_string(ring.version()) + ")"),
+        ring_(std::move(ring)) {}
+
+  const HashRing& ring() const { return ring_; }
+
+ private:
+  HashRing ring_;
 };
 
 struct ClientConfig {
@@ -70,10 +91,12 @@ struct ClientConfig {
 struct ClientStats {
   std::uint64_t batches = 0;      ///< predict_batch calls
   std::uint64_t appends = 0;      ///< append_samples calls
+  std::uint64_t gossips = 0;      ///< gossip_sync calls
   std::uint64_t attempts = 0;     ///< wire attempts (≥ batches + appends)
   std::uint64_t retries = 0;      ///< attempts after the first of a call
   std::uint64_t reconnects = 0;   ///< sockets opened
   std::uint64_t server_errors = 0;///< error frames received
+  std::uint64_t wrong_shards = 0; ///< kWrongShard frames received
 };
 
 class PredictionClient {
@@ -103,6 +126,12 @@ class PredictionClient {
   /// throw RemoteError immediately.
   WireAppendAck append_samples(const WireAppendRequest& request);
 
+  /// Pushes one gossip sync (this node's member table) and returns the
+  /// peer's ack table. Same self-healing contract as predict_batch —
+  /// full-state syncs are idempotent, so transport failures retry; a peer
+  /// without gossip enabled throws RemoteError immediately.
+  GossipMessage gossip_sync(const GossipMessage& sync);
+
   bool connected() const { return fd_ >= 0; }
   void close();
 
@@ -112,6 +141,7 @@ class PredictionClient {
  private:
   std::vector<Prediction> attempt_once(std::span<const WireRequestItem> items);
   WireAppendAck attempt_append_once(const WireAppendRequest& request);
+  GossipMessage attempt_gossip_once(const GossipMessage& sync);
   /// Shared retry/backoff loop behind predict_batch and append_samples.
   template <typename Result, typename Attempt>
   Result with_retries(const char* what, Attempt&& attempt);
@@ -127,6 +157,73 @@ class PredictionClient {
   Rng backoff_rng_;
   int fd_ = -1;
   ClientStats stats_{};
+};
+
+struct ShardedClientConfig {
+  /// Per-shard connection settings; host and port are ignored (each shard's
+  /// endpoint comes from its RingMember).
+  ClientConfig base;
+  /// Wrong-shard forwards tolerated per predict_batch call before giving
+  /// up — each hop adopts the answering server's (fresher) ring and
+  /// re-partitions, so a stable fleet resolves in one hop; a bound this low
+  /// only trips when rings keep changing under the call.
+  int max_forward_hops = 3;
+};
+
+/// Aggregated routing counters, on top of the per-shard ClientStats.
+struct ShardedClientStats {
+  std::uint64_t batches = 0;          ///< predict_batch calls
+  std::uint64_t sub_batches = 0;      ///< per-shard wire batches issued
+  std::uint64_t wrong_shard_hops = 0; ///< kWrongShard answers handled
+  std::uint64_t ring_refreshes = 0;   ///< ring adoptions (hops + adopt_ring)
+};
+
+/// Ring-routed client over a fleet of PredictionServers (DESIGN.md §11):
+/// partitions each batch by key ownership, round-trips one sub-batch per
+/// owning shard, and stitches the results back in request order —
+/// bit-identical to a single-server (or in-process) evaluation, since every
+/// item is served by exactly one node either way.
+///
+/// Staleness heals in-band: a server that no longer (or never did) own a
+/// key answers kWrongShard with its current ring; the client adopts it,
+/// re-partitions the unresolved items, and retries — at most
+/// config.max_forward_hops times per call. The cached ring can also be
+/// replaced explicitly with adopt_ring() (tests force stale-ring hops with
+/// it).
+///
+/// Not thread-safe, like the per-shard clients it owns.
+class ShardedPredictionClient {
+ public:
+  explicit ShardedPredictionClient(HashRing ring,
+                                   ShardedClientConfig config = {});
+
+  /// Round-trips one batch across the owning shards. Returns results
+  /// aligned with `items`. Throws DataError when a shard stays unreachable
+  /// through its retry budget or the hop bound is exhausted; RemoteError
+  /// propagates unchanged.
+  std::vector<Prediction> predict_batch(
+      std::span<const WireRequestItem> items);
+
+  /// Convenience single-request form.
+  Prediction predict(const WireRequestItem& item);
+
+  /// Replaces the cached ring (counts as a ring refresh).
+  void adopt_ring(HashRing ring);
+
+  const HashRing& ring() const { return ring_; }
+  const ShardedClientStats& stats() const { return stats_; }
+
+  /// The per-shard client for a ring member, created on first use (tests
+  /// inspect per-shard stats through this).
+  PredictionClient& client_for(const RingMember& member);
+
+ private:
+  HashRing ring_;
+  ShardedClientConfig config_;
+  /// Per-endpoint connections, keyed host:port — kept across ring changes
+  /// (an endpoint that re-enters the ring reuses its connection).
+  std::map<std::string, std::unique_ptr<PredictionClient>> clients_;
+  ShardedClientStats stats_{};
 };
 
 }  // namespace fgcs::net

@@ -55,6 +55,8 @@ ServerStats& ServerStats::operator+=(const ServerStats& other) {
   predictions += other.predictions;
   responses += other.responses;
   errors += other.errors;
+  wrong_shard += other.wrong_shard;
+  gossip_syncs += other.gossip_syncs;
   trace_loads += other.trace_loads;
   loaded_traces += other.loaded_traces;
   appends += other.appends;
@@ -215,6 +217,10 @@ class PredictionServer::Reactor {
   Counter frames_;
   Counter requests_;
   Counter errors_;
+  // Decentralized-registry instruments (registry.ring.* / registry.gossip.*
+  // fleet-wide + net.reactor.<i>.*).
+  Counter wrong_shard_;
+  Counter gossip_syncs_;
   // Ingest instruments (ingest.* fleet-wide + net.reactor.<i>.ingest.*).
   Counter appends_;
   Counter append_samples_;
@@ -251,6 +257,16 @@ PredictionServer::Reactor::Reactor(PredictionServer& server, unsigned index)
   attach_both("frames.total", frames_);
   attach_both("requests.total", requests_);
   attach_both("errors.total", errors_);
+  // Registry-routing series keep their own fleet-wide prefix (they are a
+  // registry concern, not a transport one) but still shard per reactor.
+  metrics_attachments_.push_back(
+      registry.attach("registry.ring.wrong_shard.total", wrong_shard_));
+  metrics_attachments_.push_back(
+      registry.attach(prefix + "wrong_shard.total", wrong_shard_));
+  metrics_attachments_.push_back(
+      registry.attach("registry.gossip.syncs.served.total", gossip_syncs_));
+  metrics_attachments_.push_back(
+      registry.attach(prefix + "gossip.syncs.total", gossip_syncs_));
   // Ingest series live under their own fleet-wide prefix (they are a store
   // concern, not a transport one) but still shard per reactor.
   const auto attach_ingest = [&](const char* name, Counter& counter) {
@@ -523,6 +539,23 @@ void PredictionServer::Reactor::pump(Connection& conn) {
     const Frame frame = std::move(conn.pending.front());
     conn.pending.pop_front();
     frames_.add(1);
+    if (frame.type == FrameType::kGossipSync) {
+      // Anti-entropy: merge the peer's table into the attached agent and
+      // answer ours. Handled before the data-frame failpoints so gossip
+      // traffic never perturbs a pinned net.* chaos replay.
+      try {
+        const GossipMessage ack =
+            server_.handle_gossip_sync(decode_gossip(frame.payload));
+        gossip_syncs_.add(1);
+        send_frame(conn, FrameType::kGossipAck, encode_gossip(ack));
+      } catch (const std::exception& error) {
+        // No agent attached or an undecodable table: semantic rejection.
+        errors_.add(1);
+        send_frame(conn, FrameType::kError,
+                   encode_error(error.what(), /*retryable=*/false));
+      }
+      continue;
+    }
     if (frame.type != FrameType::kRequest &&
         frame.type != FrameType::kAppendSamples) {
       // Only clients send responses/errors/acks; answer and keep the
@@ -593,6 +626,27 @@ void PredictionServer::Reactor::dispatch_request(
     Connection& conn, std::span<const std::uint8_t> payload) {
   const std::vector<WireRequestItem> items = decode_request(payload);
   requests_.add(1);
+  // Shard routing: with an identity and a ring installed, a batch naming
+  // any key the ring assigns to another node is refused whole — the
+  // kWrongShard answer carries the current ring, so the client's refetch is
+  // implicit. All-or-nothing keeps the response contract one-frame-per-
+  // request-frame and forces the client to re-partition with a ring at
+  // least as fresh as ours.
+  if (!server_.config_.node_id.empty()) {
+    if (const std::shared_ptr<const HashRing> ring = server_.ring()) {
+      const bool owns_all = std::all_of(
+          items.begin(), items.end(), [&](const WireRequestItem& item) {
+            const RingMember* owner = ring->owner(item.machine_key);
+            return owner != nullptr &&
+                   owner->node_id == server_.config_.node_id;
+          });
+      if (!owns_all) {
+        wrong_shard_.add(1);
+        send_frame(conn, FrameType::kWrongShard, encode_wrong_shard(*ring));
+        return;
+      }
+    }
+  }
   // Trim the loaded-trace cache only while no batch is in flight: pointers
   // resolved below stay valid until their predict_batch returns, so the
   // cache may transiently overshoot max_loaded_traces by the in-flight
@@ -862,6 +916,8 @@ ServerStats PredictionServer::Reactor::snapshot() const {
   stats.predictions = predictions_.load(std::memory_order_relaxed);
   stats.responses = responses_.load(std::memory_order_relaxed);
   stats.errors = errors_.value();
+  stats.wrong_shard = wrong_shard_.value();
+  stats.gossip_syncs = gossip_syncs_.value();
   stats.trace_loads = trace_loads_.load(std::memory_order_relaxed);
   stats.loaded_traces = loaded_count_.load(std::memory_order_relaxed);
   stats.appends = appends_.value();
@@ -964,6 +1020,52 @@ void PredictionServer::stop() {
   for (const std::unique_ptr<Reactor>& reactor : reactors_)
     reactor->shutdown();
   total_active_.store(0, std::memory_order_relaxed);
+}
+
+void PredictionServer::set_ring(HashRing ring) {
+  auto snapshot = std::make_shared<const HashRing>(std::move(ring));
+  std::lock_guard<std::mutex> lock(ring_mutex_);
+  ring_ = std::move(snapshot);
+}
+
+std::shared_ptr<const HashRing> PredictionServer::ring() const {
+  std::lock_guard<std::mutex> lock(ring_mutex_);
+  return ring_;
+}
+
+void PredictionServer::attach_gossip(GossipAgent* agent) {
+  std::lock_guard<std::mutex> lock(gossip_mutex_);
+  gossip_agent_ = agent;
+}
+
+GossipMessage PredictionServer::handle_gossip_sync(const GossipMessage& sync) {
+  std::lock_guard<std::mutex> lock(gossip_mutex_);
+  if (gossip_agent_ == nullptr)
+    throw DataError("net server: gossip is not enabled on this server");
+  return gossip_agent_->handle_sync(sync);
+}
+
+std::pair<std::vector<std::string>, GossipMessage>
+PredictionServer::gossip_tick() {
+  std::lock_guard<std::mutex> lock(gossip_mutex_);
+  if (gossip_agent_ == nullptr)
+    throw DataError("net server: gossip is not enabled on this server");
+  std::vector<std::string> peers = gossip_agent_->tick();
+  return {std::move(peers), gossip_agent_->make_sync()};
+}
+
+void PredictionServer::gossip_merge_ack(const GossipMessage& ack) {
+  std::lock_guard<std::mutex> lock(gossip_mutex_);
+  if (gossip_agent_ == nullptr)
+    throw DataError("net server: gossip is not enabled on this server");
+  gossip_agent_->handle_ack(ack);
+}
+
+HashRing PredictionServer::gossip_ring() {
+  std::lock_guard<std::mutex> lock(gossip_mutex_);
+  if (gossip_agent_ == nullptr)
+    throw DataError("net server: gossip is not enabled on this server");
+  return gossip_agent_->ring();
 }
 
 ServerStats PredictionServer::stats() const {

@@ -56,6 +56,14 @@
 // callback, and prediction batches resolve streamed machines via pinned
 // immutable snapshots, so serving and ingestion never contend on trace data.
 //
+// Decentralized registry (DESIGN.md §11): a server given a node_id and a
+// ring (set_ring()) refuses request batches containing keys the ring
+// assigns elsewhere, answering kWrongShard with its current ring so the
+// client can re-route — the refusal carries the refetch. A gossip agent
+// attached with attach_gossip() answers kGossipSync frames with the merged
+// table as kGossipAck; both paths are mutex-guarded so any reactor can
+// serve them while the owner ticks the agent.
+//
 // Observability: each reactor keeps its own instruments, attached to the
 // global registry twice — folded into the fleet-wide series
 // (net.rx.bytes.total, net.tx.bytes.total, net.frames.total,
@@ -75,11 +83,15 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/prediction_service.hpp"
+#include "ishare/gossip.hpp"
+#include "ishare/hash_ring.hpp"
 #include "trace/machine_trace.hpp"
 #include "trace/trace_store.hpp"
 
@@ -120,6 +132,13 @@ struct ServerConfig {
   /// Sliding per-machine history budget for ingested traces, in days
   /// (TraceStoreConfig::retention_days); 0 keeps all history.
   std::int64_t ingest_retention_days = 0;
+  /// This server's identity on the registry ring (DESIGN.md §11). Empty
+  /// (the default) serves every key — the single-registry behavior. When
+  /// set *and* a ring has been installed with set_ring(), a request batch
+  /// containing any key the ring assigns to a different node is answered
+  /// with a kWrongShard frame carrying the current ring instead of being
+  /// served.
+  std::string node_id;
 };
 
 /// Monotonic serving counters. One of these per reactor
@@ -134,6 +153,8 @@ struct ServerStats {
   std::uint64_t predictions = 0;   ///< predictions served
   std::uint64_t responses = 0;     ///< response frames sent
   std::uint64_t errors = 0;        ///< error frames sent
+  std::uint64_t wrong_shard = 0;   ///< batches refused with kWrongShard
+  std::uint64_t gossip_syncs = 0;  ///< kGossipSync frames answered
   std::uint64_t trace_loads = 0;   ///< trace files loaded from trace_root
   std::uint64_t loaded_traces = 0; ///< path-loaded traces currently cached
   std::uint64_t appends = 0;          ///< append frames acked
@@ -192,6 +213,39 @@ class PredictionServer {
   /// reactors; safe to read from any thread (snapshots are immutable).
   TraceStore* store() const { return store_.get(); }
 
+  /// Installs (or replaces) the registry ring this server routes by.
+  /// Thread-safe, callable while serving — reactors pick up the new ring on
+  /// their next batch. With config.node_id empty the ring is only echoed in
+  /// kWrongShard frames, never enforced.
+  void set_ring(HashRing ring);
+
+  /// The current ring, or nullptr when none was installed. The snapshot is
+  /// immutable; a concurrent set_ring() swaps the pointer, not the object.
+  std::shared_ptr<const HashRing> ring() const;
+
+  /// Attaches the gossip agent answering this server's kGossipSync frames
+  /// (nullptr detaches). The agent must outlive the attachment; the server
+  /// serializes all access through an internal mutex, so the owner may tick
+  /// the same agent from its own thread under the same contract.
+  void attach_gossip(GossipAgent* agent);
+
+  /// Merges one received sync into the attached agent and returns the ack.
+  /// Throws DataError when no agent is attached. Thread-safe.
+  GossipMessage handle_gossip_sync(const GossipMessage& sync);
+
+  /// Owner-side gossip round under the same mutex as handle_gossip_sync:
+  /// ticks the attached agent and returns the peer ids to push to plus the
+  /// sync to send them. Throws DataError when no agent is attached.
+  std::pair<std::vector<std::string>, GossipMessage> gossip_tick();
+
+  /// Merges a peer's ack into the attached agent (no-op contractually only
+  /// for a detached agent, which throws). Thread-safe.
+  void gossip_merge_ack(const GossipMessage& ack);
+
+  /// The attached agent's current routing ring (under the mutex). Callers
+  /// typically follow with set_ring() to publish it to the reactors.
+  HashRing gossip_ring();
+
   /// Aggregate counters: the field-wise sum of reactor_stats(). Safe from
   /// any thread while serving; exact after stop().
   ServerStats stats() const;
@@ -213,6 +267,14 @@ class PredictionServer {
   std::unique_ptr<TraceStore> store_;
 
   std::map<std::string, MachineTrace> traces_;  // by machine_id, frozen at start()
+  /// Registry ring for shard routing; swapped whole under ring_mutex_ so
+  /// reactors read a consistent immutable snapshot.
+  std::shared_ptr<const HashRing> ring_;
+  mutable std::mutex ring_mutex_;
+  /// Gossip agent answering kGossipSync (fgcs_serve owns it); guarded by
+  /// gossip_mutex_ against concurrent reactor handling and owner ticks.
+  GossipAgent* gossip_agent_ = nullptr;
+  std::mutex gossip_mutex_;
   std::vector<std::unique_ptr<Reactor>> reactors_;
   std::vector<std::thread> threads_;
   std::atomic<std::size_t> total_active_{0};  // capacity check, all reactors

@@ -378,6 +378,142 @@ WireAppendAck decode_append_ack(std::span<const std::uint8_t> payload) {
   return ack;
 }
 
+namespace {
+
+/// Shared by the gossip and wrong-shard codecs: a (node id, host) pair with
+/// both lengths validated against kMaxKeyBytes before the strings are read.
+void put_id_host(std::vector<std::uint8_t>& payload, const std::string& id,
+                 const std::string& host) {
+  FGCS_REQUIRE_MSG(id.size() <= kMaxKeyBytes, "node id exceeds kMaxKeyBytes");
+  FGCS_REQUIRE_MSG(host.size() <= kMaxKeyBytes, "host exceeds kMaxKeyBytes");
+  put_u16(payload, static_cast<std::uint16_t>(id.size()));
+  payload.insert(payload.end(), id.begin(), id.end());
+  put_u16(payload, static_cast<std::uint16_t>(host.size()));
+  payload.insert(payload.end(), host.begin(), host.end());
+}
+
+std::string read_bounded_str(Reader& reader, const char* what) {
+  const std::uint16_t length = reader.u16();
+  if (length > kMaxKeyBytes)
+    throw DataError(std::string("wire: ") + what + " length " +
+                    std::to_string(length) + " exceeds limit");
+  return reader.str(length);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_gossip(const GossipMessage& message) {
+  FGCS_REQUIRE_MSG(message.members.size() <= kMaxGossipMembers,
+                   "gossip member table exceeds kMaxGossipMembers");
+  FGCS_REQUIRE_MSG(message.sender.size() <= kMaxKeyBytes,
+                   "gossip sender exceeds kMaxKeyBytes");
+  std::vector<std::uint8_t> payload;
+  payload.reserve(8 + message.sender.size() + message.members.size() * 48);
+  put_u16(payload, static_cast<std::uint16_t>(message.sender.size()));
+  payload.insert(payload.end(), message.sender.begin(), message.sender.end());
+  put_u32(payload, static_cast<std::uint32_t>(message.members.size()));
+  for (const MemberState& member : message.members) {
+    put_id_host(payload, member.node_id, member.host);
+    put_u16(payload, member.port);
+    put_u64(payload, member.incarnation);
+    put_u64(payload, member.heartbeat);
+    payload.push_back(static_cast<std::uint8_t>(member.health));
+    put_u64(payload, member.generation);
+  }
+  return payload;
+}
+
+GossipMessage decode_gossip(std::span<const std::uint8_t> payload) {
+  Reader reader(payload);
+  GossipMessage message;
+  message.sender = read_bounded_str(reader, "gossip sender");
+  const std::uint32_t count = reader.u32();
+  if (count > kMaxGossipMembers)
+    throw DataError("wire: gossip member count " + std::to_string(count) +
+                    " exceeds limit " + std::to_string(kMaxGossipMembers));
+  // Even an empty member row costs 31 bytes; reject absurd counts before
+  // reserving.
+  if (static_cast<std::size_t>(count) * 31 > reader.remaining())
+    throw DataError("wire: gossip member count " + std::to_string(count) +
+                    " does not fit the payload");
+  message.members.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    MemberState member;
+    member.node_id = read_bounded_str(reader, "gossip node id");
+    if (member.node_id.empty())
+      throw DataError("wire: gossip member with empty node id");
+    member.host = read_bounded_str(reader, "gossip host");
+    member.port = reader.u16();
+    member.incarnation = reader.u64();
+    member.heartbeat = reader.u64();
+    const std::uint8_t health = reader.u8();
+    if (health > static_cast<std::uint8_t>(MemberHealth::kLeft))
+      throw DataError("wire: invalid gossip health byte " +
+                      std::to_string(health));
+    member.health = static_cast<MemberHealth>(health);
+    member.generation = reader.u64();
+    message.members.push_back(std::move(member));
+  }
+  reader.expect_done("gossip");
+  return message;
+}
+
+std::vector<std::uint8_t> encode_wrong_shard(const HashRing& ring) {
+  FGCS_REQUIRE_MSG(ring.size() <= kMaxGossipMembers,
+                   "ring member count exceeds kMaxGossipMembers");
+  std::vector<std::uint8_t> payload;
+  payload.reserve(16 + ring.size() * 32);
+  put_u64(payload, ring.version());
+  put_u32(payload, ring.vnodes());
+  put_u32(payload, static_cast<std::uint32_t>(ring.size()));
+  for (const RingMember& member : ring.members()) {
+    put_id_host(payload, member.node_id, member.host);
+    put_u16(payload, member.port);
+  }
+  return payload;
+}
+
+HashRing decode_wrong_shard(std::span<const std::uint8_t> payload) {
+  Reader reader(payload);
+  const std::uint64_t version = reader.u64();
+  const std::uint32_t vnodes = reader.u32();
+  if (vnodes == 0)
+    throw DataError("wire: wrong-shard ring with zero vnodes");
+  // Keep a hostile vnode count from turning into a giant allocation in the
+  // HashRing constructor: the wire cap is far above any real deployment.
+  if (vnodes > 4096)
+    throw DataError("wire: wrong-shard vnode count " + std::to_string(vnodes) +
+                    " exceeds limit 4096");
+  const std::uint32_t count = reader.u32();
+  if (count == 0)
+    throw DataError("wire: wrong-shard ring with no members");
+  if (count > kMaxGossipMembers)
+    throw DataError("wire: wrong-shard member count " + std::to_string(count) +
+                    " exceeds limit " + std::to_string(kMaxGossipMembers));
+  if (static_cast<std::size_t>(count) * 6 > reader.remaining())
+    throw DataError("wire: wrong-shard member count " + std::to_string(count) +
+                    " does not fit the payload");
+  std::vector<RingMember> members;
+  members.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    RingMember member;
+    member.node_id = read_bounded_str(reader, "ring node id");
+    if (member.node_id.empty())
+      throw DataError("wire: ring member with empty node id");
+    member.host = read_bounded_str(reader, "ring host");
+    member.port = reader.u16();
+    members.push_back(std::move(member));
+  }
+  reader.expect_done("wrong shard");
+  try {
+    return HashRing(std::move(members), vnodes, version);
+  } catch (const PreconditionError& e) {
+    // Duplicate ids etc. — a malformed *payload*, not a caller bug.
+    throw DataError(std::string("wire: wrong-shard ring rejected: ") +
+                    e.what());
+  }
+}
+
 void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
   if (poisoned_) throw DataError("wire: decoder poisoned by earlier error");
   // Compact lazily: drop consumed prefix once it dominates the buffer, so a
@@ -414,7 +550,7 @@ std::optional<Frame> FrameDecoder::next() {
   }
   const std::uint16_t type = read_u16_at(header + 6);
   if (type < static_cast<std::uint16_t>(FrameType::kRequest) ||
-      type > static_cast<std::uint16_t>(FrameType::kAppendAck)) {
+      type > static_cast<std::uint16_t>(FrameType::kWrongShard)) {
     poisoned_ = true;
     throw DataError("wire: unknown frame type " + std::to_string(type));
   }

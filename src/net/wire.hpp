@@ -5,9 +5,10 @@
 //
 //   offset  size  field
 //        0     4  magic     0x46474353 ("FGCS")
-//        4     2  version   kWireVersion (2)
+//        4     2  version   kWireVersion (3)
 //        6     2  type      1 request | 2 response | 3 error
 //                           | 4 append-samples | 5 append-ack
+//                           | 6 gossip-sync | 7 gossip-ack | 8 wrong-shard
 //        8     4  payload length in bytes (≤ kMaxPayloadBytes)
 //       12     4  FNV-1a 32-bit checksum of the payload bytes
 //
@@ -38,14 +39,18 @@
 #include <vector>
 
 #include "core/predictor.hpp"
+#include "ishare/gossip.hpp"
+#include "ishare/hash_ring.hpp"
 #include "trace/sample.hpp"
 
 namespace fgcs::net {
 
 inline constexpr std::uint32_t kWireMagic = 0x46474353u;  // "FGCS"
 /// Version 2 added the append-samples / append-ack frame pair (streaming
-/// ingestion); any layout change bumps this (docs/WIRE.md §5).
-inline constexpr std::uint16_t kWireVersion = 2;
+/// ingestion); version 3 added the decentralized-registry frames
+/// (gossip-sync / gossip-ack / wrong-shard). Any layout change bumps this
+/// (docs/WIRE.md §5).
+inline constexpr std::uint16_t kWireVersion = 3;
 inline constexpr std::size_t kHeaderBytes = 16;
 /// Hard cap on a frame payload; a length field above this is a protocol
 /// error, not an allocation request (fuzz case: length overflow).
@@ -57,6 +62,9 @@ inline constexpr std::uint32_t kMaxKeyBytes = 4096;
 /// Hard cap on packed samples per append frame (4 MiB of sample payload —
 /// about three days of 6-second samples; monitors batch far below this).
 inline constexpr std::uint32_t kMaxAppendSamples = 1u << 20;
+/// Hard cap on gossip member-table rows and ring members per frame; a
+/// registry fleet is a handful of nodes, so this is generous.
+inline constexpr std::uint32_t kMaxGossipMembers = 1u << 12;
 
 enum class FrameType : std::uint16_t {
   kRequest = 1,
@@ -64,6 +72,9 @@ enum class FrameType : std::uint16_t {
   kError = 3,
   kAppendSamples = 4,
   kAppendAck = 5,
+  kGossipSync = 6,  ///< full member-table push (anti-entropy)
+  kGossipAck = 7,   ///< receiver's table, answered to a sync
+  kWrongShard = 8,  ///< "not my keys" — carries the server's current ring
 };
 
 /// One request item as it travels on the wire: the machine is named by a
@@ -157,6 +168,20 @@ WireAppendRequest decode_append(std::span<const std::uint8_t> payload);
 /// Append-ack payload: six u64 fields, fixed 48 bytes.
 std::vector<std::uint8_t> encode_append_ack(const WireAppendAck& ack);
 WireAppendAck decode_append_ack(std::span<const std::uint8_t> payload);
+
+/// Gossip payload (kGossipSync and kGossipAck share one layout): u16-length
+/// sender id, u32 member count, then per member a u16-length node id, a
+/// u16-length host, u16 port, u64 incarnation, u64 heartbeat, one health
+/// byte (0 alive | 1 suspect | 2 dead | 3 left), and u64 generation.
+std::vector<std::uint8_t> encode_gossip(const GossipMessage& message);
+GossipMessage decode_gossip(std::span<const std::uint8_t> payload);
+
+/// Wrong-shard payload: the answering server's whole current ring, so the
+/// refetch is implicit in the refusal — u64 ring version, u32 vnodes, u32
+/// member count, then per member a u16-length node id, a u16-length host,
+/// and u16 port.
+std::vector<std::uint8_t> encode_wrong_shard(const HashRing& ring);
+HashRing decode_wrong_shard(std::span<const std::uint8_t> payload);
 
 /// Incremental frame reassembly over a byte stream. feed() appends whatever
 /// the socket produced; next() returns one complete frame at a time (nullopt

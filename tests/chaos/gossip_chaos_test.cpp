@@ -1,0 +1,148 @@
+// Gossip storm battery (DESIGN.md §11): seed-pinned churn and partition
+// storms against a GossipMesh with the gossip.drop / gossip.delay
+// failpoints mangling the anti-entropy traffic. The invariants:
+//
+//   * Convergence — every phase of the storm (bootstrap, partition + heal,
+//     crash + restart, leave) re-converges all running nodes to one
+//     membership digest AND one ring digest within a bounded round count,
+//     no matter what the storm dropped or delayed.
+//   * Determinism — the identical storm (same mesh seed, same failpoint
+//     spec) replays to the identical convergence rounds, digests, and
+//     FailpointStats, twice in a row. This is the contract the committed
+//     chaos_replay.cmake gossip legs pin end-to-end through fgcs_chaos.
+#include "ishare/gossip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos_support.hpp"
+#include "util/failpoint.hpp"
+
+namespace fgcs {
+namespace {
+
+using test::ChaosTest;
+
+class GossipChaosTest : public ChaosTest {};
+
+std::string storm_spec(std::uint64_t seed) {
+  return "gossip.drop=prob:0.25:" + std::to_string(seed) +
+         ";gossip.delay=every:5";
+}
+
+/// Everything a storm pins: per-phase convergence rounds, the final
+/// digests, and the failpoint counters.
+struct StormReport {
+  std::vector<int> phase_rounds;
+  std::uint64_t member_digest = 0;
+  std::uint64_t ring_digest = 0;
+  FailpointStats failpoints;
+
+  friend bool operator==(const StormReport&, const StormReport&) = default;
+};
+
+/// The full churn script: bootstrap, asymmetric partition + heal, crash
+/// until declared dead + restart, graceful leave. Arms its own failpoints
+/// and leaves a clean registry.
+StormReport run_storm(std::uint64_t seed) {
+  Failpoints::instance().reset();
+  Failpoints::instance().arm_from_spec(storm_spec(seed));
+
+  GossipConfig config;
+  config.seed = seed;
+  GossipMesh mesh(config);
+  for (const char* id : {"n0", "n1", "n2"}) mesh.add_node(id);
+  mesh.connect_all();
+
+  StormReport report;
+  report.phase_rounds.push_back(mesh.run_until_converged(64));
+
+  mesh.partition({{"n0"}, {"n1", "n2"}});
+  for (int r = 0; r < 8; ++r) mesh.run_round();
+  mesh.heal();
+  report.phase_rounds.push_back(mesh.run_until_converged(256));
+
+  mesh.stop("n1");
+  for (int r = 0; r < 24; ++r) mesh.run_round();
+  mesh.restart("n1");
+  report.phase_rounds.push_back(mesh.run_until_converged(256));
+
+  mesh.agent("n2").leave();
+  report.phase_rounds.push_back(mesh.run_until_converged(256));
+
+  if (mesh.converged()) {
+    report.member_digest = mesh.digest();
+    report.ring_digest = mesh.agent("n0").ring().digest();
+  }
+  report.failpoints = Failpoints::instance().stats();
+  Failpoints::instance().reset();
+  return report;
+}
+
+TEST_F(GossipChaosTest, StormConvergesEveryPhaseWithinBound) {
+  const StormReport report = run_storm(20060619);
+  ASSERT_EQ(report.phase_rounds.size(), 4u);
+  for (std::size_t phase = 0; phase < report.phase_rounds.size(); ++phase)
+    EXPECT_GE(report.phase_rounds[phase], 0)
+        << "phase " << phase << " never converged under the storm";
+  EXPECT_NE(report.member_digest, 0u);
+  // The storm actually fired: drops and delays both happened.
+  EXPECT_GT(report.failpoints.total_fires(), 0u) << "storm spec armed nothing";
+  ASSERT_NE(report.failpoints.find("gossip.drop"), nullptr);
+  EXPECT_GT(report.failpoints.find("gossip.drop")->fires, 0u);
+  ASSERT_NE(report.failpoints.find("gossip.delay"), nullptr);
+  EXPECT_GT(report.failpoints.find("gossip.delay")->fires, 0u);
+}
+
+TEST_F(GossipChaosTest, IdenticalStormReplaysToIdenticalReport) {
+  const StormReport first = run_storm(7);
+  const StormReport second = run_storm(7);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.failpoints, second.failpoints)
+      << "failpoint evaluation schedule drifted between identical storms";
+}
+
+TEST_F(GossipChaosTest, DistinctSeedsStillConverge) {
+  // Convergence must be a property of the protocol, not of one lucky
+  // message schedule.
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    const StormReport report = run_storm(seed);
+    for (std::size_t phase = 0; phase < report.phase_rounds.size(); ++phase)
+      EXPECT_GE(report.phase_rounds[phase], 0)
+          << "seed " << seed << " phase " << phase << " did not converge";
+  }
+}
+
+TEST_F(GossipChaosTest, ConvergedNodesServeTheSameRingUnderFire) {
+  // Routing equivalence after a lossy storm: every surviving node must
+  // route every key identically (same owner), not just hash-equal —
+  // digest equality is the mechanism, this is the meaning.
+  Failpoints::instance().arm_from_spec(storm_spec(99));
+  GossipConfig config;
+  config.seed = 99;
+  GossipMesh mesh(config);
+  for (const char* id : {"n0", "n1", "n2"}) mesh.add_node(id);
+  mesh.connect_all();
+  mesh.partition({{"n0", "n1"}, {"n2"}});
+  for (int r = 0; r < 8; ++r) mesh.run_round();
+  mesh.heal();
+  ASSERT_GE(mesh.run_until_converged(256), 0);
+
+  const HashRing reference = mesh.agent("n0").ring();
+  for (const char* id : {"n1", "n2"}) {
+    const HashRing ring = mesh.agent(id).ring();
+    ASSERT_EQ(ring.digest(), reference.digest());
+    for (int key = 0; key < 200; ++key) {
+      const std::string machine = "machine-" + std::to_string(key);
+      EXPECT_EQ(ring.owner(machine)->node_id,
+                reference.owner(machine)->node_id)
+          << id << " routes " << machine << " differently";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fgcs

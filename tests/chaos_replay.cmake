@@ -205,3 +205,63 @@ if(NOT ing4_first_out MATCHES "reactors=4 mode=accept-handoff")
     "${ing4_first_out}")
 endif()
 message(STATUS "chaos ingest scenario replayed byte-identically (4 reactors)")
+
+# Gossip leg: the decentralized-registry storm — a seed-pinned 3-node
+# partition/crash/restart script under gossip.drop / gossip.delay, then the
+# converged ring serving jobs across three shards through deliberately staled
+# client views. Convergence rounds, membership digests, every TR bit, the
+# kWrongShard counters, and the failpoint table must all replay
+# byte-identically run to run.
+foreach(run go_first go_second)
+  execute_process(
+    COMMAND ${CHAOS_BIN} --scenario gossip --seed 11 --machines 3 --days 8
+            --jobs 5
+    OUTPUT_VARIABLE ${run}_out
+    ERROR_VARIABLE ${run}_err
+    RESULT_VARIABLE ${run}_rc)
+  if(NOT ${run}_rc EQUAL 0)
+    message(FATAL_ERROR
+      "fgcs_chaos gossip ${run} run failed (rc=${${run}_rc}):\n${${run}_err}")
+  endif()
+endforeach()
+
+if(NOT go_first_out STREQUAL go_second_out)
+  message(FATAL_ERROR
+    "fgcs_chaos gossip scenario is not replay-stable with FGCS_THREADS=4\n"
+    "--- first run ---\n${go_first_out}\n--- second run ---\n${go_second_out}")
+endif()
+if(NOT go_first_out MATCHES "phase restart +converged")
+  message(FATAL_ERROR
+    "fgcs_chaos gossip did not report a converged restart phase:\n"
+    "${go_first_out}")
+endif()
+message(STATUS "chaos gossip scenario replayed byte-identically (ring storm)")
+
+# Gossip at 4 reactors: each shard server runs the multi-reactor accept
+# hand-off; the sharded serving phase (including the per-shard wrong_shard
+# split) must stay byte-stable.
+foreach(run go4_first go4_second)
+  execute_process(
+    COMMAND ${CHAOS_BIN} --scenario gossip --seed 11 --machines 3 --days 8
+            --jobs 5 --reactors 4
+    OUTPUT_VARIABLE ${run}_out
+    ERROR_VARIABLE ${run}_err
+    RESULT_VARIABLE ${run}_rc)
+  if(NOT ${run}_rc EQUAL 0)
+    message(FATAL_ERROR
+      "fgcs_chaos gossip --reactors 4 ${run} run failed (rc=${${run}_rc}):\n"
+      "${${run}_err}")
+  endif()
+endforeach()
+
+if(NOT go4_first_out STREQUAL go4_second_out)
+  message(FATAL_ERROR
+    "fgcs_chaos gossip scenario is not replay-stable at 4 reactors\n"
+    "--- first run ---\n${go4_first_out}\n--- second run ---\n${go4_second_out}")
+endif()
+if(NOT go4_first_out MATCHES "reactors=4 mode=accept-handoff")
+  message(FATAL_ERROR
+    "fgcs_chaos gossip --reactors 4 did not report the sharded server:\n"
+    "${go4_first_out}")
+endif()
+message(STATUS "chaos gossip scenario replayed byte-identically (4 reactors)")

@@ -1,0 +1,178 @@
+// ShardedRegistry semantics (DESIGN.md §11): ring-routed publish/lookup,
+// publish-before-drop rebalancing, and the documented mid-move transient —
+// enumeration may yield the same machine twice — plus the regression that
+// transient once exposed: ReplicatingScheduler's fleet probe must dedup by
+// machine id, or a duplicated top-ranked machine double-counts as two
+// "replicas" on one host (and crowds a real second machine out of the set).
+#include "ishare/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ishare/replication.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace fgcs {
+namespace {
+
+using test::constant_day;
+
+MachineTrace idle_trace(const std::string& id, int days, int load_pct = 5) {
+  MachineTrace trace(id, Calendar(0), 60, 512);
+  for (int d = 0; d < days; ++d) trace.append_day(constant_day(60, load_pct));
+  return trace;
+}
+
+HashRing two_node_ring() {
+  return HashRing({{"nodeA", "127.0.0.1", 9001}, {"nodeB", "127.0.0.1", 9002}},
+                  /*vnodes=*/128, /*version=*/1);
+}
+
+std::vector<std::string> enumerate_ids(const RegistryView& view) {
+  std::vector<std::string> ids;
+  for (const Gateway* gateway : view.gateways())
+    ids.push_back(gateway->machine_id());
+  return ids;
+}
+
+TEST(ShardedRegistryTest, PublishRoutesToTheOwningShard) {
+  ShardedRegistry registry(two_node_ring());
+  const MachineTrace trace = idle_trace("m0", 4);
+  Gateway gateway(trace, test::test_thresholds());
+  registry.publish(gateway);
+
+  const std::string& owner = registry.ring().owner("m0")->node_id;
+  const std::string other = owner == "nodeA" ? "nodeB" : "nodeA";
+  EXPECT_EQ(registry.shard(owner).size(), 1u);
+  EXPECT_EQ(registry.shard(other).size(), 0u);
+  EXPECT_EQ(registry.lookup("m0"), &gateway);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_THROW(registry.shard("nodeC"), DataError);
+}
+
+TEST(ShardedRegistryTest, LookupFallsBackToScanForMisplacedEntries) {
+  // An entry published under a previous ring can sit on the "wrong" shard
+  // until rebalance; point lookup must still find it.
+  ShardedRegistry registry(two_node_ring());
+  const MachineTrace trace = idle_trace("m0", 4);
+  Gateway gateway(trace, test::test_thresholds());
+  const std::string& owner = registry.ring().owner("m0")->node_id;
+  const std::string other = owner == "nodeA" ? "nodeB" : "nodeA";
+  registry.shard(other).publish(gateway);  // stage the misplacement
+  EXPECT_EQ(registry.lookup("m0"), &gateway);
+}
+
+TEST(ShardedRegistryTest, RebalanceRehomesEveryEntry) {
+  ShardedRegistry registry(two_node_ring());
+  std::vector<MachineTrace> traces;
+  std::vector<std::unique_ptr<Gateway>> gateways;
+  for (int m = 0; m < 8; ++m)
+    traces.push_back(idle_trace("m" + std::to_string(m), 4));
+  for (const MachineTrace& trace : traces) {
+    gateways.push_back(
+        std::make_unique<Gateway>(trace, test::test_thresholds()));
+    registry.publish(*gateways.back());
+  }
+
+  HashRing grown({{"nodeA", "127.0.0.1", 9001},
+                  {"nodeB", "127.0.0.1", 9002},
+                  {"nodeC", "127.0.0.1", 9003}},
+                 128, 2);
+  registry.rebalance(grown);
+  EXPECT_EQ(registry.size(), 8u) << "rebalance lost or duplicated entries";
+  for (const auto& gateway : gateways) {
+    const std::string& owner =
+        registry.ring().owner(gateway->machine_id())->node_id;
+    EXPECT_EQ(registry.shard(owner).lookup(gateway->machine_id()),
+              gateway.get());
+  }
+}
+
+TEST(ShardedRegistryTest, MidMoveEnumerationYieldsTheDuplicateByDesign) {
+  ShardedRegistry registry(two_node_ring());
+  const MachineTrace trace = idle_trace("m0", 4);
+  Gateway gateway(trace, test::test_thresholds());
+  registry.publish(gateway);
+  const std::string& owner = registry.ring().owner("m0")->node_id;
+  const std::string other = owner == "nodeA" ? "nodeB" : "nodeA";
+  // Stage the documented mid-move state: published on the new home before
+  // the old shard drops it.
+  registry.shard(other).publish(gateway);
+
+  const std::vector<std::string> ids = enumerate_ids(registry);
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), "m0"), 2);
+  // unpublish sweeps every shard holding the id.
+  EXPECT_TRUE(registry.unpublish("m0"));
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(ShardedRegistryTest, FleetProbeDedupsAMidMoveDuplicate) {
+  // Regression: with "best" enumerated twice (mid-move) and replicas = 2,
+  // the pre-fix probe ranked [best, best] — two "replicas" on one host —
+  // and the genuinely second machine never started. Make that host fail
+  // on the submit day (its training days are clean, so it still ranks
+  // top): pre-fix BOTH replicas die with it and the job is lost; post-fix
+  // the set is [best, second] and the survivor completes.
+  ShardedRegistry registry(two_node_ring());
+  MachineTrace best("aa-best", Calendar(0), 60, 512);
+  for (int d = 0; d < 5; ++d) best.append_day(constant_day(60, 5));
+  {
+    // Day 5 (the submit day): overload from 09:30, killing any guest.
+    auto day = constant_day(60, 5);
+    for (std::size_t i = 9 * 60 + 30; i < 14 * 60; ++i)
+      day[i] = test::sample(95);
+    best.append_day(std::move(day));
+  }
+  const MachineTrace second = idle_trace("bb-second", 6, 55);
+  Gateway g_best(best, test::test_thresholds());
+  Gateway g_second(second, test::test_thresholds());
+  registry.publish(g_best);
+  registry.publish(g_second);
+  const std::string& owner = registry.ring().owner("aa-best")->node_id;
+  const std::string other = owner == "nodeA" ? "nodeB" : "nodeA";
+  registry.shard(other).publish(g_best);
+  ASSERT_EQ(registry.size(), 3u) << "mid-move duplicate not staged";
+
+  const ReplicatingScheduler scheduler(registry, /*replicas=*/2);
+  const GuestJobSpec job{.job_id = "j", .cpu_seconds = 3600, .mem_mb = 64};
+  const SimTime submit = 5 * kSecondsPerDay + 9 * kSecondsPerHour;
+  const ReplicatedOutcome outcome =
+      scheduler.run_job(job, submit, submit + kSecondsPerDay);
+  ASSERT_TRUE(outcome.completed)
+      << "both replicas were placed on the failing duplicated host";
+  EXPECT_EQ(outcome.replicas_started, 2);
+  EXPECT_EQ(outcome.winning_machine, "bb-second");
+  EXPECT_EQ(outcome.replicas_failed, 1);
+}
+
+TEST(ShardedRegistryTest, FleetProbeDedupCapsReplicasAtDistinctHosts) {
+  // One real machine enumerated twice must yield ONE replica, not two on
+  // the same host — the sharpest observable of the dedup.
+  ShardedRegistry registry(two_node_ring());
+  const MachineTrace only = idle_trace("solo", 6);
+  Gateway gateway(only, test::test_thresholds());
+  registry.publish(gateway);
+  const std::string& owner = registry.ring().owner("solo")->node_id;
+  const std::string other = owner == "nodeA" ? "nodeB" : "nodeA";
+  registry.shard(other).publish(gateway);
+  ASSERT_EQ(registry.gateways().size(), 2u);
+
+  const ReplicatingScheduler scheduler(registry, /*replicas=*/2);
+  const GuestJobSpec job{.job_id = "j", .cpu_seconds = 1800, .mem_mb = 64};
+  const SimTime submit = 5 * kSecondsPerDay + 9 * kSecondsPerHour;
+  const ReplicatedOutcome outcome =
+      scheduler.run_job(job, submit, submit + kSecondsPerDay);
+  ASSERT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.replicas_started, 1)
+      << "a mid-move duplicate was placed as a second replica";
+  EXPECT_EQ(outcome.winning_machine, "solo");
+}
+
+}  // namespace
+}  // namespace fgcs

@@ -84,6 +84,30 @@ std::vector<std::uint8_t> valid_append_ack_frame() {
                                                       .generation = 1}));
 }
 
+/// A valid gossip sync carrying every health value — the wire v3 member
+/// table the storm mutates.
+std::vector<std::uint8_t> valid_gossip_frame() {
+  GossipMessage message;
+  message.sender = "reg0";
+  MemberState alive;
+  alive.node_id = "reg0";
+  alive.port = 9000;
+  alive.incarnation = 2;
+  alive.heartbeat = 41;
+  alive.generation = 3;
+  MemberState left = alive;
+  left.node_id = "reg1";
+  left.health = MemberHealth::kLeft;
+  message.members = {alive, left};
+  return encode_frame(FrameType::kGossipSync, encode_gossip(message));
+}
+
+std::vector<std::uint8_t> valid_wrong_shard_frame() {
+  const HashRing ring({{"reg0", "10.0.0.1", 9000}, {"reg1", "10.0.0.2", 9001}},
+                      /*vnodes=*/64, /*version=*/7);
+  return encode_frame(FrameType::kWrongShard, encode_wrong_shard(ring));
+}
+
 /// Feeds `bytes` to a fresh decoder in `rng`-sized chunks and drains it.
 /// Returns "decoded at least one frame". Throws only DataError by contract.
 bool drain(std::span<const std::uint8_t> bytes, Rng& rng) {
@@ -116,6 +140,13 @@ bool drain(std::span<const std::uint8_t> bytes, Rng& rng) {
           case FrameType::kAppendAck:
             decode_append_ack(frame->payload);
             break;
+          case FrameType::kGossipSync:
+          case FrameType::kGossipAck:
+            decode_gossip(frame->payload);
+            break;
+          case FrameType::kWrongShard:
+            decode_wrong_shard(frame->payload);
+            break;
         }
       } catch (const DataError&) {
       }
@@ -127,7 +158,8 @@ bool drain(std::span<const std::uint8_t> bytes, Rng& rng) {
 TEST(WireFuzz, SeededMutationStormThrowsDataErrorOnly) {
   const std::vector<std::vector<std::uint8_t>> bases{
       valid_request_frame(), valid_response_frame(), valid_append_frame(),
-      valid_append_ack_frame(),
+      valid_append_ack_frame(), valid_gossip_frame(),
+      valid_wrong_shard_frame(),
       encode_frame(FrameType::kError,
                    encode_error("reference error text", true))};
 

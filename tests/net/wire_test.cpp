@@ -242,11 +242,11 @@ TEST(WireAppend, RoundTripsEveryField) {
     EXPECT_TRUE(back.samples[i] == request.samples[i]) << "sample " << i;
 }
 
-TEST(WireAppend, FramesAsTypeFourUnderVersionTwo) {
+TEST(WireAppend, FramesAsTypeFourUnderCurrentVersion) {
   const std::vector<std::uint8_t> frame =
       encode_frame(FrameType::kAppendSamples, encode_append(append_request()));
   EXPECT_EQ(frame[4], kWireVersion);
-  EXPECT_EQ(frame[4], 2);  // appends exist as of protocol version 2
+  EXPECT_EQ(frame[4], 3);  // appends exist since v2; current protocol is v3
   EXPECT_EQ(frame[6], 4);  // FrameType::kAppendSamples
   FrameDecoder decoder;
   decoder.feed(frame);

@@ -1,6 +1,7 @@
 // fgcs_chaos — replay named fault-injection scenarios deterministically.
 //
-//   fgcs_chaos --scenario revocation|churn|planner|registry|service|net|ingest
+//   fgcs_chaos --scenario revocation|churn|planner|registry|service|net|
+//                         ingest|gossip
 //              [--seed S] [--machines N] [--days D] [--jobs J]
 //              [--reactors N] [--failpoints SPEC]
 //
@@ -16,6 +17,7 @@
 #include <vector>
 
 #include "fgcs.hpp"
+#include "ishare/gossip.hpp"
 #include "util/cli.hpp"
 #include "util/failpoint.hpp"
 
@@ -434,6 +436,184 @@ int run_ingest(std::uint64_t seed, int machines, int days, int jobs,
   return all_ok && completed == jobs ? 0 : 1;
 }
 
+/// Decentralized-registry storm, two phases (DESIGN.md §11).
+///
+/// Phase 1 drives a 3-node GossipMesh through a seed-pinned churn script —
+/// bootstrap, partition + heal, crash + restart — with the gossip.drop /
+/// gossip.delay failpoints mangling the anti-entropy traffic. Every phase
+/// must re-converge all nodes to one membership + ring digest within a
+/// bounded round count, and the printed digests, convergence rounds, agent
+/// counters, and FailpointStats replay byte-identically from the same flags
+/// (tests/chaos_replay.cmake, gossip legs).
+///
+/// Phase 2 proves the sharded serving path: three PredictionServers take
+/// the converged ring (their identities and real bound ports), a
+/// ShardedPredictionClient routes --jobs batches across them — through a
+/// deliberately staled ring every third job, healing via kWrongShard — and
+/// every served TR must be bit-identical to an in-process single-registry
+/// reference.
+int run_gossip(std::uint64_t seed, int machines, int days, int jobs,
+               unsigned reactors) {
+  constexpr int kNodes = 3;
+  const auto node_id = [](int i) { return "reg" + std::to_string(i); };
+
+  GossipConfig gossip_config;
+  gossip_config.seed = seed;
+  GossipMesh mesh(gossip_config);
+  for (int i = 0; i < kNodes; ++i) mesh.add_node(node_id(i));
+  mesh.connect_all();
+
+  const auto print_phase = [&mesh](const char* phase, int rounds) {
+    if (rounds < 0) {
+      std::printf("phase %-10s DID NOT CONVERGE (rounds=%llu)\n", phase,
+                  static_cast<unsigned long long>(mesh.rounds()));
+      return false;
+    }
+    std::printf("phase %-10s converged rounds=%llu digest=%016llx ring=%zu\n",
+                phase, static_cast<unsigned long long>(mesh.rounds()),
+                static_cast<unsigned long long>(mesh.digest()),
+                mesh.agent("reg0").ring().size());
+    return true;
+  };
+
+  bool converged = print_phase("bootstrap", mesh.run_until_converged(64));
+
+  // Partition reg0 away from {reg1, reg2}, churn inside the split, heal.
+  mesh.partition({{"reg0"}, {"reg1", "reg2"}});
+  for (int r = 0; r < 8; ++r) mesh.run_round();
+  mesh.heal();
+  converged = print_phase("heal", mesh.run_until_converged(128)) && converged;
+
+  // Crash reg1 until phi declares it dead, then bring it back: the fresh
+  // incarnation must beat the tombstone everywhere.
+  mesh.stop("reg1");
+  for (int r = 0; r < 24; ++r) mesh.run_round();
+  std::printf("phase %-10s reg1 seen as %s by reg0\n", "crash",
+              [&mesh] {
+                for (const MemberState& m : mesh.agent("reg0").members())
+                  if (m.node_id == "reg1") return to_string(m.health);
+                return "unknown";
+              }());
+  mesh.restart("reg1");
+  converged =
+      print_phase("restart", mesh.run_until_converged(128)) && converged;
+
+  for (int i = 0; i < kNodes; ++i) {
+    const GossipAgentStats& stats = mesh.agent(node_id(i)).stats();
+    std::printf("agent %s: rounds=%llu syncs_sent=%llu syncs_recv=%llu "
+                "acks=%llu updates=%llu refutations=%llu suspicions=%llu "
+                "deaths=%llu\n",
+                node_id(i).c_str(),
+                static_cast<unsigned long long>(stats.rounds),
+                static_cast<unsigned long long>(stats.syncs_sent),
+                static_cast<unsigned long long>(stats.syncs_received),
+                static_cast<unsigned long long>(stats.acks_received),
+                static_cast<unsigned long long>(stats.records_updated),
+                static_cast<unsigned long long>(stats.refutations),
+                static_cast<unsigned long long>(stats.suspicions),
+                static_cast<unsigned long long>(stats.deaths));
+  }
+  if (!converged) return 1;
+
+  // -------------------------------------------------------------------------
+  // Phase 2: serve through the converged ring over the real wire.
+  WorkloadParams params;
+  const std::vector<MachineTrace> traces =
+      generate_fleet(params, seed, machines, days, "chaos");
+
+  std::vector<std::unique_ptr<net::PredictionServer>> servers;
+  for (int i = 0; i < kNodes; ++i) {
+    net::ServerConfig server_config;
+    server_config.reactors = reactors;
+    server_config.force_accept_handoff = reactors > 1;
+    server_config.node_id = node_id(i);
+    servers.push_back(std::make_unique<net::PredictionServer>(
+        server_config, std::make_shared<PredictionService>()));
+    // Every node holds every trace: the ring decides who *answers*, which
+    // is exactly what makes a wrong ring observable as kWrongShard rather
+    // than as a missing machine.
+    for (const MachineTrace& trace : traces) servers.back()->add_trace(trace);
+    servers.back()->start();
+  }
+  if (reactors > 1)
+    std::printf("reactors=%u mode=%s\n", servers[0]->reactor_count(),
+                servers[0]->accept_handoff() ? "accept-handoff" : "reuseport");
+
+  std::vector<RingMember> members;
+  for (int i = 0; i < kNodes; ++i)
+    members.push_back(RingMember{node_id(i), "127.0.0.1",
+                                 servers[static_cast<std::size_t>(i)]->port()});
+  const HashRing ring(members, /*vnodes=*/64, /*version=*/1);
+  for (const auto& server : servers) server->set_ring(ring);
+
+  net::ShardedClientConfig client_config;
+  client_config.base.port = 1;  // per-shard endpoints come from the ring
+  net::ShardedPredictionClient client(ring, client_config);
+
+  PredictionService reference;
+  int completed = 0;
+  for (int j = 0; j < jobs; ++j) {
+    if (j % 3 == 0 && ring.size() > 1) {
+      // Stale the client's view: a two-member ring misroutes every key the
+      // dropped member owns, and the wrong owner's kWrongShard answer must
+      // heal the view mid-batch.
+      std::vector<RingMember> stale(members.begin(), members.end());
+      stale.erase(stale.begin() + j / 3 % kNodes);
+      client.adopt_ring(HashRing(stale, /*vnodes=*/64, /*version=*/0));
+    }
+    std::vector<net::WireRequestItem> items;
+    std::vector<const MachineTrace*> item_traces;
+    for (int k = 0; k < 2; ++k) {
+      const MachineTrace& trace =
+          traces[static_cast<std::size_t>(j + k) % traces.size()];
+      net::WireRequestItem item;
+      item.machine_key = trace.machine_id();
+      item.request.target_day = trace.day_count();
+      item.request.window.start_of_day =
+          (8 + (j + 5 * k) % 10) * kSecondsPerHour;
+      item.request.window.length = (1 + j % 4) * kSecondsPerHour;
+      items.push_back(std::move(item));
+      item_traces.push_back(&trace);
+    }
+    const std::vector<Prediction> served = client.predict_batch(items);
+    bool identical = true;
+    for (std::size_t i = 0; i < served.size(); ++i) {
+      const Prediction expected =
+          reference.predict(*item_traces[i], items[i].request);
+      identical = identical &&
+                  served[i].temporal_reliability ==
+                      expected.temporal_reliability &&
+                  served[i].p_absorb == expected.p_absorb;
+      std::printf("job %02d.%zu: %-12s TR %.17g %s\n", j, i,
+                  items[i].machine_key.c_str(),
+                  served[i].temporal_reliability,
+                  identical ? "bit-identical" : "MISMATCH");
+    }
+    completed += identical ? 1 : 0;
+  }
+
+  for (const auto& server : servers) server->stop();
+  for (int i = 0; i < kNodes; ++i) {
+    const net::ServerStats stats = servers[static_cast<std::size_t>(i)]->stats();
+    std::printf("server %s: requests=%llu responses=%llu wrong_shard=%llu "
+                "errors=%llu\n",
+                node_id(i).c_str(),
+                static_cast<unsigned long long>(stats.requests),
+                static_cast<unsigned long long>(stats.responses),
+                static_cast<unsigned long long>(stats.wrong_shard),
+                static_cast<unsigned long long>(stats.errors));
+  }
+  const net::ShardedClientStats& client_stats = client.stats();
+  std::printf("client: batches=%llu sub_batches=%llu hops=%llu "
+              "refreshes=%llu\n",
+              static_cast<unsigned long long>(client_stats.batches),
+              static_cast<unsigned long long>(client_stats.sub_batches),
+              static_cast<unsigned long long>(client_stats.wrong_shard_hops),
+              static_cast<unsigned long long>(client_stats.ring_refreshes));
+  std::printf("completed %d/%d\n", completed, jobs);
+  return completed == jobs ? 0 : 1;
+}
+
 int main_checked(int argc, char** argv) {
   const ArgParser args(argc, argv);
   const std::string scenario = args.get("scenario");
@@ -486,6 +666,12 @@ int main_checked(int argc, char** argv) {
              ";net.frame.corrupt=prob:0.1:" + s +
              ";net.read.short=every:3;net.write.stall=every:4;"
              "net.accept.drop=every:5";
+    else if (scenario == "gossip")
+      // Anti-entropy storm: a quarter of all syncs/acks lost outright and
+      // every 5th delivered a round late. No net.* points — the phase-2
+      // serving pass must stay transport-clean so the only wrong answers a
+      // shard can give are kWrongShard refusals.
+      spec = "gossip.drop=prob:0.25:" + s + ";gossip.delay=every:5";
   }
 
   Failpoints::instance().reset();
@@ -540,11 +726,13 @@ int main_checked(int argc, char** argv) {
     status = run_net(seed, machines, days, jobs, reactors);
   } else if (scenario == "ingest") {
     status = run_ingest(seed, machines, days, jobs, reactors);
+  } else if (scenario == "gossip") {
+    status = run_gossip(seed, machines, days, jobs, reactors);
   } else {
     std::fprintf(stderr,
                  "unknown scenario '%s' "
-                 "(use revocation|churn|planner|registry|service|net|ingest)"
-                 "\n",
+                 "(use revocation|churn|planner|registry|service|net|ingest"
+                 "|gossip)\n",
                  scenario.c_str());
     return 1;
   }

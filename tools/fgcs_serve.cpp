@@ -2,7 +2,9 @@
 //
 //   fgcs_serve [--host H] [--port P] [--reactors N] [--training-days N]
 //              [--threads N] [--load-root DIR] [--max-requests N]
-//              [--ingest] [--retention N] [--metrics] TRACE...
+//              [--ingest] [--retention N] [--metrics]
+//              [--node-id ID [--peers ID=H:P,...] [--gossip-interval MS]
+//               [--vnodes N]] TRACE...
 //
 // Loads each positional trace file into a PredictionServer backed by one
 // memoized PredictionService and serves request frames (see DESIGN.md §9)
@@ -16,6 +18,16 @@
 // refreshes the prediction cache, and --retention N bounds each streamed
 // machine's history to a sliding N-day window (0 = unlimited).
 //
+// Decentralized registry (DESIGN.md §11, bring-up walkthrough in
+// docs/OPERATIONS.md): --node-id joins this server to a registry ring under
+// that identity. --peers seeds the membership (comma-separated ID=HOST:PORT
+// contacts); every --gossip-interval milliseconds the server runs one
+// anti-entropy round — tick the agent, push kGossipSync to the selected
+// peers, merge their acks — and republishes the resulting ring to its
+// reactors, so request batches for keys the ring assigns elsewhere are
+// answered with kWrongShard (the client re-routes). --vnodes tunes ring
+// smoothness (HashRing contract).
+//
 //   fgcs_serve --selfcheck [--port P]
 //
 // Self-check mode: binds an ephemeral (or given) port, serves a synthetic
@@ -24,6 +36,9 @@
 // cold and warm. Exits 0 on success; this is the tool's smoke test.
 #include <csignal>
 #include <cstdio>
+#include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,6 +53,72 @@ using namespace fgcs;
 volatile std::sig_atomic_t g_interrupted = 0;
 
 void handle_signal(int) { g_interrupted = 1; }
+
+/// Parses the --peers grammar "id=host:port,id=host:port" into bootstrap
+/// member records. Throws DataError on any malformed entry.
+std::vector<MemberState> parse_peers(const std::string& spec) {
+  std::vector<MemberState> peers;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    const std::size_t colon = entry.rfind(':');
+    if (eq == std::string::npos || colon == std::string::npos || colon < eq ||
+        eq == 0 || colon == eq + 1 || colon + 1 == entry.size())
+      throw DataError("fgcs_serve: malformed --peers entry '" + entry +
+                      "' (want ID=HOST:PORT)");
+    MemberState peer;
+    peer.node_id = entry.substr(0, eq);
+    peer.host = entry.substr(eq + 1, colon - eq - 1);
+    const int port = std::stoi(entry.substr(colon + 1));
+    if (port < 1 || port > 65535)
+      throw DataError("fgcs_serve: peer port out of range in '" + entry + "'");
+    peer.port = static_cast<std::uint16_t>(port);
+    peers.push_back(std::move(peer));
+  }
+  return peers;
+}
+
+/// One anti-entropy round over the wire: tick, push the sync to each
+/// selected peer (endpoints from the agent's own member table), merge acks,
+/// republish the ring to the reactors. Unreachable peers just miss the
+/// round — phi accrual marks them suspect/dead if it keeps happening.
+void gossip_round(net::PredictionServer& server,
+                  std::map<std::string, std::unique_ptr<net::PredictionClient>>&
+                      peer_clients) {
+  const auto [peers, sync] = server.gossip_tick();
+  for (const std::string& peer_id : peers) {
+    const MemberState* peer = nullptr;
+    for (const MemberState& member : sync.members)
+      if (member.node_id == peer_id) peer = &member;
+    if (peer == nullptr || peer->port == 0) continue;
+    try {
+      auto it = peer_clients.find(peer_id);
+      if (it == peer_clients.end()) {
+        net::ClientConfig config;
+        config.host = peer->host;
+        config.port = peer->port;
+        config.connect_timeout = 2.0;
+        config.request_timeout = 5.0;
+        config.max_attempts = 1;  // phi handles persistent failure, not retries
+        it = peer_clients
+                 .emplace(peer_id,
+                          std::make_unique<net::PredictionClient>(config))
+                 .first;
+      }
+      server.gossip_merge_ack(it->second->gossip_sync(sync));
+    } catch (const std::exception&) {
+      // Unreachable this round; drop the cached client so the next attempt
+      // reconnects cleanly.
+      peer_clients.erase(peer_id);
+    }
+  }
+  server.set_ring(server.gossip_ring());
+}
 
 int selfcheck(std::uint16_t port) {
   WorkloadParams params;
@@ -131,9 +212,16 @@ int main_checked(int argc, char** argv) {
   server_config.trace_root = args.get_or("load-root", "");
   server_config.ingest = args.has("ingest");
   server_config.ingest_retention_days = args.get_int_or("retention", 0);
+  server_config.node_id = args.get_or("node-id", "");
+  const std::vector<MemberState> peers = parse_peers(args.get_or("peers", ""));
+  const std::int64_t gossip_interval_ms =
+      args.get_int_or("gossip-interval", 1000);
+  const auto vnodes = static_cast<std::uint32_t>(args.get_int_or("vnodes", 128));
   const std::int64_t max_requests = args.get_int_or("max-requests", 0);
   const bool want_metrics = args.has("metrics");
   args.check_all_consumed();
+  if (server_config.node_id.empty() && !peers.empty())
+    throw DataError("fgcs_serve: --peers requires --node-id");
 
   const auto service = std::make_shared<PredictionService>(service_config);
   net::PredictionServer server(server_config, service);
@@ -152,6 +240,27 @@ int main_checked(int argc, char** argv) {
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
   server.start();
+
+  // Registry membership: the agent is created after start() so its member
+  // record carries the real bound port, seeded with the bootstrap peers.
+  std::optional<GossipAgent> gossip;
+  std::map<std::string, std::unique_ptr<net::PredictionClient>> peer_clients;
+  if (!server_config.node_id.empty()) {
+    MemberState self;
+    self.node_id = server_config.node_id;
+    self.host = server_config.host;
+    self.port = server.port();
+    GossipConfig gossip_config;
+    gossip_config.vnodes = vnodes;
+    gossip.emplace(std::move(self), gossip_config);
+    for (const MemberState& peer : peers) gossip->seed_peer(peer);
+    server.attach_gossip(&*gossip);
+    server.set_ring(gossip->ring());
+    std::printf("fgcs_serve: registry node '%s' (%zu bootstrap peer%s, "
+                "%u vnodes)\n",
+                server_config.node_id.c_str(), peers.size(),
+                peers.size() == 1 ? "" : "s", vnodes);
+  }
   // Unbuffered so a parent process piping our stdout sees the port line
   // immediately (tests/net/net_tools_test.cpp parses it).
   std::printf("fgcs_serve: listening on %s:%u (%zu traces, %u reactor%s%s)\n",
@@ -160,14 +269,29 @@ int main_checked(int argc, char** argv) {
               server_config.ingest ? ", ingest on" : "");
   std::fflush(stdout);
 
+  auto next_gossip = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(gossip_interval_ms);
   while (!g_interrupted) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (gossip.has_value() && std::chrono::steady_clock::now() >= next_gossip) {
+      gossip_round(server, peer_clients);
+      next_gossip += std::chrono::milliseconds(gossip_interval_ms);
+    }
     if (max_requests > 0 &&
         server.stats().requests >= static_cast<std::uint64_t>(max_requests))
       break;
   }
 
   server.stop();
+  if (gossip.has_value()) {
+    server.attach_gossip(nullptr);
+    const HashRing ring = gossip->ring();
+    std::printf("fgcs_serve: gossip ran %llu rounds, ring has %zu member%s "
+                "(digest %016llx)\n",
+                static_cast<unsigned long long>(gossip->round()), ring.size(),
+                ring.size() == 1 ? "" : "s",
+                static_cast<unsigned long long>(gossip->digest()));
+  }
   const net::ServerStats stats = server.stats();
   std::printf("fgcs_serve: served %llu requests (%llu predictions, "
               "%llu errors), rx %llu tx %llu bytes\n",
